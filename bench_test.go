@@ -1,0 +1,375 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations of the design choices called out in
+// DESIGN.md and wall-clock (native goroutine) counterparts of the
+// headline experiment. Reported "time-units/op" metrics are
+// simulator-charged PRAM time; ns/op is host wall-clock.
+package lowcontend
+
+import (
+	"testing"
+
+	"lowcontend/internal/compact"
+	"lowcontend/internal/hashing"
+	"lowcontend/internal/loadbalance"
+	"lowcontend/internal/machine"
+	"lowcontend/internal/multicompact"
+	"lowcontend/internal/native"
+	"lowcontend/internal/perm"
+	"lowcontend/internal/prim"
+	"lowcontend/internal/sortalg"
+	"lowcontend/internal/xrand"
+)
+
+func report(b *testing.B, st machine.Stats) {
+	b.ReportMetric(float64(st.Time), "time-units/op")
+	b.ReportMetric(float64(st.Ops), "pram-ops/op")
+	b.ReportMetric(float64(st.MaxContention), "max-contention")
+}
+
+// --- Table II: random permutation, three algorithms, 16K and 1K ------
+
+func benchPerm(b *testing.B, n int, f func(*machine.Machine, int) (int, error)) {
+	var st machine.Stats
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.QRQW, 1<<18, machine.WithSeed(uint64(i)+1))
+		if _, err := f(m, n); err != nil {
+			b.Fatal(err)
+		}
+		st = m.Stats()
+	}
+	report(b, st)
+}
+
+func BenchmarkTableII_Sorting16K(b *testing.B)  { benchPerm(b, 16384, perm.SortingBased) }
+func BenchmarkTableII_ScanDart16K(b *testing.B) { benchPerm(b, 16384, perm.ScanDart) }
+func BenchmarkTableII_QRQWDart16K(b *testing.B) { benchPerm(b, 16384, perm.Random) }
+func BenchmarkTableII_Sorting1K(b *testing.B)   { benchPerm(b, 1024, perm.SortingBased) }
+func BenchmarkTableII_ScanDart1K(b *testing.B)  { benchPerm(b, 1024, perm.ScanDart) }
+func BenchmarkTableII_QRQWDart1K(b *testing.B)  { benchPerm(b, 1024, perm.Random) }
+
+// --- Table I rows ----------------------------------------------------
+
+func BenchmarkTableI_RandomPermutationQRQW(b *testing.B) { benchPerm(b, 1<<14, perm.Random) }
+func BenchmarkTableI_RandomPermutationEREW(b *testing.B) {
+	var st machine.Stats
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.EREW, 1<<18, machine.WithSeed(uint64(i)+1))
+		if _, err := perm.SortingBased(m, 1<<14); err != nil {
+			b.Fatal(err)
+		}
+		st = m.Stats()
+	}
+	report(b, st)
+}
+
+func BenchmarkTableI_MultipleCompactionQRQW(b *testing.B) {
+	n := 1 << 14
+	labels := make([]int, n)
+	s := xrand.NewStream(4)
+	for i := range labels {
+		labels[i] = s.Intn(n / 8)
+	}
+	var st machine.Stats
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.QRQW, 1<<20, machine.WithSeed(uint64(i)+1))
+		in, err := multicompact.BuildInput(m, labels, n/8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := multicompact.Run(m, in); err != nil {
+			b.Fatal(err)
+		}
+		st = m.Stats()
+	}
+	report(b, st)
+}
+
+func BenchmarkTableI_SortU01QRQW(b *testing.B) {
+	n := 1 << 13
+	s := xrand.NewStream(5)
+	vals := make([]machine.Word, n)
+	for i := range vals {
+		vals[i] = machine.Word(s.Uint64n(1 << 40))
+	}
+	var st machine.Stats
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.QRQW, 1<<19, machine.WithSeed(uint64(i)+1))
+		keys := m.Alloc(n)
+		m.Store(keys, vals)
+		if err := sortalg.DistributiveSort(m, keys, n, 1<<40); err != nil {
+			b.Fatal(err)
+		}
+		st = m.Stats()
+	}
+	report(b, st)
+}
+
+func BenchmarkTableI_SortU01EREWBitonic(b *testing.B) {
+	n := 1 << 13
+	s := xrand.NewStream(5)
+	vals := make([]machine.Word, n)
+	for i := range vals {
+		vals[i] = machine.Word(s.Uint64n(1 << 40))
+	}
+	var st machine.Stats
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.EREW, 1<<19, machine.WithSeed(uint64(i)+1))
+		keys := m.Alloc(n)
+		m.Store(keys, vals)
+		if err := prim.BitonicSortPadded(m, keys, -1, n); err != nil {
+			b.Fatal(err)
+		}
+		st = m.Stats()
+	}
+	report(b, st)
+}
+
+func BenchmarkTableI_HashingBuildQRQW(b *testing.B) {
+	n := 1 << 12
+	s := xrand.NewStream(6)
+	seen := map[machine.Word]bool{}
+	keys := make([]machine.Word, 0, n)
+	for len(keys) < n {
+		k := machine.Word(s.Uint64n(1 << 30))
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	var st machine.Stats
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.QRQW, 1<<20, machine.WithSeed(uint64(i)+1))
+		base := m.Alloc(n)
+		m.Store(base, keys)
+		if _, err := hashing.Build(m, base, n); err != nil {
+			b.Fatal(err)
+		}
+		st = m.Stats()
+	}
+	report(b, st)
+}
+
+func BenchmarkTableI_LoadBalancingQRQW(b *testing.B) {
+	n := 1 << 14
+	counts := make([]int, n)
+	counts[0] = 32
+	var st machine.Stats
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.QRQW, 1<<20, machine.WithSeed(uint64(i)+1))
+		bal, err := loadbalance.New(m, counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bal.Run(); err != nil {
+			b.Fatal(err)
+		}
+		st = m.Stats()
+	}
+	report(b, st)
+}
+
+func BenchmarkTableI_LoadBalancingEREW(b *testing.B) {
+	n := 1 << 14
+	counts := make([]int, n)
+	counts[0] = 32
+	var st machine.Stats
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.EREW, 1<<20, machine.WithSeed(uint64(i)+1))
+		if _, err := loadbalance.EREWBalance(m, counts); err != nil {
+			b.Fatal(err)
+		}
+		st = m.Stats()
+	}
+	report(b, st)
+}
+
+// --- Figure 1: cyclic vs general permutation generation --------------
+
+func BenchmarkFig1_CyclicFast(b *testing.B) {
+	var st machine.Stats
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.QRQW, 1<<20, machine.WithSeed(uint64(i)+1))
+		if _, err := perm.CyclicFast(m, 1<<12); err != nil {
+			b.Fatal(err)
+		}
+		st = m.Stats()
+	}
+	report(b, st)
+}
+
+func BenchmarkFig1_CyclicEfficient(b *testing.B) {
+	var st machine.Stats
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.QRQW, 1<<18, machine.WithSeed(uint64(i)+1))
+		if _, err := perm.CyclicEfficient(m, 1<<12); err != nil {
+			b.Fatal(err)
+		}
+		st = m.Stats()
+	}
+	report(b, st)
+}
+
+// --- Lower bound (Theorem 3.2): time vs L ----------------------------
+
+func benchLB(b *testing.B, L int) {
+	n := 1024
+	counts := make([]int, n)
+	counts[0] = L
+	var st machine.Stats
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.QRQW, 1<<19, machine.WithSeed(uint64(i)+1))
+		bal, err := loadbalance.New(m, counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bal.Run(); err != nil {
+			b.Fatal(err)
+		}
+		st = m.Stats()
+	}
+	report(b, st)
+}
+
+func BenchmarkLowerBound_L16(b *testing.B)   { benchLB(b, 16) }
+func BenchmarkLowerBound_L256(b *testing.B)  { benchLB(b, 256) }
+func BenchmarkLowerBound_L1024(b *testing.B) { benchLB(b, 1024) }
+
+// --- Ablations --------------------------------------------------------
+
+// Ablation (a), Section 5.1.2: the cyclic-permutation array-size
+// trade-off O(lg n/f + f) — compare the sqrt(lg n)-sized staging against
+// a minimal staging array (CyclicEfficient's O(n)).
+func BenchmarkAblation_CyclicStagingWide(b *testing.B)   { BenchmarkFig1_CyclicFast(b) }
+func BenchmarkAblation_CyclicStagingNarrow(b *testing.B) { BenchmarkFig1_CyclicEfficient(b) }
+
+// Ablation (d), Section 5.2: initial subarray size in dart throwing —
+// ScanDart uses a fixed 2n array vs Random's shrinking fresh subarrays.
+func BenchmarkAblation_DartFreshSubarrays(b *testing.B) { benchPerm(b, 1<<12, perm.Random) }
+func BenchmarkAblation_DartFixedArray(b *testing.B)     { benchPerm(b, 1<<12, perm.ScanDart) }
+
+// Ablation: linear compaction (QRQW, sqrt(lg n)) vs EREW pack (lg n).
+func BenchmarkAblation_LinearCompactQRQW(b *testing.B) {
+	n := 1 << 14
+	k := n / 64
+	s := xrand.NewStream(8)
+	pm := s.Perm(n)
+	var st machine.Stats
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.QRQW, 1<<21, machine.WithSeed(uint64(i)+1))
+		flags := m.Alloc(n)
+		vals := m.Alloc(n)
+		for j := 0; j < k; j++ {
+			m.SetWord(flags+pm[j], 1)
+			m.SetWord(vals+pm[j], machine.Word(j))
+		}
+		if _, err := compact.LinearCompact(m, flags, vals, n, k); err != nil {
+			b.Fatal(err)
+		}
+		st = m.Stats()
+	}
+	report(b, st)
+}
+
+func BenchmarkAblation_LinearCompactEREW(b *testing.B) {
+	n := 1 << 14
+	k := n / 64
+	s := xrand.NewStream(8)
+	pm := s.Perm(n)
+	var st machine.Stats
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.EREW, 1<<21, machine.WithSeed(uint64(i)+1))
+		flags := m.Alloc(n)
+		vals := m.Alloc(n)
+		for j := 0; j < k; j++ {
+			m.SetWord(flags+pm[j], 1)
+			m.SetWord(vals+pm[j], machine.Word(j))
+		}
+		if _, err := compact.EREWCompact(m, flags, vals, n, k); err != nil {
+			b.Fatal(err)
+		}
+		st = m.Stats()
+	}
+	report(b, st)
+}
+
+// --- General sorting (Section 7.2) -----------------------------------
+
+func BenchmarkSort_SampleSortQRQW(b *testing.B) {
+	n := 1 << 12
+	s := xrand.NewStream(10)
+	vals := make([]machine.Word, n)
+	for i := range vals {
+		vals[i] = machine.Word(s.Int63())
+	}
+	var st machine.Stats
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.QRQW, 1<<20, machine.WithSeed(uint64(i)+1))
+		keys := m.Alloc(n)
+		m.Store(keys, vals)
+		if err := sortalg.SampleSortQRQW(m, keys, n); err != nil {
+			b.Fatal(err)
+		}
+		st = m.Stats()
+	}
+	report(b, st)
+}
+
+func BenchmarkSort_BitonicEREW(b *testing.B) {
+	n := 1 << 12
+	s := xrand.NewStream(10)
+	vals := make([]machine.Word, n)
+	for i := range vals {
+		vals[i] = machine.Word(s.Int63())
+	}
+	var st machine.Stats
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.EREW, 1<<19, machine.WithSeed(uint64(i)+1))
+		keys := m.Alloc(n)
+		m.Store(keys, vals)
+		if err := prim.BitonicSortPadded(m, keys, -1, n); err != nil {
+			b.Fatal(err)
+		}
+		st = m.Stats()
+	}
+	report(b, st)
+}
+
+func BenchmarkSort_IntegerCRQW(b *testing.B) {
+	n := 1 << 12
+	s := xrand.NewStream(11)
+	vals := make([]machine.Word, n)
+	for i := range vals {
+		vals[i] = machine.Word(s.Intn(16 * n))
+	}
+	var st machine.Stats
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.CRQW, 1<<20, machine.WithSeed(uint64(i)+1))
+		keys := m.Alloc(n)
+		m.Store(keys, vals)
+		if err := sortalg.IntegerSortCRQW(m, keys, n, machine.Word(16*n)); err != nil {
+			b.Fatal(err)
+		}
+		st = m.Stats()
+	}
+	report(b, st)
+}
+
+// --- Native wall-clock counterparts ([BGMZ95] shape) ------------------
+
+func BenchmarkNative_DartPermutation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := native.DartPermutation(1<<16, uint64(i)+1, 0)
+		if len(p) != 1<<16 {
+			b.Fatal("bad length")
+		}
+	}
+}
+
+func BenchmarkNative_SortPermutation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := native.SortPermutation(1<<16, uint64(i)+1)
+		if len(p) != 1<<16 {
+			b.Fatal("bad length")
+		}
+	}
+}

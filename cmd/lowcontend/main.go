@@ -1,0 +1,85 @@
+// Command lowcontend regenerates the evaluation artifacts of Gibbons,
+// Matias & Ramachandran, "Efficient Low-Contention Parallel Algorithms"
+// on the QRQW PRAM simulator.
+//
+// Usage:
+//
+//	lowcontend [-seed N] table1|table2|fig1|lowerbound|compaction|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"lowcontend/internal/exp"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "base random seed")
+	flag.Parse()
+	cmds := flag.Args()
+	if len(cmds) == 0 {
+		cmds = []string{"all"}
+	}
+	for _, cmd := range cmds {
+		switch cmd {
+		case "table1":
+			rows, err := exp.TableI([]int{1 << 12, 1 << 14, 1 << 16}, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(exp.RenderRows("Table I — QRQW vs best EREW (simulator-charged time)", rows))
+		case "table2":
+			rows, err := exp.TableII(*seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(exp.RenderTableII(rows))
+		case "fig1":
+			s, err := exp.Fig1(*seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(s)
+		case "lowerbound":
+			s, err := exp.LowerBound(*seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(s)
+		case "compaction":
+			s, err := exp.CompactionScaling(*seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(s)
+		case "all":
+			main2(*seed)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", cmd)
+			os.Exit(2)
+		}
+	}
+}
+
+func main2(seed uint64) {
+	rows, err := exp.TableI([]int{1 << 12, 1 << 14, 1 << 16}, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderRows("Table I — QRQW vs best EREW (simulator-charged time)", rows))
+	rows2, err := exp.TableII(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderTableII(rows2))
+	for _, f := range []func(uint64) (string, error){exp.Fig1, exp.LowerBound, exp.CompactionScaling} {
+		s, err := f(seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(s)
+	}
+}

@@ -1,0 +1,12 @@
+// Package lowcontend is a reproduction of Gibbons, Matias &
+// Ramachandran, "Efficient Low-Contention Parallel Algorithms" (SPAA
+// 1994; JCSS 53:417-442, 1996): the QRQW PRAM model, its fundamental
+// low-contention algorithms (load balancing, multiple compaction,
+// random permutation, parallel hashing, sorting), the EREW baselines
+// they are compared against, and the paper's evaluation artifacts.
+//
+// See README.md for an overview, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record. The public entry
+// points live in internal/core; the benchmark harness at the repository
+// root regenerates every table and figure.
+package lowcontend

@@ -1,0 +1,41 @@
+// dictionary builds a parallel hash table (Section 6) over a set of
+// word-like keys and answers a batch of membership queries, printing the
+// charged build and lookup costs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lowcontend/internal/core"
+	"lowcontend/internal/xrand"
+)
+
+func main() {
+	const n = 4096
+	m := core.NewMachine(core.QRQW, 1<<20, core.WithSeed(7))
+	rng := xrand.NewStream(99)
+	seen := map[core.Word]bool{}
+	keys := make([]core.Word, 0, n)
+	for len(keys) < n {
+		k := core.Word(rng.Uint64n(1 << 30))
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	tb, err := core.BuildHashTable(m, keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	build := m.Stats()
+	queries := append([]core.Word{}, keys[:8]...)
+	queries = append(queries, 1<<31, 1<<31+1)
+	found, err := tb.Lookup(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lookups: %v\n", found)
+	fmt.Printf("build cost:  %v\n", build)
+	fmt.Printf("total cost:  %v\n", m.Stats())
+}

@@ -1,0 +1,20 @@
+// maspar reruns the paper's Table II experiment (random permutation on
+// the MasPar MP-1) on the simulator: three algorithms at n = p = 16384
+// and n = p = 1024 under the queued-contention metric.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lowcontend/internal/exp"
+)
+
+func main() {
+	rows, err := exp.TableII(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(exp.RenderTableII(rows))
+	fmt.Println("\npaper (ms on the MP-1): sorting 11.25/10.01, scans 8.02/6.05, qrqw 7.57/2.88")
+}

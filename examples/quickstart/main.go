@@ -1,0 +1,21 @@
+// Quickstart: build a QRQW PRAM, generate a random permutation with the
+// low-contention dart-throwing algorithm (Theorem 5.1), and inspect the
+// charged cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lowcontend/internal/core"
+)
+
+func main() {
+	m := core.NewMachine(core.QRQW, 1<<16, core.WithSeed(42))
+	p, err := core.RandomPermutation(m, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first 16 images: %v\n", p[:16])
+	fmt.Printf("machine cost:    %v\n", m.Stats())
+}

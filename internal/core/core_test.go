@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"lowcontend/internal/perm"
+)
+
+func TestRandomPermutationFacade(t *testing.T) {
+	m := NewMachine(QRQW, 1<<14, WithSeed(1))
+	p, err := RandomPermutation(m, 256)
+	if err != nil || !perm.IsPermutation(p) {
+		t.Fatalf("p invalid, err=%v", err)
+	}
+}
+
+func TestCyclicFacade(t *testing.T) {
+	m := NewMachine(QRQW, 1<<16, WithSeed(2))
+	p, err := RandomCyclicPermutation(m, 64)
+	if err != nil || !perm.IsCyclic(p) {
+		t.Fatalf("not cyclic, err=%v", err)
+	}
+}
+
+func TestMultipleCompactionFacade(t *testing.T) {
+	m := NewMachine(QRQW, 1<<14, WithSeed(3))
+	labels := make([]int, 100)
+	for i := range labels {
+		labels[i] = i % 7
+	}
+	pos, err := MultipleCompaction(m, labels, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, p := range pos {
+		if seen[p] {
+			t.Fatal("duplicate cell")
+		}
+		seen[p] = true
+	}
+}
+
+func TestSortFacades(t *testing.T) {
+	m := NewMachine(QRQW, 1<<16, WithSeed(4))
+	keys := []Word{5, 3, 9, 1, 7, 2, 8, 0, 6, 4}
+	if err := SortUniform(m, keys, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatalf("not sorted: %v", keys)
+	}
+	keys2 := []Word{5, -3, 9, 1, -7, 2}
+	if err := SampleSort(m, keys2); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(keys2, func(i, j int) bool { return keys2[i] < keys2[j] }) {
+		t.Fatalf("not sorted: %v", keys2)
+	}
+}
+
+func TestHashAndBalanceFacades(t *testing.T) {
+	m := NewMachine(QRQW, 1<<18, WithSeed(5))
+	keys := make([]Word, 128)
+	for i := range keys {
+		keys[i] = Word(i*977 + 13)
+	}
+	tb, err := BuildHashTable(m, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := tb.Lookup([]Word{keys[0], keys[100], 999999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found[0] || !found[1] || found[2] {
+		t.Fatalf("lookup = %v", found)
+	}
+
+	counts := make([]int, 128)
+	counts[0] = 40
+	asg, err := BalanceLoads(m, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, rs := range asg {
+		for _, r := range rs {
+			total += r.Len
+		}
+	}
+	if total != 40 {
+		t.Fatalf("balanced total = %d", total)
+	}
+}

@@ -1,0 +1,311 @@
+// Package exp regenerates the paper's evaluation artifacts (Table I,
+// Table II, Figure 1, and the Theorem 3.2 lower-bound demonstration) on
+// the PRAM simulator and renders them as text tables. Absolute numbers
+// are simulator-charged time units, not the paper's milliseconds; the
+// comparisons reproduce the paper's *shape* (who wins, growth rates,
+// crossovers) as recorded in EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"lowcontend/internal/compact"
+	"lowcontend/internal/hashing"
+	"lowcontend/internal/loadbalance"
+	"lowcontend/internal/machine"
+	"lowcontend/internal/multicompact"
+	"lowcontend/internal/perm"
+	"lowcontend/internal/prim"
+	"lowcontend/internal/sortalg"
+	"lowcontend/internal/xrand"
+)
+
+// Row is one measurement: problem, size, and charged times.
+type Row struct {
+	Problem string
+	N       int
+	QRQW    int64
+	EREW    int64
+}
+
+// TableI measures each Table I problem at the given sizes: the QRQW
+// algorithm's charged time against its best EREW baseline's.
+func TableI(sizes []int, seed uint64) ([]Row, error) {
+	var rows []Row
+	for _, n := range sizes {
+		// Random permutation: QRQW dart throwing vs EREW sorting-based.
+		qm := machine.New(machine.QRQW, 1<<18, machine.WithSeed(seed))
+		if _, err := perm.Random(qm, n); err != nil {
+			return nil, err
+		}
+		em := machine.New(machine.EREW, 1<<18, machine.WithSeed(seed))
+		if _, err := perm.SortingBased(em, n); err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{"random permutation", n, qm.Stats().Time, em.Stats().Time})
+
+		// Multiple compaction: QRQW log-star engine vs EREW via stable
+		// integer sort of the labels (the easy reduction the paper
+		// cites).
+		labels := make([]int, n)
+		s := xrand.NewStream(seed + uint64(n))
+		for i := range labels {
+			labels[i] = s.Intn(prim.Max(1, n/8))
+		}
+		qm2 := machine.New(machine.QRQW, 1<<20, machine.WithSeed(seed))
+		in, err := multicompact.BuildInput(qm2, labels, prim.Max(1, n/8))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := multicompact.Run(qm2, in); err != nil {
+			return nil, err
+		}
+		em2 := machine.New(machine.EREW, 1<<20, machine.WithSeed(seed))
+		kb := em2.Alloc(n)
+		for i := range labels {
+			em2.SetWord(kb+i, machine.Word(labels[i]))
+		}
+		if err := prim.BitonicSortPadded(em2, kb, -1, n); err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{"multiple compaction", n, qm2.Stats().Time, em2.Stats().Time})
+
+		// Sorting from U(0,1): QRQW distributive sort vs EREW bitonic.
+		qm3 := machine.New(machine.QRQW, 1<<20, machine.WithSeed(seed))
+		keys := qm3.Alloc(n)
+		s3 := xrand.NewStream(seed ^ 0x77)
+		vals := make([]machine.Word, n)
+		for i := range vals {
+			vals[i] = machine.Word(s3.Uint64n(1 << 40))
+		}
+		qm3.Store(keys, vals)
+		if err := sortalg.DistributiveSort(qm3, keys, n, 1<<40); err != nil {
+			return nil, err
+		}
+		em3 := machine.New(machine.EREW, 1<<20, machine.WithSeed(seed))
+		kb3 := em3.Alloc(n)
+		em3.Store(kb3, vals)
+		if err := prim.BitonicSortPadded(em3, kb3, -1, n); err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{"sorting from U(0,1)", n, qm3.Stats().Time, em3.Stats().Time})
+
+		// Parallel hashing: QRQW build+lookup vs EREW batch membership.
+		hn := prim.Min(n, 1<<13) // hashing memory grows fastest
+		qm4 := machine.New(machine.QRQW, 1<<20, machine.WithSeed(seed))
+		hkeys := distinct(seed+9, hn)
+		hb := qm4.Alloc(hn)
+		qm4.Store(hb, hkeys)
+		tb, err := hashing.Build(qm4, hb, hn)
+		if err != nil {
+			return nil, err
+		}
+		qb := qm4.Alloc(hn)
+		ob := qm4.Alloc(hn)
+		qm4.Store(qb, hkeys)
+		if err := tb.Lookup(qb, ob, hn); err != nil {
+			return nil, err
+		}
+		em4 := machine.New(machine.EREW, 1<<20, machine.WithSeed(seed))
+		kb4 := em4.Alloc(hn)
+		em4.Store(kb4, hkeys)
+		qb4 := em4.Alloc(hn)
+		ob4 := em4.Alloc(hn)
+		em4.Store(qb4, hkeys)
+		if err := hashing.EREWMembership(em4, kb4, hn, qb4, ob4, hn); err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{"parallel hashing", hn, qm4.Stats().Time, em4.Stats().Time})
+
+		// Load balancing (small L): QRQW dispersal vs EREW prefix sums.
+		counts := make([]int, n)
+		counts[0] = 32 // small max load: the regime where QRQW wins
+		counts[n/2] = 16
+		qm5 := machine.New(machine.QRQW, 1<<20, machine.WithSeed(seed))
+		b, err := loadbalance.New(qm5, counts)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Run(); err != nil {
+			return nil, err
+		}
+		em5 := machine.New(machine.EREW, 1<<20, machine.WithSeed(seed))
+		if _, err := loadbalance.EREWBalance(em5, counts); err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{"load balancing (L=32)", n, qm5.Stats().Time, em5.Stats().Time})
+	}
+	return rows, nil
+}
+
+// RenderRows formats measurement rows as an aligned text table.
+func RenderRows(title string, rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-26s %10s %12s %12s %8s\n", "problem", "n", "QRQW time", "EREW time", "ratio")
+	for _, r := range rows {
+		ratio := float64(r.EREW) / float64(prim.Max(1, int(r.QRQW)))
+		fmt.Fprintf(&b, "%-26s %10d %12d %12d %8.2f\n", r.Problem, r.N, r.QRQW, r.EREW, ratio)
+	}
+	return b.String()
+}
+
+// TableIIRow is one Table II measurement.
+type TableIIRow struct {
+	Algorithm string
+	N         int
+	Time      int64
+}
+
+// TableII reruns the MasPar experiment on the simulator: the three
+// random-permutation algorithms at n = p = 16384 and n = p = 1024,
+// charged under the queued-contention metric (the paper argues the
+// simd-qrqw metric captures the MP-1; Theorem 2.2(2) makes the qrqw
+// charge equivalent up to constants).
+func TableII(seed uint64) ([]TableIIRow, error) {
+	var rows []TableIIRow
+	for _, n := range []int{16384, 1024} {
+		algos := []struct {
+			name string
+			f    func(*machine.Machine, int) (int, error)
+		}{
+			{"sorting-based (EREW)", perm.SortingBased},
+			{"dart-throwing with scans", perm.ScanDart},
+			{"dart-throwing for QRQW", perm.Random},
+		}
+		for _, a := range algos {
+			m := machine.New(machine.QRQW, 1<<18, machine.WithSeed(seed))
+			if _, err := a.f(m, n); err != nil {
+				return nil, err
+			}
+			rows = append(rows, TableIIRow{a.name, n, m.Stats().Time})
+		}
+	}
+	return rows, nil
+}
+
+// RenderTableII formats the Table II reproduction.
+func RenderTableII(rows []TableIIRow) string {
+	var b strings.Builder
+	b.WriteString("Table II — random permutation (simulator-charged time)\n")
+	fmt.Fprintf(&b, "%-28s %14s %14s\n", "Algorithm", "16K proc.", "1K proc.")
+	byName := map[string][2]int64{}
+	var order []string
+	for _, r := range rows {
+		v := byName[r.Algorithm]
+		if r.N == 16384 {
+			v[0] = r.Time
+		} else {
+			v[1] = r.Time
+		}
+		if _, ok := byName[r.Algorithm]; !ok {
+			order = append(order, r.Algorithm)
+		}
+		byName[r.Algorithm] = v
+	}
+	for _, name := range order {
+		v := byName[name]
+		fmt.Fprintf(&b, "%-28s %14d %14d\n", name, v[0], v[1])
+	}
+	return b.String()
+}
+
+// Fig1 renders the paper's Figure 1: a cyclic and a noncyclic
+// permutation with their cycle representations, plus a freshly generated
+// random cyclic permutation from the Theorem 5.2 algorithm.
+func Fig1(seed uint64) (string, error) {
+	var b strings.Builder
+	b.WriteString("Figure 1 — permutations and cycle representations\n")
+	cyc := []int{2, 0, 3, 4, 1}
+	non := []int{1, 0, 3, 2, 4}
+	fmt.Fprintf(&b, "cyclic    pi  = %v  cycles: %v\n", cyc, perm.CycleRepresentation(cyc))
+	fmt.Fprintf(&b, "noncyclic phi = %v  cycles: %v\n", non, perm.CycleRepresentation(non))
+	m := machine.New(machine.QRQW, 1<<14, machine.WithSeed(seed))
+	base, err := perm.CyclicFast(m, 8)
+	if err != nil {
+		return "", err
+	}
+	p := make([]int, 8)
+	for i := range p {
+		p[i] = int(m.Word(base + i))
+	}
+	fmt.Fprintf(&b, "generated (Thm 5.2, n=8): %v  cycles: %v  single cycle: %v\n",
+		p, perm.CycleRepresentation(p), perm.IsCyclic(p))
+	return b.String(), nil
+}
+
+// LowerBound measures QRQW load-balancing time against lg L (Theorem
+// 3.2's Omega(lg L) lower bound: the measured series must grow at least
+// linearly in lg L).
+func LowerBound(seed uint64) (string, error) {
+	var b strings.Builder
+	b.WriteString("Theorem 3.2 — load balancing time vs lg L (n = 1024)\n")
+	fmt.Fprintf(&b, "%8s %8s %12s\n", "L", "lg L", "QRQW time")
+	n := 1024
+	for _, L := range []int{4, 16, 64, 256, 1024} {
+		counts := make([]int, n)
+		counts[0] = L
+		m := machine.New(machine.QRQW, 1<<20, machine.WithSeed(seed))
+		bal, err := loadbalance.New(m, counts)
+		if err != nil {
+			return "", err
+		}
+		if err := bal.Run(); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%8d %8d %12d\n", L, prim.CeilLog2(L), m.Stats().Time)
+	}
+	return b.String(), nil
+}
+
+// CompactionScaling compares linear-compaction growth against the EREW
+// pack (the sqrt(lg n) vs lg n separation behind Table I's load
+// balancing row).
+func CompactionScaling(seed uint64) (string, error) {
+	var b strings.Builder
+	b.WriteString("Linear compaction vs EREW pack (k = n/64)\n")
+	fmt.Fprintf(&b, "%10s %12s %12s\n", "n", "QRQW time", "EREW time")
+	for _, lgn := range []int{12, 14, 16} {
+		n := 1 << uint(lgn)
+		k := n / 64
+		qm := machine.New(machine.QRQW, 1<<21, machine.WithSeed(seed))
+		flags := qm.Alloc(n)
+		vals := qm.Alloc(n)
+		s := xrand.NewStream(seed)
+		pm := s.Perm(n)
+		for j := 0; j < k; j++ {
+			qm.SetWord(flags+pm[j], 1)
+			qm.SetWord(vals+pm[j], machine.Word(j))
+		}
+		if _, err := compact.LinearCompact(qm, flags, vals, n, k); err != nil {
+			return "", err
+		}
+		em := machine.New(machine.EREW, 1<<21, machine.WithSeed(seed))
+		flags2 := em.Alloc(n)
+		vals2 := em.Alloc(n)
+		for j := 0; j < k; j++ {
+			em.SetWord(flags2+pm[j], 1)
+			em.SetWord(vals2+pm[j], machine.Word(j))
+		}
+		if _, err := compact.EREWCompact(em, flags2, vals2, n, k); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%10d %12d %12d\n", n, qm.Stats().Time, em.Stats().Time)
+	}
+	return b.String(), nil
+}
+
+func distinct(seed uint64, n int) []machine.Word {
+	s := xrand.NewStream(seed)
+	seen := make(map[machine.Word]bool, n)
+	out := make([]machine.Word, 0, n)
+	for len(out) < n {
+		k := machine.Word(s.Uint64n(1 << 30))
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}

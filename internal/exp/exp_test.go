@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIIOrderingMatchesPaper(t *testing.T) {
+	rows, err := TableII(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := map[string]map[int]int64{}
+	for _, r := range rows {
+		if times[r.Algorithm] == nil {
+			times[r.Algorithm] = map[int]int64{}
+		}
+		times[r.Algorithm][r.N] = r.Time
+	}
+	for _, n := range []int{16384, 1024} {
+		q := times["dart-throwing for QRQW"][n]
+		s := times["dart-throwing with scans"][n]
+		e := times["sorting-based (EREW)"][n]
+		if !(q < s && s < e) {
+			t.Errorf("n=%d: ordering qrqw(%d) < scans(%d) < sorting(%d) violated", n, q, s, e)
+		}
+	}
+	out := RenderTableII(rows)
+	if !strings.Contains(out, "Table II") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	s, err := Fig1(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "single cycle: true") {
+		t.Errorf("Fig1 output:\n%s", s)
+	}
+}
+
+func TestLowerBoundGrows(t *testing.T) {
+	s, err := LowerBound(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "1024") {
+		t.Errorf("output:\n%s", s)
+	}
+}
+
+func TestTableISmall(t *testing.T) {
+	rows, err := TableI([]int{1 << 10}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	out := RenderRows("t", rows)
+	if !strings.Contains(out, "random permutation") {
+		t.Error("render missing row")
+	}
+}
+
+func TestCompactionScaling(t *testing.T) {
+	s, err := CompactionScaling(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "Linear compaction") {
+		t.Error("missing title")
+	}
+}

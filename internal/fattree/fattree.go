@@ -1,0 +1,102 @@
+// Package fattree implements the binary search fat-tree of Section 7.2:
+// a binary search tree over sorted splitters in which the node at depth
+// j from the root is replicated so that each level holds the same total
+// number of copies. If many processors search concurrently, each picks a
+// uniformly random copy of every node it visits, so per-step contention
+// stays O(lg n / lg lg n) w.h.p. — "the added fatness over a traditional
+// binary search tree ensures that each step of the search encounters low
+// contention".
+package fattree
+
+import (
+	"lowcontend/internal/machine"
+	"lowcontend/internal/prim"
+)
+
+// Tree is a machine-resident fat-tree over s (power of two) splitters.
+type Tree struct {
+	m      *machine.Machine
+	s      int   // number of splitters (leaves+internal nodes = s-1... see below)
+	levels int   // lg s
+	width  int   // copies per level (total cells per level)
+	bases  []int // level -> base address of width cells
+}
+
+// Build constructs a fat-tree from the s-1 sorted splitters stored at
+// splitters (s must be a power of two; the tree has s-1 nodes: node k at
+// level j, 0 <= k < 2^j, is splitter index (2k+1)*s/2^(j+1) - 1... i.e.
+// the standard implicit binary search layout). Each level is replicated
+// to `width` cells (width >= s). O(lg s * lg width) steps via binary
+// broadcasting, O(width * lg s) space.
+func Build(m *machine.Machine, splitters, s, width int) (*Tree, error) {
+	if s&(s-1) != 0 || s < 2 {
+		panic("fattree: splitter count must be a power of two >= 2")
+	}
+	if width < s {
+		width = s
+	}
+	t := &Tree{m: m, s: s, levels: prim.ILog2(s), width: width}
+	for l := 0; l < t.levels; l++ {
+		base := m.Alloc(width)
+		t.bases = append(t.bases, base)
+		nodes := 1 << uint(l)
+		// Seed one copy of each node of this level.
+		lvl := l
+		if err := m.ParDoL(nodes, "fattree/seed", func(c *machine.Ctx, k int) {
+			idx := (2*k+1)*(t.s>>uint(lvl+1)) - 1
+			c.Write(base+k, c.Read(splitters+idx))
+		}); err != nil {
+			return nil, err
+		}
+		// Duplicate the node block across the level.
+		for have := nodes; have < width; have *= 2 {
+			cnt := prim.Min(have, width-have)
+			off := have
+			if err := m.ParDoL(cnt, "fattree/dup", func(c *machine.Ctx, i int) {
+				c.Write(base+off+i, c.Read(base+i))
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// Levels returns the tree depth (lg s).
+func (t *Tree) Levels() int { return t.levels }
+
+// SearchStep performs one level of the search for a batch of p
+// processors: at level l, processor i currently at node path[i] reads a
+// random copy of that node's splitter and descends. The caller loops
+// l = 0..Levels()-1, holding paths in a machine region (path in [0,2^l)).
+// After the final level, path[i] in [0, s) is the bucket of key[i].
+func (t *Tree) SearchStep(l int, keys, path, p int) error {
+	base := t.bases[l]
+	nodes := 1 << uint(l)
+	copiesPer := t.width / nodes
+	return t.m.ParDoL(p, "fattree/search", func(c *machine.Ctx, i int) {
+		node := int(c.Read(path + i))
+		// Copies of node k live at cells k, k+nodes, k+2*nodes, ...
+		// (each duplication round interleaves whole level-blocks).
+		cp := c.Rand().Intn(copiesPer)
+		sp := c.Read(base + node + cp*nodes)
+		k := c.Read(keys + i)
+		if k < sp {
+			c.Write(path+i, machine.Word(2*node))
+		} else {
+			c.Write(path+i, machine.Word(2*node+1))
+		}
+	})
+}
+
+// Search routes p keys to their buckets: path must be a zeroed p-cell
+// region on entry and holds bucket indexes in [0, s) on return.
+// O(lg s) steps, each with contention O(lg n / lg lg n) w.h.p.
+func (t *Tree) Search(keys, path, p int) error {
+	for l := 0; l < t.levels; l++ {
+		if err := t.SearchStep(l, keys, path, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

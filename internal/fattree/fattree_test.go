@@ -1,0 +1,82 @@
+package fattree
+
+import (
+	"testing"
+
+	"lowcontend/internal/machine"
+	"lowcontend/internal/prim"
+)
+
+func TestBuildAndSearch(t *testing.T) {
+	m := machine.New(machine.QRQW, 1<<14, machine.WithSeed(1))
+	s := 16
+	spl := m.Alloc(s)
+	for i := 0; i < s-1; i++ {
+		m.SetWord(spl+i, machine.Word(100*(i+1)))
+	}
+	ft, err := Build(m, spl, s, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Levels() != 4 {
+		t.Fatalf("levels = %d", ft.Levels())
+	}
+	n := 500
+	keys := m.Alloc(n)
+	path := m.Alloc(n)
+	for i := 0; i < n; i++ {
+		m.SetWord(keys+i, machine.Word(i*3+1))
+	}
+	if err := ft.Search(keys, path, n); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		k := int(m.Word(keys + i))
+		want := 0
+		for want < s-1 && 100*(want+1) <= k {
+			want++
+		}
+		if got := int(m.Word(path + i)); got != want {
+			t.Fatalf("key %d -> bucket %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestSearchContentionLow(t *testing.T) {
+	// With width >= n, per-level contention should be far below n.
+	m := machine.New(machine.QRQW, 1<<16, machine.WithSeed(2))
+	s := 8
+	spl := m.Alloc(s)
+	for i := 0; i < s-1; i++ {
+		m.SetWord(spl+i, machine.Word(10*(i+1)))
+	}
+	n := 4096
+	ft, err := Build(m, spl, s, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := m.Alloc(n)
+	path := m.Alloc(n)
+	for i := 0; i < n; i++ {
+		m.SetWord(keys+i, machine.Word(i%80))
+	}
+	before := m.Stats()
+	if err := ft.Search(keys, path, n); err != nil {
+		t.Fatal(err)
+	}
+	d := m.Stats().Sub(before)
+	lg := int64(prim.CeilLog2(n))
+	if d.Time > 4*lg {
+		t.Errorf("search time %d too high (lg=%d): fat-tree should keep contention low", d.Time, lg)
+	}
+}
+
+func TestBuildRejectsNonPow2(t *testing.T) {
+	m := machine.New(machine.QRQW, 1024)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two splitter count should panic")
+		}
+	}()
+	_, _ = Build(m, m.Alloc(6), 6, 16)
+}

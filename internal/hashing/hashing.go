@@ -1,0 +1,507 @@
+// Package hashing implements Section 6 of the paper: constructing a hash
+// table for n distinct keys in O(lg n) time and linear work w.h.p. on a
+// QRQW machine, and answering n membership queries in O(lg n / lg lg n)
+// time.
+//
+// The construction follows Gil & Matias's oblivious-execution CRCW
+// algorithm, adapted for low contention:
+//
+//   - The first-level function is drawn from the class R of
+//     Dietzfelbinger & Meyer auf der Heide: h(x) = (g(x) + a_{f(x)}) mod
+//     n with f in H^7_k (k = n^(3/7)), g in H^11_n, and k random offsets
+//     a_j. Its buckets are O(lg n / lg lg n)-perfect w.h.p. (Fact 6.3).
+//   - Lemma 6.4's duplication scheme makes evaluation low-contention:
+//     the coefficient vectors of f and g are replicated n times, and
+//     each a_j is replicated ~4n/k times; every evaluator reads its own
+//     copy of f and g and a uniformly random copy of a_{f(x)}, so the
+//     maximum read contention is O(lg n / lg lg n) w.h.p.
+//   - Buckets are gathered into private subarrays with the multiple
+//     compaction engine, and then O(lg lg n) oblivious allocation
+//     iterations let each still-unplaced bucket claim a random memory
+//     block of geometrically growing size x_t and try to map its keys
+//     injectively with a random linear function from H^1_{x_t} (the
+//     two-level FKS scheme with block size >= 2*b^2 succeeding with
+//     probability >= 1/2).
+//
+// The EREW baseline for Table I answers batch membership by sorting keys
+// and queries together (bitonic), Theta(lg^2 n) time.
+package hashing
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"lowcontend/internal/machine"
+	"lowcontend/internal/multicompact"
+	"lowcontend/internal/prim"
+	"lowcontend/internal/xrand"
+)
+
+// q is a Mersenne prime comfortably above any 32-bit key universe.
+const q = (1 << 61) - 1
+
+// polyEval evaluates a polynomial with the given coefficients at x,
+// modulo the prime q and then modulo s.
+func polyEval(coeff []machine.Word, x, s machine.Word) machine.Word {
+	acc := uint64(0)
+	for i := len(coeff) - 1; i >= 0; i-- {
+		acc = (mulMod(acc, uint64(x)) + uint64(coeff[i])) % q
+	}
+	return machine.Word(acc % uint64(s))
+}
+
+func mulMod(a, b uint64) uint64 {
+	// q = 2^61 - 1 is Mersenne: with x = hi*2^64 + lo, x mod q folds as
+	// (x & q) + (x >> 61) since 2^61 = 1 (mod q).
+	hi, lo := bits.Mul64(a%q, b%q)
+	r := (lo & q) + (hi<<3 | lo>>61)
+	for r >= q {
+		r = (r & q) + (r >> 61)
+	}
+	if r == q {
+		r = 0
+	}
+	return r
+}
+
+// Table is a constructed two-level hash table resident on a machine.
+type Table struct {
+	m *machine.Machine
+	n int
+
+	d1, d2  int // polynomial degrees of f and g
+	k       int // range of f = number of offsets a_j
+	aCopies int
+
+	fBase, gBase, aBase int // duplicated parameter regions
+	// Per-bucket descriptors (n buckets).
+	blockAddr, hashA, hashB, blockSize int
+	blocks                             int // base of the second-level cells (key+1 or 0)
+	blocksLen                          int
+}
+
+// ErrBuildFailed reports that construction did not converge (Las Vegas
+// restarts exhausted — polynomially unlikely).
+var ErrBuildFailed = errors.New("hashing: construction failed")
+
+// Build constructs a hash table for the n distinct keys stored at base
+// keys. O(lg n) time and near-linear work w.h.p. on a QRQW machine.
+func Build(m *machine.Machine, keys, n int) (*Table, error) {
+	if n <= 0 {
+		panic("hashing: Build with non-positive n")
+	}
+	t := &Table{m: m, n: n, d1: 7, d2: 11}
+	// k = n^(3/7), at least 2.
+	t.k = prim.Max(2, ipow(n, 3, 7))
+	t.aCopies = prim.Max(2, 4*n/t.k)
+
+	// Select and duplicate the hash-function parameters (Lemma 6.4):
+	// n copies of f's and g's coefficient vectors, aCopies copies of
+	// each a_j. Selection is one step by k+2 processors; duplication is
+	// O(lg n) binary broadcasting.
+	fLen, gLen := t.d1+1, t.d2+1
+	t.fBase = m.Alloc(n * fLen)
+	t.gBase = m.Alloc(n * gLen)
+	t.aBase = m.Alloc(t.k * t.aCopies)
+	if err := m.ParDoL(t.k+2, "hash/select", func(c *machine.Ctx, i int) {
+		rng := c.Rand()
+		switch i {
+		case 0:
+			for j := 0; j < fLen; j++ {
+				c.Write(t.fBase+j, machine.Word(rng.Uint64n(q)))
+			}
+		case 1:
+			for j := 0; j < gLen; j++ {
+				c.Write(t.gBase+j, machine.Word(rng.Uint64n(q)))
+			}
+		default:
+			c.Write(t.aBase+(i-2)*t.aCopies, machine.Word(rng.Uint64n(uint64(n))))
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if err := duplicateRows(m, t.fBase, fLen, n); err != nil {
+		return nil, err
+	}
+	if err := duplicateRows(m, t.gBase, gLen, n); err != nil {
+		return nil, err
+	}
+	if err := duplicateEach(m, t.aBase, t.k, t.aCopies); err != nil {
+		return nil, err
+	}
+
+	// Evaluate h for every key with the low-contention scheme and
+	// partition into buckets via multiple compaction.
+	labels := m.Alloc(n)
+	if err := t.evalInto(keys, labels, n); err != nil {
+		return nil, err
+	}
+	hostLabels := make([]int, n)
+	for i := 0; i < n; i++ {
+		hostLabels[i] = int(m.Word(labels + i))
+	}
+	in, err := multicompact.BuildInput(m, hostLabels, n)
+	if err != nil {
+		return nil, err
+	}
+	res, err := multicompact.Run(m, in)
+	if err != nil {
+		return nil, err
+	}
+	// Rewrite the bucket subarrays to hold keys rather than item ids.
+	bkeys := m.Alloc(in.BLen)
+	if err := m.ParDoL(n, "hash/bucketkeys", func(c *machine.Ctx, i int) {
+		p := int(c.Read(res.Pos + i))
+		c.Write(bkeys+p, c.Read(keys+i)+1)
+	}); err != nil {
+		return nil, err
+	}
+
+	// Oblivious allocation iterations.
+	t.blockAddr = m.Alloc(n)
+	t.hashA = m.Alloc(n)
+	t.hashB = m.Alloc(n)
+	t.blockSize = m.Alloc(n)
+	if err := prim.FillPar(m, t.blockAddr, n, -1); err != nil {
+		return nil, err
+	}
+	// Empty buckets are trivially done (sentinel -2; lookups miss).
+	if err := m.ParDoL(n, "hash/empties", func(c *machine.Ctx, j int) {
+		if c.Read(in.Counts+j) == 0 {
+			c.Write(t.blockAddr+j, -2)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	// Allocation iterations: block size x_t = 8*2^t grows geometrically
+	// (a bucket of size b becomes eligible once x_t >= 2b^2, the FKS
+	// threshold at which a random linear map is injective with constant
+	// probability). Each iteration's arena holds ~8n cells; iterations
+	// stop as soon as a periodic O(lg n) census finds every bucket
+	// placed.
+	ind := m.Alloc(n)
+	orOut := m.Alloc(1)
+	maxIt := 4*prim.Max(1, prim.CeilLog2(prim.Max(2, prim.CeilLog2(n+1)))) + 24
+	for it := 0; it < maxIt; it++ {
+		x := 1 << uint(prim.Min(it+3, prim.CeilLog2(n+1)+6))
+		mt := prim.Max(32, 8*n/x)
+		itMark := m.Mark()
+		blockArena := m.Alloc(mt * x)
+		claim := m.Alloc(mt)
+		if err := t.allocationIteration(in, bkeys, blockArena, x, mt, claim); err != nil {
+			return nil, err
+		}
+		// The claim scratch can be reclaimed, but the arena must stay:
+		// move the watermark past the arena by re-allocating nothing
+		// (the claim region sits after the arena, so only release it).
+		_ = itMark
+		if it%3 == 2 || it == maxIt-1 {
+			if err := m.ParDoL(n, "hash/unplaced", func(c *machine.Ctx, j int) {
+				if c.Read(t.blockAddr+j) == -1 {
+					c.Write(ind+j, 1)
+				} else {
+					c.Write(ind+j, 0)
+				}
+			}); err != nil {
+				return nil, err
+			}
+			left, err := prim.Reduce(m, ind, n, orOut)
+			if err != nil {
+				return nil, err
+			}
+			if left == 0 {
+				return t, nil
+			}
+		}
+	}
+	return nil, ErrBuildFailed
+}
+
+// claimsPerBucket and trialsPerBucket tune one allocation iteration: a
+// still-unplaced bucket stakes several random claims and attempts
+// injective maps into up to two blocks it won, driving the per-iteration
+// failure probability to a small constant (so O(lg lg n)-ish iterations
+// finish all buckets w.h.p.).
+const (
+	claimsPerBucket = 4
+	trialsPerBucket = 2
+)
+
+// allocationIteration lets every still-unplaced, eligible bucket
+// (2*b^2 <= x) claim random blocks of size x at arena base and try
+// random linear maps of its keys into blocks it won. Per active bucket:
+// O(b) operations; contention O(lg n / lg lg n) w.h.p.
+func (t *Table) allocationIteration(in multicompact.Input, bkeys, base, x, mt, claim int) error {
+	m := t.m
+	n := t.n
+	throwStep := m.StepCount() + 1
+	// Stake claims.
+	if err := m.ParDoL(n, "hash/claim", func(c *machine.Ctx, j int) {
+		if c.Read(t.blockAddr+j) != -1 {
+			return
+		}
+		cnt := int(c.Read(in.Counts + j))
+		if 2*cnt*cnt > x {
+			return // block size not yet eligible for this bucket
+		}
+		rng := c.Rand()
+		for s := 0; s < claimsPerBucket; s++ {
+			c.Write(claim+rng.Intn(mt), machine.Word(j)+1)
+		}
+	}); err != nil {
+		return err
+	}
+	// Winners try to inject their keys with random linear functions
+	// into (up to trialsPerBucket of) the blocks they won.
+	return m.ParDoL(n, "hash/inject", func(c *machine.Ctx, j int) {
+		if c.Read(t.blockAddr+j) != -1 {
+			return
+		}
+		cnt := int(c.Read(in.Counts + j))
+		if 2*cnt*cnt > x {
+			return
+		}
+		ptr := int(c.Read(in.Ptrs + j))
+		rng := xrand.StreamFrom(c.SeedFor(throwStep, j))
+		trials := 0
+		for s := 0; s < claimsPerBucket && trials < trialsPerBucket; s++ {
+			blk := rng.Intn(mt)
+			if c.Read(claim+blk) != machine.Word(j)+1 {
+				continue // lost this claim
+			}
+			trials++
+			a := machine.Word(c.Rand().Uint64n(q-1)) + 1
+			b := machine.Word(c.Rand().Uint64n(q))
+			ok := true
+			occ := make(map[int]bool, cnt)
+			for s2 := 0; s2 < 4*cnt && ok; s2++ {
+				v := c.Read(bkeys + ptr + s2)
+				if v == 0 {
+					continue
+				}
+				pos := int(linHash(a, b, v-1, machine.Word(x)))
+				if occ[pos] {
+					ok = false
+				}
+				occ[pos] = true
+			}
+			c.Compute(4 * cnt)
+			if !ok {
+				continue
+			}
+			for s2 := 0; s2 < 4*cnt; s2++ {
+				v := c.Read(bkeys + ptr + s2)
+				if v == 0 {
+					continue
+				}
+				pos := int(linHash(a, b, v-1, machine.Word(x)))
+				c.Write(base+blk*x+pos, v)
+			}
+			c.Write(t.blockAddr+j, machine.Word(base+blk*x))
+			c.Write(t.blockSize+j, machine.Word(x))
+			c.Write(t.hashA+j, a)
+			c.Write(t.hashB+j, b)
+			return
+		}
+	})
+}
+
+func linHash(a, b, x, s machine.Word) machine.Word {
+	return machine.Word((mulMod(uint64(a), uint64(x)) + uint64(b)) % q % uint64(s))
+}
+
+// evalInto computes h(keys[i]) into dst[i] for all i with the
+// low-contention duplication scheme of Lemma 6.4: processor i reads the
+// i-th copies of f and g (exclusive) and a random copy of a_{f(x)}
+// (contention O(lg n / lg lg n) w.h.p.).
+func (t *Table) evalInto(keys, dst, cnt int) error {
+	m := t.m
+	fLen, gLen := t.d1+1, t.d2+1
+	return m.ParDoL(cnt, "hash/eval", func(c *machine.Ctx, i int) {
+		x := c.Read(keys + i)
+		copyIdx := i % t.n
+		fc := make([]machine.Word, fLen)
+		for j := 0; j < fLen; j++ {
+			fc[j] = c.Read(t.fBase + copyIdx*fLen + j)
+		}
+		gc := make([]machine.Word, gLen)
+		for j := 0; j < gLen; j++ {
+			gc[j] = c.Read(t.gBase + copyIdx*gLen + j)
+		}
+		c.Compute(fLen + gLen)
+		fx := polyEval(fc, x, machine.Word(t.k))
+		gx := polyEval(gc, x, machine.Word(t.n))
+		aj := c.Read(t.aBase + int(fx)*t.aCopies + c.Rand().Intn(t.aCopies))
+		c.Write(dst+i, (gx+aj)%machine.Word(t.n))
+	})
+}
+
+// Lookup answers cnt membership queries stored at base queries, writing
+// 1/0 into the region at out. O(lg n / lg lg n) time and linear work
+// w.h.p. for distinct keys.
+func (tb *Table) Lookup(queries, out, cnt int) error {
+	m := tb.m
+	mark := m.Mark()
+	defer m.Release(mark)
+	lbl := m.Alloc(cnt)
+	if err := tb.evalInto(queries, lbl, cnt); err != nil {
+		return err
+	}
+	return m.ParDoL(cnt, "hash/lookup", func(c *machine.Ctx, i int) {
+		x := c.Read(queries + i)
+		j := int(c.Read(lbl + i))
+		addr := c.Read(tb.blockAddr + j)
+		if addr < 0 {
+			c.Write(out+i, 0)
+			return
+		}
+		a := c.Read(tb.hashA + j)
+		b := c.Read(tb.hashB + j)
+		size := c.Read(tb.blockSize + j)
+		pos := int(linHash(a, b, x, size))
+		if c.Read(int(addr)+pos) == x+1 {
+			c.Write(out+i, 1)
+		} else {
+			c.Write(out+i, 0)
+		}
+	})
+}
+
+// duplicateRows replicates the row of `width` words at base into n rows
+// by binary broadcasting: O(lg n) steps, O(n*width) operations.
+func duplicateRows(m *machine.Machine, base, width, n int) error {
+	for have := 1; have < n; have *= 2 {
+		cnt := prim.Min(have, n-have)
+		off := have
+		if err := m.ParDoL(cnt*width, "hash/dup", func(c *machine.Ctx, i int) {
+			row, col := i/width, i%width
+			c.Write(base+(off+row)*width+col, c.Read(base+row*width+col))
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// duplicateEach replicates, for each of k values stored at stride
+// `copies` (the first slot of each group), the value into its whole
+// group: O(lg copies) steps.
+func duplicateEach(m *machine.Machine, base, k, copies int) error {
+	for have := 1; have < copies; have *= 2 {
+		cnt := prim.Min(have, copies-have)
+		off := have
+		if err := m.ParDoL(k*cnt, "hash/dupa", func(c *machine.Ctx, i int) {
+			grp, idx := i/cnt, i%cnt
+			c.Write(base+grp*copies+off+idx, c.Read(base+grp*copies+idx))
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ipow returns floor(n^(num/den)) crudely via floating point, clamped to
+// at least 1.
+func ipow(n, num, den int) int {
+	v := 1
+	for v+1 <= n {
+		// (v+1)^den <= n^num ?
+		lhs := pow64(v+1, den)
+		rhs := pow64(n, num)
+		if lhs > rhs {
+			break
+		}
+		v++
+	}
+	return v
+}
+
+func pow64(b, e int) float64 {
+	r := 1.0
+	for i := 0; i < e; i++ {
+		r *= float64(b)
+	}
+	return r
+}
+
+// EREWMembership is the zero-contention baseline: batch membership by
+// sorting keys and queries together with the bitonic network and marking
+// matches between neighbors. Theta(lg^2 n) time.
+func EREWMembership(m *machine.Machine, keys, nKeys, queries, out, nQ int) error {
+	total := nKeys + nQ
+	mark := m.Mark()
+	defer m.Release(mark)
+	sk := m.Alloc(total)
+	tag := m.Alloc(total) // -1 for a key, query index for a query
+	if err := m.ParDoL(total, "erewmember/load", func(c *machine.Ctx, i int) {
+		if i < nKeys {
+			c.Write(sk+i, c.Read(keys+i))
+			c.Write(tag+i, -1)
+		} else {
+			c.Write(sk+i, c.Read(queries+i-nKeys))
+			c.Write(tag+i, machine.Word(i-nKeys))
+		}
+	}); err != nil {
+		return err
+	}
+	// Sort by (key, tag): keys sort before equal-valued queries because
+	// tag -1 < query indexes; encode as composite to keep one key array.
+	comp := m.Alloc(total)
+	if err := m.ParDoL(total, "erewmember/comp", func(c *machine.Ctx, i int) {
+		c.Write(comp+i, c.Read(sk+i)*machine.Word(2*total)+c.Read(tag+i)+1)
+	}); err != nil {
+		return err
+	}
+	if err := prim.BitonicSortPadded(m, comp, tag, total); err != nil {
+		return err
+	}
+	// A query matches iff scanning left from it, the nearest cell with a
+	// smaller composite-with-tag--1... simpler: a query at position p
+	// matches iff some cell q <= p holds a key (tag -1) with the same
+	// key value. Keys sort immediately before their equal queries, so a
+	// doubling fill of "last key value seen" suffices.
+	lastKey := m.Alloc(total)
+	if err := m.ParDoL(total, "erewmember/seed", func(c *machine.Ctx, i int) {
+		if c.Read(tag+i) < 0 {
+			c.Write(lastKey+i, c.Read(comp+i)/machine.Word(2*total))
+		} else {
+			c.Write(lastKey+i, -1)
+		}
+	}); err != nil {
+		return err
+	}
+	shadow := m.Alloc(total)
+	for d := 1; d < total; d *= 2 {
+		dd := d
+		if err := m.ParDoL(total, "erewmember/pub", func(c *machine.Ctx, i int) {
+			c.Write(shadow+i, c.Read(lastKey+i))
+		}); err != nil {
+			return err
+		}
+		if err := m.ParDoL(total, "erewmember/fill", func(c *machine.Ctx, i int) {
+			if i-dd < 0 {
+				return
+			}
+			if c.Read(shadow+i-dd) > c.Read(lastKey+i) {
+				c.Write(lastKey+i, c.Read(shadow+i-dd))
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	return m.ParDoL(total, "erewmember/emit", func(c *machine.Ctx, i int) {
+		tg := c.Read(tag + i)
+		if tg < 0 {
+			return
+		}
+		kv := c.Read(comp+i) / machine.Word(2*total)
+		if c.Read(lastKey+i) == kv {
+			c.Write(out+int(tg), 1)
+		} else {
+			c.Write(out+int(tg), 0)
+		}
+	})
+}
+
+var _ = fmt.Sprintf // reserved for richer error contexts

@@ -1,0 +1,319 @@
+// Package machine implements an instrumented PRAM simulator supporting the
+// contention cost models studied in Gibbons, Matias & Ramachandran,
+// "Efficient Low-Contention Parallel Algorithms" (SPAA'94 / JCSS'96).
+//
+// A Machine executes synchronous steps. In each step every virtual
+// processor may read shared-memory cells, perform local computation, and
+// write shared-memory cells. Reads observe the memory contents from the
+// beginning of the step; writes are buffered and applied at the end of
+// the step (Definition 2.2 of the paper). For each step the simulator
+// records the maximum per-cell contention kappa (Definition 2.1) and the
+// maximum per-processor operation count m, then charges the step cost
+// prescribed by the machine's Model (Definition 2.3):
+//
+//	EREW/CREW:    m   (contention is a model violation)
+//	CRCW:         m
+//	QRQW:         max(m, kappa_read, kappa_write)
+//	CRQW:         max(m, kappa_write)
+//	SIMD-QRQW:    max(1, kappa)          (m must be <= 1)
+//	FetchAdd:     m                       (plus unit-time FetchAddStep)
+//
+// Algorithm time is the sum of step costs; Ops counts every shared read,
+// shared write, and charged local operation, and PTWork is the
+// processor-time product (sum over steps of p * cost).
+//
+// The simulator is itself a parallel Go program: the virtual processors
+// of a step are sharded over GOMAXPROCS goroutines, and contention
+// counting uses atomic per-cell counters that are reset via touched-address
+// lists so that cost is proportional to the operations actually performed.
+package machine
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Word is the shared-memory cell type. The PRAM convention of O(lg n)-bit
+// words is represented with 64-bit integers.
+type Word = int64
+
+// Model identifies the memory-contention rule and cost metric charged by
+// a Machine.
+type Model uint8
+
+// The contention models of the paper (Section 2.1).
+const (
+	// EREW forbids any concurrent access to a cell.
+	EREW Model = iota
+	// CREW permits concurrent reads but forbids concurrent writes.
+	CREW
+	// QRQW queues concurrent reads and writes: a step costs
+	// max(m, kappa).
+	QRQW
+	// CRQW permits free concurrent reads and queues concurrent writes.
+	CRQW
+	// CRCW permits free concurrent reads and writes (arbitrary-winner).
+	CRCW
+	// SIMDQRQW is the QRQW restriction with r_i = c_i = w_i <= 1 per
+	// step, modelling SIMD machines such as the MasPar MP-1.
+	SIMDQRQW
+	// ScanSIMDQRQW is SIMDQRQW augmented with a unit-time scan
+	// primitive (Section 5.2's scan-simd-qrqw pram).
+	ScanSIMDQRQW
+	// FetchAdd is the fetch&add PRAM (Section 7.3): CRCW cost plus a
+	// combining unit-time FetchAddStep collective.
+	FetchAdd
+	// ScanQRQW is QRQW augmented with a unit-time scan primitive but
+	// without the SIMD one-operation restriction; it charges the scan
+	// metric to MIMD-style algorithms.
+	ScanQRQW
+)
+
+var modelNames = [...]string{
+	EREW:         "EREW",
+	CREW:         "CREW",
+	QRQW:         "QRQW",
+	CRQW:         "CRQW",
+	CRCW:         "CRCW",
+	SIMDQRQW:     "SIMD-QRQW",
+	ScanSIMDQRQW: "scan-SIMD-QRQW",
+	FetchAdd:     "Fetch&Add",
+	ScanQRQW:     "scan-QRQW",
+}
+
+// String returns the conventional name of the model.
+func (m Model) String() string {
+	if int(m) < len(modelNames) {
+		return modelNames[m]
+	}
+	return fmt.Sprintf("Model(%d)", uint8(m))
+}
+
+// Queued reports whether the model charges queued (contention-linear)
+// cost for writes.
+func (m Model) Queued() bool {
+	switch m {
+	case QRQW, CRQW, SIMDQRQW, ScanSIMDQRQW, ScanQRQW:
+		return true
+	}
+	return false
+}
+
+// ConcurrentReads reports whether the model permits concurrent reads
+// (free or queued).
+func (m Model) ConcurrentReads() bool { return m != EREW }
+
+// ConcurrentWrites reports whether the model permits concurrent writes
+// (free or queued).
+func (m Model) ConcurrentWrites() bool { return m != EREW && m != CREW }
+
+// HasUnitScan reports whether the model provides a unit-time scan
+// primitive.
+func (m Model) HasUnitScan() bool { return m == ScanSIMDQRQW || m == ScanQRQW }
+
+// SIMD reports whether the model restricts each processor to at most one
+// read, one compute and one write per step.
+func (m Model) SIMD() bool { return m == SIMDQRQW || m == ScanSIMDQRQW }
+
+// Machine is an instrumented PRAM. It is not safe for concurrent use by
+// multiple goroutines: one step executes at a time (the step itself runs
+// in parallel internally).
+type Machine struct {
+	model Model
+	seed  uint64
+
+	mem     []Word
+	countsR []int32 // per-cell read-contention scratch (zero between steps)
+	countsW []int32 // per-cell write-contention scratch (zero between steps)
+	winner  []int32 // per-cell write arbitration scratch (-1 between steps)
+	brk     int     // bump-allocation watermark
+
+	maxWorkers int
+	pool       []*worker
+
+	stepIndex uint64
+	stats     Stats
+	trace     []StepTrace
+	tracing   bool
+	err       error // sticky first model violation
+}
+
+// Option configures a Machine at construction time.
+type Option func(*Machine)
+
+// WithSeed fixes the seed from which all per-processor random streams are
+// derived. The default seed is 1.
+func WithSeed(seed uint64) Option { return func(m *Machine) { m.seed = seed } }
+
+// WithWorkers bounds the number of host goroutines used to execute one
+// step. The default is runtime.GOMAXPROCS(0).
+func WithWorkers(n int) Option {
+	return func(m *Machine) {
+		if n > 0 {
+			m.maxWorkers = n
+		}
+	}
+}
+
+// WithTrace enables per-step tracing (StepTraces accumulates one entry
+// per executed step).
+func WithTrace() Option { return func(m *Machine) { m.tracing = true } }
+
+// New constructs a machine with the given model and initial shared-memory
+// capacity in words. Memory grows automatically on Alloc.
+func New(model Model, memWords int, opts ...Option) *Machine {
+	if memWords < 0 {
+		panic("machine: negative memory size")
+	}
+	m := &Machine{
+		model:      model,
+		seed:       1,
+		maxWorkers: runtime.GOMAXPROCS(0),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	m.growTo(memWords)
+	return m
+}
+
+// Model returns the machine's contention model.
+func (m *Machine) Model() Model { return m.model }
+
+// Seed returns the machine's base random seed.
+func (m *Machine) Seed() uint64 { return m.seed }
+
+// Err returns the first model violation encountered, or nil.
+func (m *Machine) Err() error { return m.err }
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// StepTraces returns the per-step trace (only populated WithTrace).
+func (m *Machine) StepTraces() []StepTrace { return m.trace }
+
+// MemWords returns the current shared-memory capacity.
+func (m *Machine) MemWords() int { return len(m.mem) }
+
+// Allocated returns the bump-allocation watermark.
+func (m *Machine) Allocated() int { return m.brk }
+
+func (m *Machine) growTo(n int) {
+	if n <= len(m.mem) {
+		return
+	}
+	if c := 2 * len(m.mem); n < c {
+		n = c
+	}
+	old := len(m.mem)
+	mem := make([]Word, n)
+	copy(mem, m.mem)
+	m.mem = mem
+	cr := make([]int32, n)
+	copy(cr, m.countsR)
+	m.countsR = cr
+	cw := make([]int32, n)
+	copy(cw, m.countsW)
+	m.countsW = cw
+	w := make([]int32, n)
+	copy(w, m.winner)
+	for i := old; i < n; i++ {
+		w[i] = -1
+	}
+	m.winner = w
+}
+
+// Alloc reserves n zeroed words of shared memory and returns the base
+// address of the region.
+func (m *Machine) Alloc(n int) int {
+	if n < 0 {
+		panic("machine: Alloc with negative size")
+	}
+	base := m.brk
+	m.brk += n
+	m.growTo(m.brk)
+	return base
+}
+
+// Mark returns the current allocation watermark, for use with Release.
+func (m *Machine) Mark() int { return m.brk }
+
+// Release rolls the bump allocator back to a watermark previously
+// obtained from Mark, zeroing the released region so that subsequent
+// Alloc calls return zeroed memory.
+func (m *Machine) Release(mark int) {
+	if mark < 0 || mark > m.brk {
+		panic("machine: Release with invalid mark")
+	}
+	for i := mark; i < m.brk; i++ {
+		m.mem[i] = 0
+	}
+	m.brk = mark
+}
+
+// Word returns the contents of a cell. Host-side access: it is not
+// charged to the simulated algorithm; use it for setup and verification.
+func (m *Machine) Word(addr int) Word {
+	m.checkAddr(addr)
+	return m.mem[addr]
+}
+
+// SetWord stores v into a cell. Host-side access, uncharged.
+func (m *Machine) SetWord(addr int, v Word) {
+	m.checkAddr(addr)
+	m.mem[addr] = v
+}
+
+// Store copies vals into shared memory starting at base. Host-side
+// access, uncharged.
+func (m *Machine) Store(base int, vals []Word) {
+	if base < 0 || base+len(vals) > len(m.mem) {
+		panic(fmt.Sprintf("machine: Store [%d,%d) out of range 0..%d", base, base+len(vals), len(m.mem)))
+	}
+	copy(m.mem[base:], vals)
+}
+
+// LoadWords copies n words starting at base out of shared memory.
+// Host-side access, uncharged.
+func (m *Machine) LoadWords(base, n int) []Word {
+	if base < 0 || n < 0 || base+n > len(m.mem) {
+		panic(fmt.Sprintf("machine: LoadWords [%d,%d) out of range 0..%d", base, base+n, len(m.mem)))
+	}
+	out := make([]Word, n)
+	copy(out, m.mem[base:])
+	return out
+}
+
+// Fill sets n cells starting at base to v. Host-side access, uncharged.
+func (m *Machine) Fill(base, n int, v Word) {
+	if base < 0 || n < 0 || base+n > len(m.mem) {
+		panic("machine: Fill out of range")
+	}
+	for i := 0; i < n; i++ {
+		m.mem[base+i] = v
+	}
+}
+
+// ResetStats zeroes the accumulated statistics, trace, and sticky error
+// without touching memory contents.
+func (m *Machine) ResetStats() {
+	m.stats = Stats{}
+	m.trace = nil
+	m.err = nil
+	m.stepIndex = 0
+}
+
+// Reset zeroes memory, releases all allocations, and clears statistics.
+func (m *Machine) Reset() {
+	for i := range m.mem {
+		m.mem[i] = 0
+	}
+	m.brk = 0
+	m.ResetStats()
+}
+
+func (m *Machine) checkAddr(addr int) {
+	if addr < 0 || addr >= len(m.mem) {
+		panic(fmt.Sprintf("machine: address %d out of range 0..%d", addr, len(m.mem)))
+	}
+}

@@ -1,0 +1,580 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestModelString(t *testing.T) {
+	cases := map[Model]string{
+		EREW: "EREW", CREW: "CREW", QRQW: "QRQW", CRQW: "CRQW",
+		CRCW: "CRCW", SIMDQRQW: "SIMD-QRQW", ScanSIMDQRQW: "scan-SIMD-QRQW",
+		FetchAdd: "Fetch&Add",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Model(%d).String() = %q, want %q", m, got, want)
+		}
+	}
+	if got := Model(200).String(); got != "Model(200)" {
+		t.Errorf("unknown model string = %q", got)
+	}
+}
+
+func TestModelCapabilities(t *testing.T) {
+	if EREW.ConcurrentReads() || EREW.ConcurrentWrites() {
+		t.Error("EREW must not allow concurrent access")
+	}
+	if !CREW.ConcurrentReads() || CREW.ConcurrentWrites() {
+		t.Error("CREW allows concurrent reads only")
+	}
+	for _, m := range []Model{QRQW, CRQW, SIMDQRQW, ScanSIMDQRQW} {
+		if !m.Queued() {
+			t.Errorf("%v should be queued", m)
+		}
+	}
+	for _, m := range []Model{EREW, CREW, CRCW, FetchAdd} {
+		if m.Queued() {
+			t.Errorf("%v should not be queued", m)
+		}
+	}
+	if !ScanSIMDQRQW.HasUnitScan() || SIMDQRQW.HasUnitScan() {
+		t.Error("scan capability wrong")
+	}
+	if !SIMDQRQW.SIMD() || !ScanSIMDQRQW.SIMD() || QRQW.SIMD() {
+		t.Error("SIMD capability wrong")
+	}
+}
+
+func TestAllocAndHostAccess(t *testing.T) {
+	m := New(QRQW, 16)
+	a := m.Alloc(10)
+	b := m.Alloc(20) // forces growth past 16
+	if a != 0 || b != 10 {
+		t.Fatalf("Alloc bases = %d,%d", a, b)
+	}
+	if m.MemWords() < 30 {
+		t.Fatalf("MemWords = %d, want >= 30", m.MemWords())
+	}
+	m.SetWord(b+5, 42)
+	if m.Word(b+5) != 42 {
+		t.Error("SetWord/Word roundtrip failed")
+	}
+	m.Store(a, []Word{1, 2, 3})
+	got := m.LoadWords(a, 3)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("Store/LoadWords = %v", got)
+	}
+	m.Fill(a, 3, 7)
+	if m.Word(a+2) != 7 {
+		t.Error("Fill failed")
+	}
+	if m.Allocated() != 30 {
+		t.Errorf("Allocated = %d", m.Allocated())
+	}
+}
+
+func TestMarkRelease(t *testing.T) {
+	m := New(QRQW, 8)
+	base := m.Alloc(4)
+	m.SetWord(base, 9)
+	mark := m.Mark()
+	scratch := m.Alloc(4)
+	m.SetWord(scratch, 123)
+	m.Release(mark)
+	if m.Allocated() != 4 {
+		t.Fatalf("Allocated after release = %d", m.Allocated())
+	}
+	again := m.Alloc(4)
+	if again != scratch {
+		t.Fatalf("realloc base = %d, want %d", again, scratch)
+	}
+	if m.Word(again) != 0 {
+		t.Error("released memory was not zeroed")
+	}
+	if m.Word(base) != 9 {
+		t.Error("release clobbered retained memory")
+	}
+}
+
+func TestReadsSeePreStepMemory(t *testing.T) {
+	// Processor i reads cell i and writes cell (i+1) mod n. All reads
+	// must observe the pre-step values even though writes target read
+	// cells.
+	const n = 100
+	m := New(CRCW, n)
+	for i := 0; i < n; i++ {
+		m.SetWord(i, Word(i))
+	}
+	vals := make([]Word, n)
+	if err := m.ParDo(n, func(c *Ctx, i int) {
+		vals[i] = c.Read(i)
+		c.Write((i+1)%n, 1000+Word(i))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if vals[i] != Word(i) {
+			t.Fatalf("read %d observed %d (same-step write leaked)", i, vals[i])
+		}
+		want := Word(1000 + (i-1+n)%n)
+		if m.Word(i) != want {
+			t.Fatalf("cell %d = %d after step, want %d", i, m.Word(i), want)
+		}
+	}
+}
+
+func TestWriteArbitrationHighestProcWins(t *testing.T) {
+	m := New(CRCW, 1)
+	if err := m.ParDo(64, func(c *Ctx, i int) {
+		c.Write(0, Word(i))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Word(0) != 63 {
+		t.Errorf("arbitration winner value = %d, want 63", m.Word(0))
+	}
+}
+
+func TestQRQWCostIsContention(t *testing.T) {
+	const p = 500
+	m := New(QRQW, 4)
+	if err := m.ParDo(p, func(c *Ctx, i int) {
+		c.Read(0) // all processors read cell 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Time != p {
+		t.Errorf("QRQW time for contention-%d step = %d, want %d", p, st.Time, p)
+	}
+	if st.MaxContention != p {
+		t.Errorf("MaxContention = %d, want %d", st.MaxContention, p)
+	}
+}
+
+func TestCRQWFreeReadsQueuedWrites(t *testing.T) {
+	const p = 300
+	m := New(CRQW, 4)
+	if err := m.ParDo(p, func(c *Ctx, i int) {
+		c.Read(0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Time; got != 1 {
+		t.Errorf("CRQW concurrent-read step cost = %d, want 1", got)
+	}
+	if err := m.ParDo(p, func(c *Ctx, i int) {
+		c.Write(1, 5)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Time; got != 1+p {
+		t.Errorf("CRQW after write step time = %d, want %d", got, 1+p)
+	}
+}
+
+func TestCRCWCostIgnoresContention(t *testing.T) {
+	const p = 300
+	m := New(CRCW, 4)
+	if err := m.ParDo(p, func(c *Ctx, i int) {
+		c.Read(0)
+		c.Write(0, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Time; got != 1 {
+		t.Errorf("CRCW step cost = %d, want 1", got)
+	}
+}
+
+func TestStepCostIsMaxOps(t *testing.T) {
+	m := New(QRQW, 64)
+	if err := m.ParDo(8, func(c *Ctx, i int) {
+		if i == 3 {
+			for j := 0; j < 5; j++ {
+				c.Read(8 * j) // disjoint cells: contention 1, m = 5
+			}
+		} else {
+			c.Read(i)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Time; got != 5 {
+		t.Errorf("step cost = %d, want m = 5", got)
+	}
+}
+
+func TestComputeCharged(t *testing.T) {
+	m := New(QRQW, 4)
+	if err := m.ParDo(2, func(c *Ctx, i int) {
+		c.Compute(17)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Time != 17 {
+		t.Errorf("compute-only step cost = %d, want 17", st.Time)
+	}
+	if st.ComputeOps != 34 {
+		t.Errorf("ComputeOps = %d, want 34", st.ComputeOps)
+	}
+}
+
+func TestEmptyStepCostsOne(t *testing.T) {
+	m := New(QRQW, 4)
+	if err := m.ParDo(10, func(c *Ctx, i int) {}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Time; got != 1 {
+		t.Errorf("empty step cost = %d, want 1", got)
+	}
+}
+
+func TestEREWViolationRead(t *testing.T) {
+	m := New(EREW, 4)
+	err := m.ParDo(2, func(c *Ctx, i int) { c.Read(0) })
+	var ve *ViolationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("err = %v, want ViolationError", err)
+	}
+	if ve.Kind != "concurrent-read" || ve.Count != 2 || ve.Addr != 0 {
+		t.Errorf("violation = %+v", ve)
+	}
+	// Error is sticky.
+	if err2 := m.ParDo(1, func(c *Ctx, i int) {}); !errors.As(err2, &ve) {
+		t.Error("violation not sticky")
+	}
+	if m.Err() == nil {
+		t.Error("Err() should report the violation")
+	}
+	if ve.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestEREWViolationWrite(t *testing.T) {
+	m := New(EREW, 4)
+	err := m.ParDo(3, func(c *Ctx, i int) { c.Write(2, 1) })
+	var ve *ViolationError
+	if !errors.As(err, &ve) || ve.Kind != "concurrent-write" || ve.Count != 3 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCREWAllowsConcurrentReadsRejectsWrites(t *testing.T) {
+	m := New(CREW, 4)
+	if err := m.ParDo(5, func(c *Ctx, i int) { c.Read(0) }); err != nil {
+		t.Fatalf("CREW concurrent read rejected: %v", err)
+	}
+	err := m.ParDo(2, func(c *Ctx, i int) { c.Write(0, 1) })
+	var ve *ViolationError
+	if !errors.As(err, &ve) || ve.Kind != "concurrent-write" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSIMDMultiOpViolation(t *testing.T) {
+	m := New(SIMDQRQW, 8)
+	err := m.ParDo(2, func(c *Ctx, i int) {
+		c.Read(0)
+		c.Read(1)
+	})
+	var ve *ViolationError
+	if !errors.As(err, &ve) || ve.Kind != "simd-multi-op" {
+		t.Fatalf("err = %v", err)
+	}
+	if ve.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestSIMDQRQWCost(t *testing.T) {
+	m := New(SIMDQRQW, 8)
+	if err := m.ParDo(7, func(c *Ctx, i int) { c.Write(3, Word(i)) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Time; got != 7 {
+		t.Errorf("SIMD-QRQW cost = %d, want 7", got)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	run := func() []Word {
+		m := New(QRQW, 256, WithSeed(99))
+		out := make([]Word, 256)
+		m.ParDo(256, func(c *Ctx, i int) {
+			out[i] = Word(c.Rand().Uint64() >> 1)
+		})
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rand not deterministic at proc %d", i)
+		}
+	}
+	// Different steps must give different streams.
+	m := New(QRQW, 4, WithSeed(99))
+	var s1, s2 Word
+	m.ParDo(1, func(c *Ctx, i int) { s1 = Word(c.Rand().Uint64() >> 1) })
+	m.ParDo(1, func(c *Ctx, i int) { s2 = Word(c.Rand().Uint64() >> 1) })
+	if s1 == s2 {
+		t.Error("distinct steps produced identical streams")
+	}
+}
+
+func TestParallelAndSerialPathsAgree(t *testing.T) {
+	// Above the serialCutoff the parallel path engages; the observed
+	// memory state and stats must match a single-worker run.
+	const n = 3 * serialCutoff
+	run := func(workers int) ([]Word, Stats) {
+		m := New(QRQW, n, WithSeed(7), WithWorkers(workers))
+		m.ParDo(n, func(c *Ctx, i int) {
+			j := c.Rand().Intn(n)
+			c.Write(j, Word(i))
+		})
+		return m.LoadWords(0, n), m.Stats()
+	}
+	memA, stA := run(1)
+	memB, stB := run(8)
+	if stA != stB {
+		t.Fatalf("stats differ: %v vs %v", stA, stB)
+	}
+	for i := range memA {
+		if memA[i] != memB[i] {
+			t.Fatalf("memory differs at %d: %d vs %d", i, memA[i], memB[i])
+		}
+	}
+}
+
+func TestStatsAccumulation(t *testing.T) {
+	m := New(QRQW, 16)
+	m.ParDo(4, func(c *Ctx, i int) { c.Read(i); c.Write(i+4, 1) })
+	m.ParDo(2, func(c *Ctx, i int) { c.Read(0) })
+	st := m.Stats()
+	if st.Steps != 2 {
+		t.Errorf("Steps = %d", st.Steps)
+	}
+	if st.ReadOps != 6 || st.WriteOps != 4 {
+		t.Errorf("ReadOps=%d WriteOps=%d", st.ReadOps, st.WriteOps)
+	}
+	if st.Time != 1+2 {
+		t.Errorf("Time = %d, want 3", st.Time)
+	}
+	if st.PTWork != 4*1+2*2 {
+		t.Errorf("PTWork = %d, want 8", st.PTWork)
+	}
+	if st.MaxProcs != 4 {
+		t.Errorf("MaxProcs = %d", st.MaxProcs)
+	}
+	if st.String() == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestStatsAddSub(t *testing.T) {
+	a := Stats{Steps: 2, Time: 5, Ops: 10, PTWork: 20, MaxContention: 3, SumContention: 4, MaxProcs: 8}
+	b := Stats{Steps: 1, Time: 2, Ops: 3, PTWork: 4, MaxContention: 7, SumContention: 2, MaxProcs: 2}
+	sum := a.Add(b)
+	if sum.Steps != 3 || sum.Time != 7 || sum.Ops != 13 || sum.PTWork != 24 {
+		t.Errorf("Add = %+v", sum)
+	}
+	if sum.MaxContention != 7 || sum.MaxProcs != 8 {
+		t.Errorf("Add max fields = %+v", sum)
+	}
+	diff := sum.Sub(b)
+	if diff.Steps != a.Steps || diff.Time != a.Time || diff.Ops != a.Ops {
+		t.Errorf("Sub = %+v", diff)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	m := New(QRQW, 8, WithTrace())
+	m.ParDoL(3, "phase-x", func(c *Ctx, i int) { c.Read(0) })
+	tr := m.StepTraces()
+	if len(tr) != 1 {
+		t.Fatalf("trace len = %d", len(tr))
+	}
+	if tr[0].Label != "phase-x" || tr[0].Procs != 3 || tr[0].ReadCont != 3 || tr[0].Cost != 3 {
+		t.Errorf("trace = %+v", tr[0])
+	}
+}
+
+func TestResetAndResetStats(t *testing.T) {
+	m := New(EREW, 8)
+	m.Alloc(4)
+	m.SetWord(0, 5)
+	m.ParDo(2, func(c *Ctx, i int) { c.Read(0) }) // violation
+	m.ResetStats()
+	if m.Err() != nil || m.Stats().Steps != 0 {
+		t.Error("ResetStats did not clear error/stats")
+	}
+	if m.Word(0) != 5 {
+		t.Error("ResetStats must not clear memory")
+	}
+	m.Reset()
+	if m.Word(0) != 0 || m.Allocated() != 0 {
+		t.Error("Reset must clear memory and allocations")
+	}
+}
+
+func TestParDoRejectsBadP(t *testing.T) {
+	m := New(QRQW, 4)
+	if err := m.ParDo(0, func(c *Ctx, i int) {}); err == nil {
+		t.Error("ParDo(0) should fail")
+	}
+	if err := m.ParDo(-3, func(c *Ctx, i int) {}); err == nil {
+		t.Error("ParDo(-3) should fail")
+	}
+}
+
+func TestScanStepOnlyOnScanModel(t *testing.T) {
+	m := New(SIMDQRQW, 8)
+	if err := m.ScanStep(ScanAdd, 0, 0, 4); !errors.Is(err, ErrNoUnitScan) {
+		t.Errorf("err = %v, want ErrNoUnitScan", err)
+	}
+}
+
+func TestScanAdd(t *testing.T) {
+	m := New(ScanSIMDQRQW, 16)
+	m.Store(0, []Word{3, 1, 4, 1, 5})
+	if err := m.ScanStep(ScanAdd, 0, 8, 5); err != nil {
+		t.Fatal(err)
+	}
+	want := []Word{0, 3, 4, 8, 9}
+	got := m.LoadWords(8, 5)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan add = %v, want %v", got, want)
+		}
+	}
+	if m.Stats().Time != 1 || m.Stats().ScanSteps != 1 {
+		t.Errorf("scan cost wrong: %+v", m.Stats())
+	}
+}
+
+func TestScanAddInPlace(t *testing.T) {
+	m := New(ScanSIMDQRQW, 8)
+	m.Store(0, []Word{1, 1, 1, 1})
+	if err := m.ScanStep(ScanAdd, 0, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	want := []Word{0, 1, 2, 3}
+	for i, w := range want {
+		if m.Word(i) != w {
+			t.Fatalf("in-place scan cell %d = %d, want %d", i, m.Word(i), w)
+		}
+	}
+}
+
+func TestScanMaxAndEnumerate(t *testing.T) {
+	m := New(ScanSIMDQRQW, 32)
+	m.Store(0, []Word{2, 9, 1, 5})
+	if err := m.ScanStep(ScanMax, 0, 8, 4); err != nil {
+		t.Fatal(err)
+	}
+	if m.Word(8) != minInt64 || m.Word(9) != 2 || m.Word(10) != 9 || m.Word(11) != 9 {
+		t.Errorf("scan max = %v", m.LoadWords(8, 4))
+	}
+	m.Store(16, []Word{0, 7, 0, 3, 1})
+	if err := m.ScanStep(ScanEnumerate, 16, 24, 5); err != nil {
+		t.Fatal(err)
+	}
+	want := []Word{0, 0, 1, 1, 2}
+	got := m.LoadWords(24, 5)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("enumerate = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGlobalOr(t *testing.T) {
+	m := New(ScanSIMDQRQW, 8)
+	any, err := m.GlobalOr(0, 8)
+	if err != nil || any {
+		t.Fatalf("GlobalOr on zeros = %v,%v", any, err)
+	}
+	m.SetWord(5, 1)
+	any, err = m.GlobalOr(0, 8)
+	if err != nil || !any {
+		t.Fatalf("GlobalOr with one = %v,%v", any, err)
+	}
+	m2 := New(QRQW, 8)
+	if _, err := m2.GlobalOr(0, 8); !errors.Is(err, ErrNoUnitScan) {
+		t.Error("GlobalOr should require scan model")
+	}
+}
+
+func TestFetchAddStep(t *testing.T) {
+	m := New(FetchAdd, 4)
+	old, err := m.FetchAddStep([]FAOp{
+		{Addr: 0, Delta: 1},
+		{Addr: 0, Delta: 1},
+		{Addr: 1, Delta: 5},
+		{Addr: 0, Delta: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old[0] != 0 || old[1] != 1 || old[3] != 2 {
+		t.Errorf("fetch&add prefix values = %v", old)
+	}
+	if old[2] != 0 {
+		t.Errorf("independent cell old = %d", old[2])
+	}
+	if m.Word(0) != 3 || m.Word(1) != 5 {
+		t.Errorf("final cells = %d,%d", m.Word(0), m.Word(1))
+	}
+	if m.Stats().Time != 1 || m.Stats().FetchAddSteps != 1 {
+		t.Errorf("fetch&add cost: %+v", m.Stats())
+	}
+	m2 := New(QRQW, 4)
+	if _, err := m2.FetchAddStep(nil); !errors.Is(err, ErrNoFetchAdd) {
+		t.Error("FetchAddStep should require FetchAdd model")
+	}
+}
+
+func TestQuickContentionCostProperty(t *testing.T) {
+	// Property: on QRQW, a step in which k processors hit one cell and
+	// the rest hit private cells costs exactly max(k, 1).
+	f := func(k uint8, spread uint8) bool {
+		kk := int(k%64) + 1
+		sp := int(spread%64) + 1
+		n := kk + sp
+		m := New(QRQW, n+1)
+		err := m.ParDo(n, func(c *Ctx, i int) {
+			if i < kk {
+				c.Read(n) // shared hot cell
+			} else {
+				c.Read(i) // private cell
+			}
+		})
+		if err != nil {
+			return false
+		}
+		return m.Stats().Time == int64(kk)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWriteWinnerDeterminism(t *testing.T) {
+	// Property: with all processors writing one cell, the highest index
+	// always wins regardless of processor count.
+	f := func(pRaw uint16) bool {
+		p := int(pRaw%4000) + 1
+		m := New(CRCW, 1)
+		if err := m.ParDo(p, func(c *Ctx, i int) { c.Write(0, Word(i)) }); err != nil {
+			return false
+		}
+		return m.Word(0) == Word(p-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

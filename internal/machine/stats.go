@@ -1,0 +1,116 @@
+package machine
+
+import "fmt"
+
+// Stats accumulates the model-charged cost of every step executed by a
+// Machine.
+type Stats struct {
+	// Steps is the number of synchronous PRAM steps executed.
+	Steps int64
+	// Time is the sum of per-step costs under the machine's model
+	// (Definition 2.3). This is the quantity the paper calls "time" in
+	// the work-time presentation.
+	Time int64
+	// Ops counts every shared-memory read, shared-memory write, and
+	// charged local compute operation. Linear-work claims in the paper
+	// correspond to Ops = O(n).
+	Ops int64
+	// PTWork is the processor-time product: the sum over steps of
+	// (processors in the step) * (step cost). This is "work" in the
+	// sense of Definition 2.3 when a fixed processor count is used.
+	PTWork int64
+	// ReadOps, WriteOps and ComputeOps break down Ops.
+	ReadOps    int64
+	WriteOps   int64
+	ComputeOps int64
+	// MaxContention is the maximum per-cell contention observed in any
+	// single step.
+	MaxContention int64
+	// SumContention is the sum over steps of the step's maximum
+	// contention; on a QRQW machine Time >= SumContention.
+	SumContention int64
+	// MaxProcs is the largest processor count used in a single step.
+	MaxProcs int64
+	// ScanSteps counts unit-time scan primitives (scan models only).
+	ScanSteps int64
+	// FetchAddSteps counts combining fetch&add collectives.
+	FetchAddSteps int64
+}
+
+// Add returns the component-wise accumulation of s and t (max fields take
+// the maximum).
+func (s Stats) Add(t Stats) Stats {
+	s.Steps += t.Steps
+	s.Time += t.Time
+	s.Ops += t.Ops
+	s.PTWork += t.PTWork
+	s.ReadOps += t.ReadOps
+	s.WriteOps += t.WriteOps
+	s.ComputeOps += t.ComputeOps
+	if t.MaxContention > s.MaxContention {
+		s.MaxContention = t.MaxContention
+	}
+	s.SumContention += t.SumContention
+	if t.MaxProcs > s.MaxProcs {
+		s.MaxProcs = t.MaxProcs
+	}
+	s.ScanSteps += t.ScanSteps
+	s.FetchAddSteps += t.FetchAddSteps
+	return s
+}
+
+// Sub returns s - t for the additive fields; max fields are taken from s.
+// It is used to measure the cost of a phase: capture Stats before and
+// after and subtract.
+func (s Stats) Sub(t Stats) Stats {
+	s.Steps -= t.Steps
+	s.Time -= t.Time
+	s.Ops -= t.Ops
+	s.PTWork -= t.PTWork
+	s.ReadOps -= t.ReadOps
+	s.WriteOps -= t.WriteOps
+	s.ComputeOps -= t.ComputeOps
+	s.SumContention -= t.SumContention
+	s.ScanSteps -= t.ScanSteps
+	s.FetchAddSteps -= t.FetchAddSteps
+	return s
+}
+
+// String renders the headline numbers.
+func (s Stats) String() string {
+	return fmt.Sprintf("steps=%d time=%d ops=%d ptwork=%d maxcont=%d",
+		s.Steps, s.Time, s.Ops, s.PTWork, s.MaxContention)
+}
+
+// StepTrace records the accounting of one executed step (tracing must be
+// enabled with WithTrace).
+type StepTrace struct {
+	Step      int64 // 1-based step index
+	Procs     int   // processors participating
+	MaxOps    int64 // m: max over processors of max(r_i, c_i, w_i)
+	ReadCont  int64 // kappa_read
+	WriteCont int64 // kappa_write
+	Cost      int64 // model-charged cost of the step
+	Label     string
+}
+
+// ViolationError reports an access forbidden by the machine's model
+// (e.g. a concurrent read on an EREW machine). The first violation
+// sticks: all subsequent steps fail with the same error.
+type ViolationError struct {
+	Model Model
+	Step  int64
+	Kind  string // "concurrent-read", "concurrent-write", "simd-multi-op"
+	Addr  int
+	Count int64
+}
+
+// Error implements error.
+func (e *ViolationError) Error() string {
+	if e.Kind == "simd-multi-op" {
+		return fmt.Sprintf("machine: %s violation at step %d: processor issued %d operations of one kind (max 1 on %s)",
+			e.Kind, e.Step, e.Count, e.Model)
+	}
+	return fmt.Sprintf("machine: %s violation at step %d: %d processors accessed cell %d on %s",
+		e.Kind, e.Step, e.Count, e.Addr, e.Model)
+}

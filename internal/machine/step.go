@@ -1,0 +1,390 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lowcontend/internal/xrand"
+)
+
+// serialCutoff is the processor count below which a step runs on a single
+// host goroutine.
+const serialCutoff = 2048
+
+// minChunk is the smallest shard of virtual processors assigned to one
+// host goroutine.
+const minChunk = 1024
+
+type writeOp struct {
+	addr int
+	val  Word
+	proc int32
+}
+
+// worker owns the per-goroutine buffers of one step shard.
+type worker struct {
+	readAddrs []int
+	writes    []writeOp
+
+	maxOps   int64
+	reads    int64
+	writesN  int64
+	computes int64
+
+	maxR      int64 // filled in the contention phase
+	maxRAddr  int
+	maxW      int64
+	maxWAddr  int
+	simdViol  bool
+	simdCount int64
+}
+
+func (w *worker) reset() {
+	w.readAddrs = w.readAddrs[:0]
+	w.writes = w.writes[:0]
+	w.maxOps = 0
+	w.reads, w.writesN, w.computes = 0, 0, 0
+	w.maxR, w.maxW = 0, 0
+	w.maxRAddr, w.maxWAddr = -1, -1
+	w.simdViol = false
+	w.simdCount = 0
+}
+
+// Ctx is the view a virtual processor has of the machine during one step.
+// A Ctx is only valid inside the body function passed to ParDo.
+type Ctx struct {
+	m    *Machine
+	w    *worker
+	step uint64
+	proc int
+
+	r, wr, cp int64
+	// rStart/wStart mark where this processor's entries begin in the
+	// worker buffers; they bound the linear dedupe scans that keep
+	// contention counted per *distinct processor* (Definition 2.1),
+	// not per access.
+	rStart, wStart int
+
+	rng   xrand.Stream
+	rngOK bool
+}
+
+// Proc returns the index of the virtual processor executing the body.
+func (c *Ctx) Proc() int { return c.proc }
+
+// NumMem returns the shared-memory capacity (free local information).
+func (c *Ctx) NumMem() int { return len(c.m.mem) }
+
+// Read reads one shared-memory cell. The value observed is the cell's
+// contents at the beginning of the step (writes of the same step are not
+// visible). The access is recorded for contention accounting.
+func (c *Ctx) Read(addr int) Word {
+	c.m.checkAddr(addr)
+	c.r++
+	// Definition 2.1 counts the number of *processors* reading a cell,
+	// so a repeated read by the same processor is recorded once.
+	dup := false
+	for _, a := range c.w.readAddrs[c.rStart:] {
+		if a == addr {
+			dup = true
+			break
+		}
+	}
+	if !dup {
+		c.w.readAddrs = append(c.w.readAddrs, addr)
+	}
+	return c.m.mem[addr]
+}
+
+// Write buffers a write to one shared-memory cell; it becomes visible at
+// the end of the step. If several processors write the same cell in a
+// step, an arbitrary write succeeds (deterministically, the highest
+// processor index wins).
+func (c *Ctx) Write(addr int, v Word) {
+	c.m.checkAddr(addr)
+	c.wr++
+	// As with reads, contention counts distinct processors; a repeated
+	// write by the same processor overwrites its buffered value (program
+	// order within the processor).
+	for j := len(c.w.writes) - 1; j >= c.wStart; j-- {
+		if c.w.writes[j].addr == addr {
+			c.w.writes[j].val = v
+			return
+		}
+	}
+	c.w.writes = append(c.w.writes, writeOp{addr: addr, val: v, proc: int32(c.proc)})
+}
+
+// Compute charges n local RAM operations to this processor for this step.
+// Reads and writes implicitly charge themselves; call Compute for
+// substantial local work (e.g. a sequential sort of k items).
+func (c *Ctx) Compute(n int) {
+	if n < 0 {
+		panic("machine: Compute with negative count")
+	}
+	c.cp += int64(n)
+}
+
+// Rand returns this processor's private random stream for this step. The
+// stream is a pure function of (machine seed, step index, processor
+// index), so results do not depend on host scheduling.
+func (c *Ctx) Rand() *xrand.Stream {
+	if !c.rngOK {
+		c.rng.Reseed(xrand.Mix3(c.m.seed, c.step, uint64(c.proc)))
+		c.rngOK = true
+	}
+	return &c.rng
+}
+
+// SeedFor returns the random-stream key that processor proc uses at the
+// given step index. It lets a processor replay the random choices another
+// (or an earlier) step made — e.g. to re-derive dart targets during a
+// verification step instead of storing them — which is legal local
+// computation on a PRAM.
+func (c *Ctx) SeedFor(step uint64, proc int) uint64 {
+	return xrand.Mix3(c.m.seed, step, uint64(proc))
+}
+
+// StepCount returns the number of steps executed so far; the next ParDo
+// runs as step StepCount()+1.
+func (m *Machine) StepCount() uint64 { return m.stepIndex }
+
+func (w *worker) afterProc(c *Ctx, simd bool) {
+	if c.r > w.maxOps {
+		w.maxOps = c.r
+	}
+	if c.wr > w.maxOps {
+		w.maxOps = c.wr
+	}
+	if c.cp > w.maxOps {
+		w.maxOps = c.cp
+	}
+	w.reads += c.r
+	w.writesN += c.wr
+	w.computes += c.cp
+	if simd && (c.r > 1 || c.wr > 1 || c.cp > 1) && !w.simdViol {
+		w.simdViol = true
+		w.simdCount = maxI64(c.r, maxI64(c.wr, c.cp))
+	}
+}
+
+// ParDo executes one synchronous PRAM step with p virtual processors.
+// body is invoked once per processor with that processor's Ctx and index.
+// body must not retain the Ctx, must not touch the machine directly, and
+// must be safe to call concurrently for distinct processors.
+func (m *Machine) ParDo(p int, body func(c *Ctx, i int)) error {
+	return m.parDoLabeled(p, "", body)
+}
+
+// ParDoL is ParDo with a trace label attached to the step.
+func (m *Machine) ParDoL(p int, label string, body func(c *Ctx, i int)) error {
+	return m.parDoLabeled(p, label, body)
+}
+
+func (m *Machine) parDoLabeled(p int, label string, body func(c *Ctx, i int)) error {
+	if m.err != nil {
+		return m.err
+	}
+	if p <= 0 {
+		return fmt.Errorf("machine: ParDo with %d processors", p)
+	}
+	m.stepIndex++
+
+	nw := 1
+	if p >= serialCutoff && m.maxWorkers > 1 {
+		nw = (p + minChunk - 1) / minChunk
+		if nw > m.maxWorkers {
+			nw = m.maxWorkers
+		}
+	}
+	for len(m.pool) < nw {
+		m.pool = append(m.pool, &worker{})
+	}
+	workers := m.pool[:nw]
+	chunk := (p + nw - 1) / nw
+
+	// Phase 0: run all processor bodies. Writes are buffered, so reads
+	// observe pre-step memory.
+	simd := m.model.SIMD()
+	runShards(nw, func(s int) {
+		w := workers[s]
+		w.reset()
+		lo, hi := s*chunk, (s+1)*chunk
+		if hi > p {
+			hi = p
+		}
+		c := Ctx{m: m, w: w, step: m.stepIndex}
+		for i := lo; i < hi; i++ {
+			c.proc = i
+			c.r, c.wr, c.cp = 0, 0, 0
+			c.rStart = len(w.readAddrs)
+			c.wStart = len(w.writes)
+			c.rngOK = false
+			body(&c, i)
+			w.afterProc(&c, simd)
+		}
+	})
+
+	// Phase A: count contention per cell and arbitrate writers.
+	runShards(nw, func(s int) {
+		w := workers[s]
+		for _, a := range w.readAddrs {
+			atomic.AddInt32(&m.countsR[a], 1)
+		}
+		for _, op := range w.writes {
+			atomic.AddInt32(&m.countsW[op.addr], 1)
+			atomicMaxInt32(&m.winner[op.addr], op.proc)
+		}
+	})
+
+	// Phase B: extract per-shard contention maxima and apply winning
+	// writes.
+	runShards(nw, func(s int) {
+		w := workers[s]
+		for _, a := range w.readAddrs {
+			if c := int64(m.countsR[a]); c > w.maxR {
+				w.maxR, w.maxRAddr = c, a
+			}
+		}
+		for _, op := range w.writes {
+			if c := int64(m.countsW[op.addr]); c > w.maxW {
+				w.maxW, w.maxWAddr = c, op.addr
+			}
+			if m.winner[op.addr] == op.proc {
+				m.mem[op.addr] = op.val
+			}
+		}
+	})
+
+	// Phase C: reset the scratch arrays via the touched-address lists.
+	runShards(nw, func(s int) {
+		w := workers[s]
+		for _, a := range w.readAddrs {
+			m.countsR[a] = 0
+		}
+		for _, op := range w.writes {
+			m.countsW[op.addr] = 0
+			m.winner[op.addr] = -1
+		}
+	})
+
+	// Merge accounting.
+	var maxOps, maxR, maxW int64
+	maxRAddr, maxWAddr := -1, -1
+	var reads, writes, computes int64
+	simdViol := false
+	var simdCount int64
+	for _, w := range workers {
+		if w.maxOps > maxOps {
+			maxOps = w.maxOps
+		}
+		if w.maxR > maxR {
+			maxR, maxRAddr = w.maxR, w.maxRAddr
+		}
+		if w.maxW > maxW {
+			maxW, maxWAddr = w.maxW, w.maxWAddr
+		}
+		reads += w.reads
+		writes += w.writesN
+		computes += w.computes
+		if w.simdViol && !simdViol {
+			simdViol = true
+			simdCount = w.simdCount
+		}
+	}
+
+	// Model violation checks.
+	switch {
+	case simdViol:
+		m.err = &ViolationError{Model: m.model, Step: int64(m.stepIndex), Kind: "simd-multi-op", Count: simdCount}
+	case m.model == EREW && maxR > 1:
+		m.err = &ViolationError{Model: m.model, Step: int64(m.stepIndex), Kind: "concurrent-read", Addr: maxRAddr, Count: maxR}
+	case (m.model == EREW || m.model == CREW) && maxW > 1:
+		m.err = &ViolationError{Model: m.model, Step: int64(m.stepIndex), Kind: "concurrent-write", Addr: maxWAddr, Count: maxW}
+	}
+	if m.err != nil {
+		return m.err
+	}
+
+	// Step cost (Definition 2.3 and the model variants of Section 2.1).
+	cost := maxOps
+	if cost < 1 {
+		cost = 1 // a step with no accesses has contention "one"
+	}
+	switch m.model {
+	case EREW, CREW, CRCW, FetchAdd:
+		// cost = m
+	case QRQW, SIMDQRQW, ScanSIMDQRQW, ScanQRQW:
+		cost = maxI64(cost, maxI64(maxR, maxW))
+	case CRQW:
+		cost = maxI64(cost, maxW)
+	}
+
+	kappa := maxI64(maxR, maxW)
+	if kappa < 1 {
+		kappa = 1
+	}
+	m.stats.Steps++
+	m.stats.Time += cost
+	m.stats.Ops += reads + writes + computes
+	m.stats.PTWork += int64(p) * cost
+	m.stats.ReadOps += reads
+	m.stats.WriteOps += writes
+	m.stats.ComputeOps += computes
+	if kappa > m.stats.MaxContention {
+		m.stats.MaxContention = kappa
+	}
+	m.stats.SumContention += kappa
+	if int64(p) > m.stats.MaxProcs {
+		m.stats.MaxProcs = int64(p)
+	}
+	if m.tracing {
+		m.trace = append(m.trace, StepTrace{
+			Step:      int64(m.stepIndex),
+			Procs:     p,
+			MaxOps:    maxOps,
+			ReadCont:  maxR,
+			WriteCont: maxW,
+			Cost:      cost,
+			Label:     label,
+		})
+	}
+	return nil
+}
+
+// runShards executes f(0..n-1) on up to n goroutines and waits.
+func runShards(n int, f func(shard int)) {
+	if n == 1 {
+		f(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for s := 0; s < n; s++ {
+		go func(s int) {
+			defer wg.Done()
+			f(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+func atomicMaxInt32(p *int32, v int32) {
+	for {
+		old := atomic.LoadInt32(p)
+		if old >= v {
+			return
+		}
+		if atomic.CompareAndSwapInt32(p, old, v) {
+			return
+		}
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

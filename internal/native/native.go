@@ -1,0 +1,125 @@
+// Package native provides real shared-memory (goroutine + atomics)
+// implementations of the paper's headline experiment, mirroring the
+// Cray J90 follow-up [BGMZ95]: the low-contention dart-throwing random
+// permutation against the sorting-based one, on actual hardware rather
+// than the simulator. The wall-clock benchmarks in bench_test.go compare
+// them.
+package native
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"lowcontend/internal/xrand"
+)
+
+// DartPermutation generates a uniformly random permutation of [0, n)
+// with the dart-throwing algorithm of Theorem 5.1 executed by real
+// goroutines: each worker claims random cells of a 2n-cell array with
+// compare-and-swap (the hardware analogue of the queued write), then the
+// claimed cells are compacted in order.
+func DartPermutation(n int, seed uint64, workers int) []int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	aLen := 2 * n
+	arr := make([]int64, aLen)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi, w int) {
+			defer wg.Done()
+			rng := xrand.NewStream3(seed, 0, uint64(w))
+			for i := lo; i < hi; i++ {
+				for {
+					t := rng.Intn(aLen)
+					if atomic.CompareAndSwapInt64(&arr[t], 0, int64(i)+1) {
+						break
+					}
+				}
+			}
+		}(lo, hi, w)
+	}
+	wg.Wait()
+	// Parallel compaction: per-worker counts, then a prefix, then copy.
+	out := make([]int, n)
+	counts := make([]int, workers+1)
+	seg := (aLen + workers - 1) / workers
+	var wg2 sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg2.Add(1)
+		go func(w int) {
+			defer wg2.Done()
+			lo, hi := w*seg, (w+1)*seg
+			if hi > aLen {
+				hi = aLen
+			}
+			c := 0
+			for j := lo; j < hi; j++ {
+				if arr[j] != 0 {
+					c++
+				}
+			}
+			counts[w+1] = c
+		}(w)
+	}
+	wg2.Wait()
+	for w := 0; w < workers; w++ {
+		counts[w+1] += counts[w]
+	}
+	var wg3 sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg3.Add(1)
+		go func(w int) {
+			defer wg3.Done()
+			lo, hi := w*seg, (w+1)*seg
+			if hi > aLen {
+				hi = aLen
+			}
+			pos := counts[w]
+			for j := lo; j < hi; j++ {
+				if arr[j] != 0 {
+					out[pos] = int(arr[j]) - 1
+					pos++
+				}
+			}
+		}(w)
+	}
+	wg3.Wait()
+	return out
+}
+
+// SortPermutation generates a random permutation the popular EREW way:
+// draw a random key per item and sort (the "system sort" baseline).
+func SortPermutation(n int, seed uint64) []int {
+	rng := xrand.NewStream(seed)
+	type kv struct {
+		k uint64
+		v int
+	}
+	pairs := make([]kv, n)
+	for i := range pairs {
+		pairs[i] = kv{rng.Uint64(), i}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].k != pairs[j].k {
+			return pairs[i].k < pairs[j].k
+		}
+		return pairs[i].v < pairs[j].v
+	})
+	out := make([]int, n)
+	for i, p := range pairs {
+		out[i] = p.v
+	}
+	return out
+}

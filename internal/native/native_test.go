@@ -1,0 +1,46 @@
+package native
+
+import (
+	"testing"
+
+	"lowcontend/internal/perm"
+)
+
+func TestDartPermutationValid(t *testing.T) {
+	for _, n := range []int{1, 7, 1000, 10000} {
+		p := DartPermutation(n, 5, 0)
+		if !perm.IsPermutation(p) {
+			t.Fatalf("n=%d: not a permutation", n)
+		}
+	}
+}
+
+func TestDartPermutationWorkers(t *testing.T) {
+	p := DartPermutation(5000, 9, 3)
+	if !perm.IsPermutation(p) {
+		t.Fatal("not a permutation with explicit workers")
+	}
+}
+
+func TestSortPermutationValid(t *testing.T) {
+	for _, n := range []int{1, 100, 5000} {
+		p := SortPermutation(n, 3)
+		if !perm.IsPermutation(p) {
+			t.Fatalf("n=%d: not a permutation", n)
+		}
+	}
+}
+
+func TestPermutationsDifferBySeed(t *testing.T) {
+	a := DartPermutation(100, 1, 2)
+	b := DartPermutation(100, 2, 2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical permutations")
+	}
+}

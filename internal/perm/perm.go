@@ -1,0 +1,302 @@
+// Package perm implements Section 5 of the paper: generating random
+// permutations and random cyclic permutations.
+//
+// Three algorithms compete in the paper's MasPar experiment (Table II):
+//
+//   - Random: the QRQW dart-throwing algorithm of Theorem 5.1 (adapted
+//     from Gil's renaming algorithm) — O(lg n) time, linear work w.h.p.
+//   - ScanDart: dart throwing with per-round scan-based compaction (the
+//     "dart-throwing with scans" contender).
+//   - SortingBased: the popular EREW algorithm — draw random keys, sort
+//     them (bitonic, as on the MasPar), rank = permutation.
+//
+// CyclicFast implements the O(sqrt(lg n))-time random cyclic permutation
+// of Theorem 5.2 (dart throwing into an oversized array, successors by a
+// bounded binary-tree walk). Cycle-representation helpers reproduce
+// Figure 1.
+package perm
+
+import (
+	"fmt"
+
+	"lowcontend/internal/machine"
+	"lowcontend/internal/prim"
+)
+
+// dirty marks an array cell on which a write collision occurred; per the
+// protocol of Section 5.1, every colliding claim fails, so the cell hosts
+// nobody (this is what keeps the permutation unbiased).
+const dirty machine.Word = -7
+
+// maxRestarts bounds Las Vegas restarts before giving up (the per-run
+// failure probability is polynomially small, so hitting this is a bug).
+const maxRestarts = 100
+
+// Random generates a uniformly random permutation of [0, n) with the
+// QRQW dart-throwing algorithm of Theorem 5.1 and returns the base of an
+// n-cell region P with P[rank] = item. O(lg n) time and linear work
+// w.h.p. on a QRQW machine.
+//
+// Round r lets every unplaced item claim a random cell of a fresh
+// subarray (sizes 2n, n, n/2, ...); a claim succeeds only if no other
+// item targeted the same cell in the round (write, read back, colliders
+// mark the cell dirty, survivors confirm), so arbitration cannot bias the
+// permutation. After O(lg lg n) rounds all items are placed w.h.p., and
+// one prefix-sums compaction of the subarrays yields the explicit
+// permutation.
+func Random(m *machine.Machine, n int) (int, error) {
+	if n <= 0 {
+		panic("perm: Random with non-positive n")
+	}
+	out := m.Alloc(n)
+	rounds := 2*prim.Max(1, prim.CeilLog2(prim.Max(2, prim.CeilLog2(n+1)))) + 4
+	// Subarray offsets within A.
+	sizes := make([]int, 0, rounds)
+	total := 0
+	sz := 2 * n
+	for r := 0; r < rounds; r++ {
+		if sz < 64 {
+			sz = 64
+		}
+		sizes = append(sizes, sz)
+		total += sz
+		sz /= 2
+	}
+
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		mark := m.Mark()
+		a := m.Alloc(total)  // 0 free, item+1 placed, dirty on collision
+		status := m.Alloc(n) // cell index in A claimed by item i, or -1
+		choice := m.Alloc(n) // this round's dart target
+		unplaced := m.Alloc(1)
+		if err := prim.FillPar(m, status, n, -1); err != nil {
+			return 0, err
+		}
+		off := 0
+		for r := 0; r < rounds; r++ {
+			sub, subLen := off, sizes[r]
+			off += subLen
+			// Throw.
+			if err := m.ParDoL(n, "perm/throw", func(c *machine.Ctx, i int) {
+				if c.Read(status+i) >= 0 {
+					return
+				}
+				t := sub + c.Rand().Intn(subLen)
+				c.Write(a+t, machine.Word(i)+1)
+				c.Write(choice+i, machine.Word(t))
+			}); err != nil {
+				return 0, err
+			}
+			// Read back; losers dirty the cell so the arbitration
+			// winner also fails (unbiasedness).
+			if err := m.ParDoL(n, "perm/verify", func(c *machine.Ctx, i int) {
+				if c.Read(status+i) >= 0 {
+					return
+				}
+				t := int(c.Read(choice + i))
+				if c.Read(a+t) != machine.Word(i)+1 {
+					c.Write(a+t, dirty)
+				}
+			}); err != nil {
+				return 0, err
+			}
+			// Confirm.
+			if err := m.ParDoL(n, "perm/confirm", func(c *machine.Ctx, i int) {
+				if c.Read(status+i) >= 0 {
+					return
+				}
+				t := int(c.Read(choice + i))
+				if c.Read(a+t) == machine.Word(i)+1 {
+					c.Write(status+i, machine.Word(t))
+				}
+			}); err != nil {
+				return 0, err
+			}
+		}
+		// Any unplaced item raises the restart flag (an OR computed by
+		// queued writes to one cell: expected contention is O(1) since
+		// w.h.p. nobody writes).
+		if err := m.ParDoL(n, "perm/check", func(c *machine.Ctx, i int) {
+			if c.Read(status+i) < 0 {
+				c.Write(unplaced, 1)
+			}
+		}); err != nil {
+			return 0, err
+		}
+		if m.Word(unplaced) != 0 {
+			m.Release(mark)
+			continue // Las Vegas restart
+		}
+		// Compact A in array order: rank placed cells, write items out.
+		flags := m.Alloc(total)
+		ranks := m.Alloc(total)
+		if err := m.ParDoL(total, "perm/flag", func(c *machine.Ctx, j int) {
+			if c.Read(a+j) > 0 {
+				c.Write(flags+j, 1)
+			} else {
+				c.Write(flags+j, 0)
+			}
+		}); err != nil {
+			return 0, err
+		}
+		if _, err := prim.PrefixSums(m, flags, ranks, total); err != nil {
+			return 0, err
+		}
+		if err := m.ParDoL(total, "perm/emit", func(c *machine.Ctx, j int) {
+			v := c.Read(a + j)
+			if v > 0 {
+				c.Write(out+int(c.Read(ranks+j)), v-1)
+			}
+		}); err != nil {
+			return 0, err
+		}
+		m.Release(mark)
+		return out, nil
+	}
+	return 0, fmt.Errorf("perm: Random exceeded %d restarts", maxRestarts)
+}
+
+// ScanDart generates a uniformly random permutation with the
+// dart-throwing-plus-compaction algorithm of Section 5.2 ("dart-throwing
+// with scans"): every round, unplaced items claim cells of a fixed-size
+// array; the round's survivors are compacted by a scan and transferred to
+// the output, and the array is cleared. O(lg lg n) rounds w.h.p.; each
+// round costs O(lg n) on models without a unit-time scan and O(1) with
+// one, matching the paper's O(lg n lg lg n) / O(lg n) analysis.
+func ScanDart(m *machine.Machine, n int) (int, error) {
+	if n <= 0 {
+		panic("perm: ScanDart with non-positive n")
+	}
+	out := m.Alloc(n)
+	aLen := 2 * n
+	mark := m.Mark()
+	defer m.Release(mark)
+	a := m.Alloc(aLen)
+	status := m.Alloc(n)
+	choice := m.Alloc(n)
+	flags := m.Alloc(aLen)
+	ranks := m.Alloc(aLen)
+	if err := prim.FillPar(m, status, n, -1); err != nil {
+		return 0, err
+	}
+	placed := 0
+	for round := 0; placed < n; round++ {
+		if round > maxRestarts {
+			return 0, fmt.Errorf("perm: ScanDart exceeded %d rounds", maxRestarts)
+		}
+		if err := m.ParDoL(n, "scandart/throw", func(c *machine.Ctx, i int) {
+			if c.Read(status+i) >= 0 {
+				return
+			}
+			t := c.Rand().Intn(aLen)
+			c.Write(a+t, machine.Word(i)+1)
+			c.Write(choice+i, machine.Word(t))
+		}); err != nil {
+			return 0, err
+		}
+		if err := m.ParDoL(n, "scandart/verify", func(c *machine.Ctx, i int) {
+			if c.Read(status+i) >= 0 {
+				return
+			}
+			t := int(c.Read(choice + i))
+			if c.Read(a+t) != machine.Word(i)+1 {
+				c.Write(a+t, dirty)
+			}
+		}); err != nil {
+			return 0, err
+		}
+		if err := m.ParDoL(n, "scandart/confirm", func(c *machine.Ctx, i int) {
+			if c.Read(status+i) >= 0 {
+				return
+			}
+			t := int(c.Read(choice + i))
+			if c.Read(a+t) == machine.Word(i)+1 {
+				c.Write(status+i, machine.Word(t))
+			}
+		}); err != nil {
+			return 0, err
+		}
+		// Enumerate this round's survivors and transfer them after the
+		// already-placed prefix.
+		if err := m.ParDoL(aLen, "scandart/flag", func(c *machine.Ctx, j int) {
+			if c.Read(a+j) > 0 {
+				c.Write(flags+j, 1)
+			} else {
+				c.Write(flags+j, 0)
+			}
+		}); err != nil {
+			return 0, err
+		}
+		totalW, err := prim.PrefixSums(m, flags, ranks, aLen)
+		if err != nil {
+			return 0, err
+		}
+		k := placed
+		if err := m.ParDoL(aLen, "scandart/transfer", func(c *machine.Ctx, j int) {
+			v := c.Read(a + j)
+			if v > 0 {
+				c.Write(out+k+int(c.Read(ranks+j)), v-1)
+			}
+			if v != 0 {
+				c.Write(a+j, 0) // clear for the next round
+			}
+		}); err != nil {
+			return 0, err
+		}
+		placed += int(totalW)
+	}
+	return out, nil
+}
+
+// SortingBased generates a uniformly random permutation with the popular
+// EREW algorithm compared against in Table II: every item draws a random
+// key in [1, 2^31), the keys are sorted with the bitonic network (the
+// MasPar system sort), and the rank order is the permutation; duplicate
+// keys trigger a Las Vegas restart. O(lg^2 n) time, O(n lg^2 n) work.
+func SortingBased(m *machine.Machine, n int) (int, error) {
+	if n <= 0 {
+		panic("perm: SortingBased with non-positive n")
+	}
+	out := m.Alloc(n)
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		mark := m.Mark()
+		keys := m.Alloc(n)
+		if err := m.ParDoL(n, "sortperm/draw", func(c *machine.Ctx, i int) {
+			c.Write(keys+i, machine.Word(c.Rand().Uint64n(1<<31-1))+1)
+			c.Write(out+i, machine.Word(i))
+		}); err != nil {
+			return 0, err
+		}
+		if err := prim.BitonicSortPadded(m, keys, out, n); err != nil {
+			return 0, err
+		}
+		// Duplicate detection: publish a shadow copy, compare with the
+		// left neighbor (exclusive reads), and OR-reduce the indicators
+		// (all EREW-legal, like the MasPar globalor routine).
+		shadow := m.Alloc(n)
+		dupF := m.Alloc(n)
+		dup := m.Alloc(1)
+		if err := prim.Copy(m, keys, shadow, n); err != nil {
+			return 0, err
+		}
+		if err := m.ParDoL(n, "sortperm/dupcheck", func(c *machine.Ctx, i int) {
+			if i > 0 && c.Read(keys+i) == c.Read(shadow+i-1) {
+				c.Write(dupF+i, 1)
+			} else {
+				c.Write(dupF+i, 0)
+			}
+		}); err != nil {
+			return 0, err
+		}
+		dups, err := prim.Reduce(m, dupF, n, dup)
+		if err != nil {
+			return 0, err
+		}
+		bad := dups != 0
+		m.Release(mark)
+		if !bad {
+			return out, nil
+		}
+	}
+	return 0, fmt.Errorf("perm: SortingBased exceeded %d restarts", maxRestarts)
+}

@@ -1,0 +1,92 @@
+package prim
+
+import "lowcontend/internal/machine"
+
+// BitonicSort sorts the n-cell region at keys ascending using Batcher's
+// bitonic network [Bat68]: O(lg^2 n) steps, O(n lg^2 n) operations,
+// exclusive access. If vals >= 0, the n-cell payload region at vals is
+// permuted alongside the keys. n must be a power of two (use
+// BitonicSortPadded otherwise).
+//
+// This is the EREW finishing sort of Theorem 7.3 and the sorting method
+// of the MasPar system sort used by the Table II baseline.
+func BitonicSort(m *machine.Machine, keys, vals, n int) error {
+	if n&(n-1) != 0 {
+		panic("prim: BitonicSort size must be a power of two")
+	}
+	if n <= 1 {
+		return nil
+	}
+	for k := 2; k <= n; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			kk, jj := k, j
+			if err := m.ParDoL(n, "bitonic/cmpx", func(c *machine.Ctx, i int) {
+				l := i ^ jj
+				if l <= i {
+					return // the lower partner handles the pair
+				}
+				a := c.Read(keys + i)
+				b := c.Read(keys + l)
+				ascending := i&kk == 0
+				if (a > b) == ascending {
+					c.Write(keys+i, b)
+					c.Write(keys+l, a)
+					if vals >= 0 {
+						va := c.Read(vals + i)
+						vb := c.Read(vals + l)
+						c.Write(vals+i, vb)
+						c.Write(vals+l, va)
+					}
+				}
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BitonicSortPadded sorts an arbitrary-length region by padding to the
+// next power of two with +infinity sentinels in scratch space.
+func BitonicSortPadded(m *machine.Machine, keys, vals, n int) error {
+	if n <= 1 {
+		return nil
+	}
+	np2 := NextPow2(n)
+	if np2 == n {
+		return BitonicSort(m, keys, vals, n)
+	}
+	mark := m.Mark()
+	defer m.Release(mark)
+	k2 := m.Alloc(np2)
+	v2 := -1
+	if vals >= 0 {
+		v2 = m.Alloc(np2)
+	}
+	const inf = 1<<62 - 1
+	if err := m.ParDoL(np2, "bitonicpad/load", func(c *machine.Ctx, i int) {
+		if i < n {
+			c.Write(k2+i, c.Read(keys+i))
+			if vals >= 0 {
+				c.Write(v2+i, c.Read(vals+i))
+			}
+		} else {
+			c.Write(k2+i, inf)
+			if vals >= 0 {
+				c.Write(v2+i, 0)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	if err := BitonicSort(m, k2, v2, np2); err != nil {
+		return err
+	}
+	if err := Copy(m, k2, keys, n); err != nil {
+		return err
+	}
+	if vals >= 0 {
+		return Copy(m, v2, vals, n)
+	}
+	return nil
+}

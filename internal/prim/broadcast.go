@@ -1,0 +1,50 @@
+package prim
+
+import "lowcontend/internal/machine"
+
+// Broadcast copies the value in cell src into the n cells starting at
+// dst using a binary broadcast tree: O(lg n) steps, O(n) operations, and
+// contention one — this is the "local broadcasting" technique the paper
+// substitutes for concurrent reads (Section 1.2).
+func Broadcast(m *machine.Machine, src, dst, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	if err := m.ParDoL(1, "broadcast/seed", func(c *machine.Ctx, i int) {
+		c.Write(dst, c.Read(src))
+	}); err != nil {
+		return err
+	}
+	for have := 1; have < n; have *= 2 {
+		cnt := Min(have, n-have)
+		off := have
+		if err := m.ParDoL(cnt, "broadcast/double", func(c *machine.Ctx, i int) {
+			c.Write(dst+off+i, c.Read(dst+i))
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Copy copies n cells from src to dst in one step (contention one).
+// The regions must not overlap.
+func Copy(m *machine.Machine, src, dst, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	return m.ParDoL(n, "copy", func(c *machine.Ctx, i int) {
+		c.Write(dst+i, c.Read(src+i))
+	})
+}
+
+// FillPar sets n cells starting at dst to v in one step, charged to the
+// machine (unlike the host-side Machine.Fill).
+func FillPar(m *machine.Machine, dst, n int, v machine.Word) error {
+	if n <= 0 {
+		return nil
+	}
+	return m.ParDoL(n, "fill", func(c *machine.Ctx, i int) {
+		c.Write(dst+i, v)
+	})
+}

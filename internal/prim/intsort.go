@@ -1,0 +1,92 @@
+package prim
+
+import "lowcontend/internal/machine"
+
+// StableSortPairs stably sorts the n-cell key region (keys in [0, K))
+// ascending, carrying the n-cell payload region at vals alongside
+// (vals < 0 to skip). It implements Fact 4.3 of the paper: the EREW PRAM
+// stably sorts n integers in range [1..lg^c n] in O(lg n) time and linear
+// work, by least-significant-digit passes with digit range Theta(lg n),
+// using per-group sequential counting and a global prefix-sums step.
+//
+// Each pass runs in O(lg n) time and O(n) operations, and there are
+// O(log_{lg n} K) passes — a constant for K = polylog(n).
+func StableSortPairs(m *machine.Machine, keys, vals, n int, K machine.Word) error {
+	if n <= 1 || K <= 1 {
+		return nil
+	}
+	// Block size b processors sequentially scan; digit range D.
+	b := Max(2, ILog2(n))
+	D := machine.Word(NextPow2(b))
+	if D > K {
+		D = machine.Word(NextPow2(int(K)))
+	}
+	groups := CeilDiv(n, b)
+
+	mark := m.Mark()
+	defer m.Release(mark)
+	outK := m.Alloc(n)
+	outV := -1
+	if vals >= 0 {
+		outV = m.Alloc(n)
+	}
+	counts := m.Alloc(int(D) * groups) // row-major: counts[d*groups+j]
+	start := m.Alloc(int(D) * groups)
+
+	for unit := machine.Word(1); unit < K; unit *= D {
+		u := unit
+		// Step A: group j counts its block's digits sequentially.
+		if err := m.ParDoL(groups, "intsort/count", func(c *machine.Ctx, j int) {
+			lo, hi := j*b, Min((j+1)*b, n)
+			local := make([]machine.Word, D)
+			for t := lo; t < hi; t++ {
+				d := (c.Read(keys+t) / u) % D
+				local[d]++
+			}
+			c.Compute(hi - lo)
+			for d := machine.Word(0); d < D; d++ {
+				c.Write(counts+int(d)*groups+j, local[d])
+			}
+		}); err != nil {
+			return err
+		}
+		// Step B: exclusive prefix sums over the digit-major matrix give
+		// each (digit, group) its starting output position.
+		if _, err := PrefixSums(m, counts, start, int(D)*groups); err != nil {
+			return err
+		}
+		// Step C: group j re-scans its block and places each element at
+		// its stable global rank.
+		if err := m.ParDoL(groups, "intsort/place", func(c *machine.Ctx, j int) {
+			lo, hi := j*b, Min((j+1)*b, n)
+			local := make([]machine.Word, D)
+			for t := lo; t < hi; t++ {
+				k := c.Read(keys + t)
+				d := (k / u) % D
+				pos := int(c.Read(start+int(d)*groups+j) + local[d])
+				local[d]++
+				c.Write(outK+pos, k)
+				if vals >= 0 {
+					c.Write(outV+pos, c.Read(vals+t))
+				}
+			}
+			c.Compute(hi - lo)
+		}); err != nil {
+			return err
+		}
+		if err := Copy(m, outK, keys, n); err != nil {
+			return err
+		}
+		if vals >= 0 {
+			if err := Copy(m, outV, vals, n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SortSmallIntegers stably sorts n keys in [0, K) without a payload.
+func SortSmallIntegers(m *machine.Machine, keys, n int, K machine.Word) error {
+	return StableSortPairs(m, keys, -1, n, K)
+}

@@ -1,0 +1,61 @@
+package prim
+
+import "lowcontend/internal/machine"
+
+// ListRank computes, for each of n list nodes, the number of nodes that
+// follow it in its linked list. next is the base of an n-cell region
+// where next[i] is the index of i's successor or -1 at the end of a
+// list; every node has in-degree at most one. The ranks are written to
+// the n-cell region at rank.
+//
+// Pointer jumping with double buffering: each round first copies every
+// node's (rank, next) into "successor-readable" shadow cells, then node i
+// reads only its own primary cells and its unique successor's shadow
+// cells, so each cell has exactly one reader per step and the algorithm
+// is legal on an EREW machine. O(lg n) steps, O(n lg n) operations; the
+// paper uses list ranking only on short lists during the array-of-arrays
+// conversion of Section 3.
+func ListRank(m *machine.Machine, next, rank, n int) error {
+	if n == 0 {
+		return nil
+	}
+	mark := m.Mark()
+	defer m.Release(mark)
+	nxt := m.Alloc(n) // working successor pointers (read by owner only)
+	shR := m.Alloc(n) // shadow of rank, read by predecessor only
+	shN := m.Alloc(n) // shadow of nxt, read by predecessor only
+	if err := m.ParDoL(n, "listrank/init", func(c *machine.Ctx, i int) {
+		succ := c.Read(next + i)
+		c.Write(nxt+i, succ)
+		if succ < 0 {
+			c.Write(rank+i, 0)
+		} else {
+			c.Write(rank+i, 1)
+		}
+	}); err != nil {
+		return err
+	}
+	rounds := CeilLog2(n) + 1
+	for r := 0; r < rounds; r++ {
+		// Publish: owner i copies its state into the shadow cells.
+		if err := m.ParDoL(n, "listrank/publish", func(c *machine.Ctx, i int) {
+			c.Write(shR+i, c.Read(rank+i))
+			c.Write(shN+i, c.Read(nxt+i))
+		}); err != nil {
+			return err
+		}
+		// Jump: node i reads its own nxt and its successor's shadows.
+		// In-degree <= 1 makes the successor reads exclusive.
+		if err := m.ParDoL(n, "listrank/jump", func(c *machine.Ctx, i int) {
+			succ := c.Read(nxt + i)
+			if succ < 0 {
+				return
+			}
+			c.Write(rank+i, c.Read(rank+i)+c.Read(shR+int(succ)))
+			c.Write(nxt+i, c.Read(shN+int(succ)))
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

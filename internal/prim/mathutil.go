@@ -1,0 +1,97 @@
+// Package prim provides the zero-contention (EREW-safe) parallel
+// primitives that the paper's algorithms use as building blocks: prefix
+// sums, broadcasting, packing, list ranking, bitonic sorting, stable
+// small-range integer sorting (Fact 4.3), and a CREW merge sort.
+//
+// Every primitive runs on any machine.Model: the access patterns are
+// exclusive, so they are legal even on an EREW machine, and on queued
+// models they incur contention one.
+package prim
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int) int {
+	if b <= 0 {
+		panic("prim: CeilDiv with non-positive divisor")
+	}
+	return (a + b - 1) / b
+}
+
+// ILog2 returns floor(log2(n)) for n >= 1.
+func ILog2(n int) int {
+	if n < 1 {
+		panic("prim: ILog2 of non-positive value")
+	}
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// CeilLog2 returns ceil(log2(n)) for n >= 1 (0 for n == 1).
+func CeilLog2(n int) int {
+	if n < 1 {
+		panic("prim: CeilLog2 of non-positive value")
+	}
+	k := ILog2(n)
+	if 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// NextPow2 returns the smallest power of two >= n (n >= 1).
+func NextPow2(n int) int {
+	if n < 1 {
+		panic("prim: NextPow2 of non-positive value")
+	}
+	return 1 << CeilLog2(n)
+}
+
+// ISqrt returns floor(sqrt(n)) for n >= 0.
+func ISqrt(n int) int {
+	if n < 0 {
+		panic("prim: ISqrt of negative value")
+	}
+	if n < 2 {
+		return n
+	}
+	x := n
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + n/x) / 2
+	}
+	return x
+}
+
+// Log2Star returns lg* n: the number of times lg must be iterated,
+// starting from n, before the result is at most 2.
+func Log2Star(n int) int {
+	if n < 1 {
+		panic("prim: Log2Star of non-positive value")
+	}
+	c := 0
+	for n > 2 {
+		n = ILog2(n)
+		c++
+	}
+	return c
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

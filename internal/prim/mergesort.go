@@ -1,0 +1,98 @@
+package prim
+
+import (
+	"fmt"
+
+	"lowcontend/internal/machine"
+)
+
+// MergeSortCREW sorts the n-cell region at keys ascending (carrying the
+// payload at vals if vals >= 0) by bottom-up merging, where each merge
+// cross-ranks elements with binary search. The access pattern performs
+// concurrent reads (every searcher probes the same sub-array cells), so
+// the algorithm requires a model with concurrent reads; it is the
+// "simple straightforward parallelization of mergesort that runs in
+// O(lg^2 n) time on a crew pram" cited in Section 7.2, and the paper
+// uses it (with Valiant's faster merge) to finish the tiny groups of the
+// CRQW sample sort.
+//
+// On a CREW/CRQW/CRCW machine: O(lg^2 n) time, O(n lg^2 n) operations.
+// The sort is stable.
+func MergeSortCREW(m *machine.Machine, keys, vals, n int) error {
+	if !m.Model().ConcurrentReads() {
+		return fmt.Errorf("prim: MergeSortCREW requires concurrent reads, model is %v", m.Model())
+	}
+	if n <= 1 {
+		return nil
+	}
+	mark := m.Mark()
+	defer m.Release(mark)
+	bufK := m.Alloc(n)
+	bufV := -1
+	if vals >= 0 {
+		bufV = m.Alloc(n)
+	}
+	srcK, dstK := keys, bufK
+	srcV, dstV := vals, bufV
+	for w := 1; w < n; w *= 2 {
+		ww := w
+		sk, dk, sv, dv := srcK, dstK, srcV, dstV
+		if err := m.ParDoL(n, "mergesort/round", func(c *machine.Ctx, i int) {
+			pair := i / (2 * ww) * (2 * ww)
+			aLo := pair
+			aHi := Min(pair+ww, n)
+			bLo := aHi
+			bHi := Min(pair+2*ww, n)
+			key := c.Read(sk + i)
+			var pos int
+			if i < aHi { // element of A: count B elements strictly less
+				r := countLess(c, sk, bLo, bHi, key, true)
+				pos = aLo + (i - aLo) + r
+			} else { // element of B: count A elements less-or-equal
+				r := countLess(c, sk, aLo, aHi, key, false)
+				pos = aLo + (i - bLo) + r
+			}
+			c.Write(dk+pos, key)
+			if sv >= 0 {
+				c.Write(dv+pos, c.Read(sv+i))
+			}
+		}); err != nil {
+			return err
+		}
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	if srcK != keys {
+		if err := Copy(m, srcK, keys, n); err != nil {
+			return err
+		}
+		if vals >= 0 {
+			if err := Copy(m, srcV, vals, n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// countLess binary-searches [lo,hi) of the sorted region at base and
+// returns the number of elements < key (strict) or <= key (!strict).
+func countLess(c *machine.Ctx, base, lo, hi int, key machine.Word, strict bool) int {
+	orig := lo
+	for lo < hi {
+		mid := (lo + hi) / 2
+		v := c.Read(base + mid)
+		var goRight bool
+		if strict {
+			goRight = v < key
+		} else {
+			goRight = v <= key
+		}
+		if goRight {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - orig
+}

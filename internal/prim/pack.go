@@ -1,0 +1,58 @@
+package prim
+
+import "lowcontend/internal/machine"
+
+// Pack moves the values of the cells whose flag is nonzero, in index
+// order, to the front of the region starting at out, and returns how many
+// were packed. flags and vals are n-cell regions; out must have room for
+// the packed values. O(lg n) steps, O(n) operations, exclusive access
+// (this is the standard EREW prefix-sums compaction used as the paper's
+// baseline for the compaction problems).
+func Pack(m *machine.Machine, flags, vals, out, n int) (int, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	mark := m.Mark()
+	defer m.Release(mark)
+	ind := m.Alloc(n)
+	pos := m.Alloc(n)
+	if err := m.ParDoL(n, "pack/indicator", func(c *machine.Ctx, i int) {
+		if c.Read(flags+i) != 0 {
+			c.Write(ind+i, 1)
+		} else {
+			c.Write(ind+i, 0)
+		}
+	}); err != nil {
+		return 0, err
+	}
+	total, err := PrefixSums(m, ind, pos, n)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.ParDoL(n, "pack/scatter", func(c *machine.Ctx, i int) {
+		if c.Read(flags+i) != 0 {
+			p := c.Read(pos + i)
+			c.Write(out+int(p), c.Read(vals+i))
+		}
+	}); err != nil {
+		return 0, err
+	}
+	return int(total), nil
+}
+
+// PackIndices packs the indices i (as Words) of the nonzero flags, in
+// order, into out, returning the count. Same cost profile as Pack.
+func PackIndices(m *machine.Machine, flags, out, n int) (int, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	mark := m.Mark()
+	defer m.Release(mark)
+	idx := m.Alloc(n)
+	if err := m.ParDoL(n, "packidx/init", func(c *machine.Ctx, i int) {
+		c.Write(idx+i, machine.Word(i))
+	}); err != nil {
+		return 0, err
+	}
+	return Pack(m, flags, idx, out, n)
+}

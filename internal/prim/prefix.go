@@ -1,0 +1,154 @@
+package prim
+
+import (
+	"lowcontend/internal/machine"
+)
+
+// PrefixSums computes the exclusive prefix sums of the n cells starting
+// at src into the n cells starting at dst and returns the total. It runs
+// in O(lg n) steps with O(n) operations using a Blelloch up-sweep /
+// down-sweep over a scratch tree; the access pattern is exclusive, so it
+// is legal on every model. If the machine provides a unit-time scan
+// primitive, that is used instead (one step, the scan-simd-qrqw case of
+// Section 5.2).
+//
+// src and dst may coincide. The scratch memory is released before
+// returning.
+func PrefixSums(m *machine.Machine, src, dst, n int) (machine.Word, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	if n < 0 {
+		panic("prim: PrefixSums with negative length")
+	}
+	if m.Model().HasUnitScan() {
+		// Total = last prefix + last value; grab them before the scan
+		// overwrites src when src == dst.
+		last := m.Word(src + n - 1)
+		if err := m.ScanStep(machine.ScanAdd, src, dst, n); err != nil {
+			return 0, err
+		}
+		return m.Word(dst+n-1) + last, nil
+	}
+
+	np2 := NextPow2(n)
+	mark := m.Mark()
+	defer m.Release(mark)
+	tree := m.Alloc(2 * np2) // tree[1] is the root; leaves at tree[np2..2*np2)
+
+	// Load leaves (zero padding comes from Alloc).
+	if err := m.ParDoL(n, "prefix/load", func(c *machine.Ctx, i int) {
+		c.Write(tree+np2+i, c.Read(src+i))
+	}); err != nil {
+		return 0, err
+	}
+	// Up-sweep.
+	for w := np2 / 2; w >= 1; w /= 2 {
+		lvl := w
+		if err := m.ParDoL(lvl, "prefix/up", func(c *machine.Ctx, i int) {
+			v := lvl + i
+			c.Write(tree+v, c.Read(tree+2*v)+c.Read(tree+2*v+1))
+		}); err != nil {
+			return 0, err
+		}
+	}
+	total := m.Word(tree + 1)
+	// Down-sweep: replace each node with the sum of leaves strictly to
+	// its left.
+	m.SetWord(tree+1, 0)
+	for w := 1; w < np2; w *= 2 {
+		lvl := w
+		if err := m.ParDoL(lvl, "prefix/down", func(c *machine.Ctx, i int) {
+			v := lvl + i
+			pre := c.Read(tree + v)
+			leftSum := c.Read(tree + 2*v)
+			c.Write(tree+2*v, pre)
+			c.Write(tree+2*v+1, pre+leftSum)
+		}); err != nil {
+			return 0, err
+		}
+	}
+	// Store the leaf prefixes.
+	if err := m.ParDoL(n, "prefix/store", func(c *machine.Ctx, i int) {
+		c.Write(dst+i, c.Read(tree+np2+i))
+	}); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// Reduce computes the sum of the n cells starting at src, writes it to
+// cell out, and returns it. O(lg n) steps, O(n) operations, exclusive
+// access.
+func Reduce(m *machine.Machine, src, n, out int) (machine.Word, error) {
+	if n == 0 {
+		m.SetWord(out, 0)
+		return 0, nil
+	}
+	np2 := NextPow2(n)
+	mark := m.Mark()
+	defer m.Release(mark)
+	tree := m.Alloc(2 * np2)
+	if err := m.ParDoL(n, "reduce/load", func(c *machine.Ctx, i int) {
+		c.Write(tree+np2+i, c.Read(src+i))
+	}); err != nil {
+		return 0, err
+	}
+	for w := np2 / 2; w >= 1; w /= 2 {
+		lvl := w
+		if err := m.ParDoL(lvl, "reduce/up", func(c *machine.Ctx, i int) {
+			v := lvl + i
+			c.Write(tree+v, c.Read(tree+2*v)+c.Read(tree+2*v+1))
+		}); err != nil {
+			return 0, err
+		}
+	}
+	if err := m.ParDoL(1, "reduce/out", func(c *machine.Ctx, i int) {
+		c.Write(out, c.Read(tree+1))
+	}); err != nil {
+		return 0, err
+	}
+	return m.Word(out), nil
+}
+
+// MaxReduce computes the maximum of the n cells starting at src, writes
+// it to cell out, and returns it. O(lg n) steps, exclusive access.
+// n must be positive.
+func MaxReduce(m *machine.Machine, src, n, out int) (machine.Word, error) {
+	if n <= 0 {
+		panic("prim: MaxReduce of empty range")
+	}
+	np2 := NextPow2(n)
+	mark := m.Mark()
+	defer m.Release(mark)
+	tree := m.Alloc(2 * np2)
+	const negInf = -1 << 62
+	if err := m.ParDoL(np2, "maxreduce/load", func(c *machine.Ctx, i int) {
+		if i < n {
+			c.Write(tree+np2+i, c.Read(src+i))
+		} else {
+			c.Write(tree+np2+i, negInf)
+		}
+	}); err != nil {
+		return 0, err
+	}
+	for w := np2 / 2; w >= 1; w /= 2 {
+		lvl := w
+		if err := m.ParDoL(lvl, "maxreduce/up", func(c *machine.Ctx, i int) {
+			v := lvl + i
+			a, b := c.Read(tree+2*v), c.Read(tree+2*v+1)
+			if b > a {
+				a = b
+			}
+			c.Write(tree+v, a)
+		}); err != nil {
+			return 0, err
+		}
+	}
+	if err := m.ParDoL(1, "maxreduce/out", func(c *machine.Ctx, i int) {
+		c.Write(out, c.Read(tree+1))
+	}); err != nil {
+		return 0, err
+	}
+	return m.Word(out), nil
+}

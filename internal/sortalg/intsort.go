@@ -1,0 +1,278 @@
+package sortalg
+
+import (
+	"fmt"
+
+	"lowcontend/internal/machine"
+	"lowcontend/internal/multicompact"
+	"lowcontend/internal/prim"
+)
+
+// IntegerSortCRQW sorts the n keys at base keys, integers in
+// [0, n * lg^c n), in place on a machine with free concurrent reads
+// (CRQW/CREW/CRCW). It follows the Rajasekaran–Reif structure of
+// Theorem 7.4: the main phase distributes keys by their low-order bits
+// using sample-estimated counts and relaxed heavy multiple compaction
+// (step 5's count/pointer reads are the one place concurrent reading is
+// needed — hence CRQW); a stable Fact 4.3 radix pass on the high-order
+// bits finishes.
+func IntegerSortCRQW(m *machine.Machine, keys, n int, maxKey machine.Word) error {
+	if n <= 1 {
+		return nil
+	}
+	if !m.Model().ConcurrentReads() || m.Model() == machine.QRQW || m.Model() == machine.SIMDQRQW {
+		return fmt.Errorf("sortalg: IntegerSortCRQW needs free concurrent reads, model is %v", m.Model())
+	}
+	lgn := prim.Max(2, prim.CeilLog2(n))
+	// D buckets on the low-order bits; the high bits have range
+	// maxKey/D = O(lg^c n) and are finished by the stable radix pass.
+	D := prim.Max(2, n/(lgn*lgn*lgn))
+	low := machine.Word(D)
+
+	// Sort by low bits via sampling + multiple compaction.
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		v := m.Word(keys + i)
+		if v < 0 || v >= maxKey {
+			return fmt.Errorf("sortalg: key %d out of range", v)
+		}
+		labels[i] = int(v % low)
+	}
+	mark := m.Mark()
+	in, err := multicompact.BuildInput(m, labels, D)
+	if err != nil {
+		m.Release(mark)
+		return err
+	}
+	res, err := multicompact.RunRelaxed(m, in)
+	if err != nil {
+		m.Release(mark)
+		return err
+	}
+	// Pack bucket contents (which are in label order) back into keys:
+	// stable within the machine's arbitration is not required, because
+	// the final radix pass below is stable on the high bits and keys
+	// sharing low bits are interchangeable after this phase... they are
+	// not: equal low bits, different high bits must be ordered by the
+	// final pass — which sorts by high bits stably, preserving the
+	// low-bit grouping. So any order within a bucket is fine.
+	bvals := m.Alloc(in.BLen)
+	if err := m.ParDoL(n, "isort/vals", func(c *machine.Ctx, i int) {
+		p := int(c.Read(res.Pos + i))
+		c.Write(bvals+p, c.Read(keys+i)+1)
+	}); err != nil {
+		m.Release(mark)
+		return err
+	}
+	flags := m.Alloc(in.BLen)
+	if err := m.ParDoL(in.BLen, "isort/flags", func(c *machine.Ctx, j int) {
+		if c.Read(bvals+j) != 0 {
+			c.Write(flags+j, 1)
+		} else {
+			c.Write(flags+j, 0)
+		}
+	}); err != nil {
+		m.Release(mark)
+		return err
+	}
+	packed := m.Alloc(n)
+	cnt, err := prim.Pack(m, flags, bvals, packed, in.BLen)
+	if err != nil {
+		m.Release(mark)
+		return err
+	}
+	if cnt != n {
+		m.Release(mark)
+		return fmt.Errorf("sortalg: integer sort packed %d of %d", cnt, n)
+	}
+	if err := m.ParDoL(n, "isort/back", func(c *machine.Ctx, i int) {
+		c.Write(keys+i, c.Read(packed+i)-1)
+	}); err != nil {
+		m.Release(mark)
+		return err
+	}
+	m.Release(mark)
+
+	// Final phase: stable sort by the high-order part (range
+	// ceil(maxKey/D) = polylog for the stated key range) via Fact 4.3.
+	// Key transform: sort pairs (high, original) stably.
+	high := (maxKey + low - 1) / low
+	mark2 := m.Mark()
+	defer m.Release(mark2)
+	hi := m.Alloc(n)
+	if err := m.ParDoL(n, "isort/high", func(c *machine.Ctx, i int) {
+		c.Write(hi+i, c.Read(keys+i)/low)
+	}); err != nil {
+		return err
+	}
+	return prim.StableSortPairs(m, hi, keys, n, high)
+}
+
+// FAReq is one fetch&add request for EmulateFetchAdd.
+type FAReq struct {
+	Addr  int
+	Delta machine.Word
+}
+
+// EmulateFetchAdd emulates one step of an n-processor fetch&add PRAM on
+// a CRQW machine (Theorem 7.6 / Lemma 7.5): requests are sorted by
+// address with the integer-sorting algorithm, a segmented prefix sum
+// within each address run computes every request's offset, and one
+// leader per run applies the combined delta. Returns the fetched
+// (pre-add) values in request order and applies the additions to target
+// (a machine region of tgtLen cells).
+func EmulateFetchAdd(m *machine.Machine, reqs []FAReq, target, tgtLen int) ([]machine.Word, error) {
+	n := len(reqs)
+	if n == 0 {
+		return nil, nil
+	}
+	for _, r := range reqs {
+		if r.Addr < 0 || r.Addr >= tgtLen {
+			return nil, fmt.Errorf("sortalg: fetch&add address %d out of range", r.Addr)
+		}
+	}
+	mark := m.Mark()
+	defer m.Release(mark)
+	addr := m.Alloc(n)
+	idx := m.Alloc(n)
+	delta := m.Alloc(n)
+	for i, r := range reqs {
+		m.SetWord(addr+i, machine.Word(r.Addr))
+		m.SetWord(idx+i, machine.Word(i))
+		m.SetWord(delta+i, r.Delta)
+	}
+	// Sort request indexes by address (stable small-ish range: use the
+	// CREW mergesort for generality of address ranges).
+	if err := prim.MergeSortCREW(m, addr, idx, n); err != nil {
+		return nil, err
+	}
+	// Permute deltas into sorted order.
+	sdelta := m.Alloc(n)
+	if err := m.ParDoL(n, "fa/permute", func(c *machine.Ctx, i int) {
+		c.Write(sdelta+i, c.Read(delta+int(c.Read(idx+i))))
+	}); err != nil {
+		return nil, err
+	}
+	// Segmented exclusive prefix sums within equal-address runs: a
+	// doubling scan carrying (runStart, prefix).
+	runStart := m.Alloc(n)
+	pre := m.Alloc(n)
+	shS := m.Alloc(n)
+	shP := m.Alloc(n)
+	shA := m.Alloc(n)
+	if err := m.ParDoL(n, "fa/seed", func(c *machine.Ctx, i int) {
+		c.Write(runStart+i, machine.Word(i))
+		c.Write(pre+i, 0)
+	}); err != nil {
+		return nil, err
+	}
+	// First, determine run starts: i is a run start iff i == 0 or
+	// addr[i-1] != addr[i] (shadow copy keeps it exclusive).
+	if err := prim.Copy(m, addr, shA, n); err != nil {
+		return nil, err
+	}
+	isStart := m.Alloc(n)
+	if err := m.ParDoL(n, "fa/starts", func(c *machine.Ctx, i int) {
+		if i == 0 || c.Read(shA+i-1) != c.Read(addr+i) {
+			c.Write(isStart+i, 1)
+		} else {
+			c.Write(isStart+i, 0)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	// runStart[i] = position of i's run head: max-scan of head indexes.
+	if err := m.ParDoL(n, "fa/headseed", func(c *machine.Ctx, i int) {
+		if c.Read(isStart+i) != 0 {
+			c.Write(runStart+i, machine.Word(i))
+		} else {
+			c.Write(runStart+i, -1)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	for d := 1; d < n; d *= 2 {
+		dd := d
+		if err := m.ParDoL(n, "fa/headpub", func(c *machine.Ctx, i int) {
+			c.Write(shS+i, c.Read(runStart+i))
+		}); err != nil {
+			return nil, err
+		}
+		if err := m.ParDoL(n, "fa/headfill", func(c *machine.Ctx, i int) {
+			if i-dd >= 0 && c.Read(shS+i-dd) > c.Read(runStart+i) {
+				c.Write(runStart+i, c.Read(shS+i-dd))
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Segmented prefix of sdelta: Hillis-Steele with run guard.
+	if err := prim.Copy(m, sdelta, pre, n); err != nil {
+		return nil, err
+	}
+	// pre holds inclusive sums; compute via doubling then shift to
+	// exclusive within runs.
+	for d := 1; d < n; d *= 2 {
+		dd := d
+		if err := m.ParDoL(n, "fa/prepub", func(c *machine.Ctx, i int) {
+			c.Write(shP+i, c.Read(pre+i))
+		}); err != nil {
+			return nil, err
+		}
+		if err := m.ParDoL(n, "fa/prefill", func(c *machine.Ctx, i int) {
+			j := i - dd
+			if j < 0 {
+				return
+			}
+			if machine.Word(j) >= c.Read(runStart+i) {
+				c.Write(pre+i, c.Read(pre+i)+c.Read(shP+j))
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Leaders (run heads) fetch the old value and apply the run total;
+	// every request's fetched value = old + inclusivePrefix - ownDelta.
+	old := m.Alloc(n) // old value broadcast per position
+	if err := m.ParDoL(n, "fa/apply", func(c *machine.Ctx, i int) {
+		if c.Read(isStart+i) == 0 {
+			return
+		}
+		a := int(c.Read(addr + i))
+		c.Write(old+i, c.Read(target+a))
+	}); err != nil {
+		return nil, err
+	}
+	// Every element reads its run head's fetched value directly — a
+	// concurrent read, free on the CRQW model this emulation targets.
+	// The last element of each run writes back old + run total.
+	shE := m.Alloc(n)
+	if err := prim.Copy(m, isStart, shE, n); err != nil {
+		return nil, err
+	}
+	if err := m.ParDoL(n, "fa/write", func(c *machine.Ctx, i int) {
+		isLast := i == n-1 || c.Read(shE+i+1) != 0
+		if !isLast {
+			return
+		}
+		head := int(c.Read(runStart + i))
+		a := int(c.Read(addr + i))
+		c.Write(target+a, c.Read(old+head)+c.Read(pre+i))
+	}); err != nil {
+		return nil, err
+	}
+	// Collect fetched values in original request order.
+	outv := m.Alloc(n)
+	if err := m.ParDoL(n, "fa/out", func(c *machine.Ctx, i int) {
+		head := int(c.Read(runStart + i))
+		fetched := c.Read(old+head) + c.Read(pre+i) - c.Read(sdelta+i)
+		c.Write(outv+int(c.Read(idx+i)), fetched)
+	}); err != nil {
+		return nil, err
+	}
+	out := make([]machine.Word, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.Word(outv + i)
+	}
+	return out, nil
+}

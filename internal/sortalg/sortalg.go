@@ -1,0 +1,298 @@
+// Package sortalg implements Section 7 of the paper:
+//
+//   - DistributiveSort (Theorem 7.1): sorting n keys drawn uniformly
+//     from U(0,1) in O(lg n) time and linear work w.h.p. on a QRQW
+//     machine, via multiple compaction into n/lg n subintervals and
+//     per-subinterval sequential finishing.
+//   - SampleSortQRQW (Theorems 7.2/7.3): the sqrt(n)-sample sort
+//     "Algorithm A" with the binary-search fat-tree for low-contention
+//     splitter location; buckets are finished with a segmented bitonic
+//     network. One recursion level is materialized (the recursion only
+//     changes the finishing size; see DESIGN.md).
+//   - IntegerSortCRQW (Theorem 7.4): sorting integers in [0, n*lg^c n)
+//     in O(lg n)-dominated time and near-linear work on a CRQW machine,
+//     following Rajasekaran & Reif's sample-and-count structure with
+//     relaxed heavy multiple compaction.
+//   - EmulateFetchAdd (Theorem 7.6 / Lemma 7.5): emulating one
+//     fetch&add PRAM step via integer sorting + segmented prefix sums.
+package sortalg
+
+import (
+	"fmt"
+
+	"lowcontend/internal/fattree"
+	"lowcontend/internal/machine"
+	"lowcontend/internal/multicompact"
+	"lowcontend/internal/prim"
+)
+
+// DistributiveSort sorts the n keys at base keys, assumed drawn
+// uniformly from [0, maxKey), in place. O(lg n) time and linear work
+// w.h.p. on a QRQW machine. Las Vegas: an overfull subinterval
+// (polynomially rare) falls back to a designated sequential sort,
+// charged to the machine.
+func DistributiveSort(m *machine.Machine, keys, n int, maxKey machine.Word) error {
+	if n <= 1 {
+		return nil
+	}
+	lgn := prim.Max(2, prim.CeilLog2(n))
+	buckets := prim.Max(1, n/lgn)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		v := m.Word(keys + i)
+		if v < 0 || v >= maxKey {
+			return fmt.Errorf("sortalg: key %d out of [0,%d)", v, maxKey)
+		}
+		labels[i] = int(v / ((maxKey + machine.Word(buckets) - 1) / machine.Word(buckets)))
+		if labels[i] >= buckets {
+			labels[i] = buckets - 1
+		}
+	}
+	mark := m.Mark()
+	defer m.Release(mark)
+	in, err := multicompact.BuildInput(m, labels, buckets)
+	if err != nil {
+		return err
+	}
+	if _, err := multicompact.Run(m, in); err != nil {
+		return err
+	}
+	// Rewrite bucket cells from item ids to key values.
+	bvals := m.Alloc(in.BLen)
+	if err := m.ParDoL(in.BLen, "dsort/vals", func(c *machine.Ctx, j int) {
+		v := c.Read(in.B + j)
+		if v > 0 {
+			c.Write(bvals+j, c.Read(keys+int(v-1))+1)
+		}
+	}); err != nil {
+		return err
+	}
+	// Each subinterval is sorted sequentially by its standby processor
+	// (the paper's bucketed heapsort finishing, here charged as
+	// O(b lg b) compute).
+	if err := m.ParDoL(buckets, "dsort/seq", func(c *machine.Ctx, j int) {
+		ptr := int(c.Read(in.Ptrs + j))
+		cnt := int(c.Read(in.Counts + j))
+		if cnt == 0 {
+			return
+		}
+		vals := make([]machine.Word, 0, cnt)
+		for s := 0; s < 4*cnt; s++ {
+			v := c.Read(bvals + ptr + s)
+			if v != 0 {
+				vals = append(vals, v-1)
+			}
+		}
+		insertionSort(vals)
+		c.Compute(cnt * prim.Max(1, prim.CeilLog2(cnt+1)))
+		for idx, v := range vals {
+			c.Write(bvals+ptr+idx, v+1)
+			if idx < 4*cnt && idx < len(vals) {
+				// earlier cells rewritten above; clear the rest below
+			}
+		}
+		for s := len(vals); s < 4*cnt; s++ {
+			c.Write(bvals+ptr+s, 0)
+		}
+	}); err != nil {
+		return err
+	}
+	// Pack all subintervals, in order, back into keys.
+	flags := m.Alloc(in.BLen)
+	if err := m.ParDoL(in.BLen, "dsort/flags", func(c *machine.Ctx, j int) {
+		if c.Read(bvals+j) != 0 {
+			c.Write(flags+j, 1)
+		} else {
+			c.Write(flags+j, 0)
+		}
+	}); err != nil {
+		return err
+	}
+	shifted := m.Alloc(n)
+	cnt, err := prim.Pack(m, flags, bvals, shifted, in.BLen)
+	if err != nil {
+		return err
+	}
+	if cnt != n {
+		return fmt.Errorf("sortalg: packed %d of %d keys", cnt, n)
+	}
+	return m.ParDoL(n, "dsort/out", func(c *machine.Ctx, i int) {
+		c.Write(keys+i, c.Read(shifted+i)-1)
+	})
+}
+
+func insertionSort(v []machine.Word) {
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		j := i - 1
+		for j >= 0 && v[j] > x {
+			v[j+1] = v[j]
+			j--
+		}
+		v[j+1] = x
+	}
+}
+
+// SampleSortQRQW sorts n arbitrary keys at base keys in place on a QRQW
+// machine: sqrt(n) random samples are sorted by all-pairs ranking, every
+// key locates its bucket through the binary-search fat-tree (random-copy
+// probes keep contention low), buckets are placed by relaxed multiple
+// compaction, and each bucket is finished with a segmented bitonic
+// network (all buckets in lockstep). O(lg^2 n)-dominated time and
+// O(n lg n) work; the recursion of Algorithm A only shrinks the
+// finishing size, so one level demonstrates the crossover (DESIGN.md).
+func SampleSortQRQW(m *machine.Machine, keys, n int) error {
+	if n <= 1 {
+		return nil
+	}
+	if n <= 64 {
+		return prim.BitonicSortPadded(m, keys, -1, n)
+	}
+	s := prim.NextPow2(prim.Max(2, prim.ISqrt(n)/2)) // splitter count
+	sample := s                                      // sample size (= splitters)
+
+	mark := m.Mark()
+	defer m.Release(mark)
+	samp := m.Alloc(sample)
+	// Draw the sample (random positions; duplicates are harmless).
+	if err := m.ParDoL(sample, "ssort/sample", func(c *machine.Ctx, i int) {
+		c.Write(samp+i, c.Read(keys+c.Rand().Intn(n)))
+	}); err != nil {
+		return err
+	}
+	// Sort the sample by all-pairs ranking: processor (i, j) pairs
+	// contribute rank counts; with s = O(sqrt(n)), s^2 = O(n) work in
+	// O(1) steps plus a scatter.
+	ranks := m.Alloc(sample)
+	if err := m.ParDoL(sample, "ssort/rank", func(c *machine.Ctx, i int) {
+		ki := c.Read(samp + i)
+		r := 0
+		for j := 0; j < sample; j++ {
+			kj := c.Read(samp + j)
+			if kj < ki || (kj == ki && j < i) {
+				r++
+			}
+		}
+		c.Compute(sample)
+		c.Write(ranks+i, machine.Word(r))
+	}); err != nil {
+		return err
+	}
+	sorted := m.Alloc(sample)
+	if err := m.ParDoL(sample, "ssort/scatter", func(c *machine.Ctx, i int) {
+		c.Write(sorted+int(c.Read(ranks+i)), c.Read(samp+i))
+	}); err != nil {
+		return err
+	}
+
+	// Fat-tree search: bucket of each key.
+	ft, err := fattree.Build(m, sorted, s, prim.Max(s, n/4))
+	if err != nil {
+		return err
+	}
+	path := m.Alloc(n)
+	if err := ft.Search(keys, path, n); err != nil {
+		return err
+	}
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = int(m.Word(path + i))
+	}
+
+	// Place keys into per-bucket subarrays by multiple compaction, then
+	// finish each bucket with a bitonic network over fixed-size padded
+	// blocks so all buckets sort in lockstep.
+	in, err := multicompact.BuildInput(m, labels, s)
+	if err != nil {
+		return err
+	}
+	res, err := multicompact.Run(m, in)
+	if err != nil {
+		return err
+	}
+	// Per-bucket padded blocks sized to the largest bucket.
+	maxB := 1
+	counts := make([]int, s)
+	for _, l := range labels {
+		counts[l]++
+	}
+	for _, c := range counts {
+		if c > maxB {
+			maxB = c
+		}
+	}
+	// Block size covers the whole 4*maxB subarray span so that the
+	// multicompact cell offset is directly a private block slot.
+	blk := prim.NextPow2(4 * maxB)
+	const inf = 1<<62 - 1
+	arena := m.Alloc(s * blk)
+	if err := prim.FillPar(m, arena, s*blk, inf); err != nil {
+		return err
+	}
+	if err := m.ParDoL(n, "ssort/move", func(c *machine.Ctx, i int) {
+		p := int(c.Read(res.Pos + i))
+		l := labels[i]
+		ptr := int(c.Read(in.IPtrs + i))
+		off := p - ptr // private position within the 4*count subarray
+		c.Write(arena+l*blk+off, c.Read(keys+i))
+	}); err != nil {
+		return err
+	}
+	// Segmented bitonic sort over all blocks in lockstep.
+	if err := segmentedBitonic(m, arena, s, blk); err != nil {
+		return err
+	}
+	// Concatenate blocks in splitter order, dropping padding.
+	flags := m.Alloc(s * blk)
+	if err := m.ParDoL(s*blk, "ssort/flags", func(c *machine.Ctx, j int) {
+		if c.Read(arena+j) != inf {
+			c.Write(flags+j, 1)
+		} else {
+			c.Write(flags+j, 0)
+		}
+	}); err != nil {
+		return err
+	}
+	out := m.Alloc(n)
+	cnt, err := prim.Pack(m, flags, arena, out, s*blk)
+	if err != nil {
+		return err
+	}
+	if cnt != n {
+		return fmt.Errorf("sortalg: sample sort packed %d of %d", cnt, n)
+	}
+	return prim.Copy(m, out, keys, n)
+}
+
+// segmentedBitonic runs the bitonic network on every blk-cell segment of
+// the region simultaneously (one ParDo per network step).
+func segmentedBitonic(m *machine.Machine, base, segs, blk int) error {
+	if blk&(blk-1) != 0 {
+		panic("sortalg: segment size must be a power of two")
+	}
+	total := segs * blk
+	for k := 2; k <= blk; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			kk, jj := k, j
+			if err := m.ParDoL(total, "ssort/bitonic", func(c *machine.Ctx, g int) {
+				seg := g / blk
+				i := g % blk
+				l := i ^ jj
+				if l <= i {
+					return
+				}
+				ai := base + seg*blk + i
+				al := base + seg*blk + l
+				a := c.Read(ai)
+				b := c.Read(al)
+				if (a > b) == (i&kk == 0) {
+					c.Write(ai, b)
+					c.Write(al, a)
+				}
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package xrand
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for the canonical SplitMix64 sequence seeded 0.
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+	}
+	// SplitMix64 in this package takes the pre-increment state: passing
+	// i*gamma yields the (i+1)-th output of the canonical generator.
+	const gamma = 0x9e3779b97f4a7c15
+	for i, w := range want {
+		if got := SplitMix64(uint64(i) * gamma); got != w {
+			t.Fatalf("SplitMix64 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestMix3Distinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for seed := uint64(0); seed < 4; seed++ {
+		for step := uint64(0); step < 8; step++ {
+			for proc := uint64(0); proc < 8; proc++ {
+				h := Mix3(seed, step, proc)
+				if seen[h] {
+					t.Fatalf("Mix3 collision at (%d,%d,%d)", seed, step, proc)
+				}
+				seen[h] = true
+			}
+		}
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a, b := NewStream(42), NewStream(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-keyed streams diverged")
+		}
+	}
+	c := NewStream(43)
+	same := 0
+	a = NewStream(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different keys produced %d/100 identical values", same)
+	}
+}
+
+func TestNewStream3(t *testing.T) {
+	a := NewStream3(1, 2, 3)
+	b := NewStream3(1, 2, 3)
+	if a.Uint64() != b.Uint64() {
+		t.Error("NewStream3 not deterministic")
+	}
+	c := NewStream3(1, 2, 4)
+	if a.Uint64() == c.Uint64() {
+		t.Error("NewStream3 proc should matter")
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	s := NewStream(7)
+	for _, n := range []uint64{1, 2, 3, 10, 1000, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := s.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) should panic")
+		}
+	}()
+	NewStream(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewStream(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-squared sanity check over 16 buckets.
+	const buckets = 16
+	const draws = 160000
+	s := NewStream(12345)
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom: P(chi2 > 37.7) < 0.001.
+	if chi2 > 37.7 {
+		t.Errorf("chi-squared = %.1f too large; counts = %v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewStream(9)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBool(t *testing.T) {
+	s := NewStream(11)
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if s.Bool() {
+			trues++
+		}
+	}
+	if trues < 4500 || trues > 5500 {
+		t.Errorf("Bool trues = %d/10000", trues)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		p := NewStream(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	s := NewStream(3)
+	for i := 0; i < 1000; i++ {
+		if s.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}
+
+func TestSourceAdapter(t *testing.T) {
+	src := NewStream(21).Source()
+	r := rand.New(src)
+	v := r.Intn(100)
+	if v < 0 || v >= 100 {
+		t.Fatalf("adapter Intn out of range: %d", v)
+	}
+	src.Seed(5)
+	a := src.Uint64()
+	src.Seed(5)
+	if b := src.Uint64(); a != b {
+		t.Error("Seed via adapter not deterministic")
+	}
+	if src.Int63() < 0 {
+		t.Error("adapter Int63 negative")
+	}
+}
+
+func TestReseedAvoidsAllZeroState(t *testing.T) {
+	// Find-free guard: reseeding with any key must produce a usable
+	// stream (non-zero outputs eventually).
+	s := NewStream(0)
+	var nonzero bool
+	for i := 0; i < 10; i++ {
+		if s.Uint64() != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Error("stream stuck at zero")
+	}
+}
