@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	lowcontend [-seed N] table1|table2|fig1|lowerbound|compaction|all
+//	lowcontend [-seed N] [-n N] table1|table2|fig1|lowerbound|compaction|selftest|all
+//
+// selftest exercises every core.Session entry point at size -n and
+// prints the charged costs; the other subcommands reproduce the paper's
+// artifacts.
 package main
 
 import (
@@ -13,11 +17,14 @@ import (
 	"log"
 	"os"
 
+	"lowcontend/internal/core"
 	"lowcontend/internal/exp"
+	"lowcontend/internal/perm"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 1, "base random seed")
+	n := flag.Int("n", 512, "problem size for selftest")
 	flag.Parse()
 	cmds := flag.Args()
 	if len(cmds) == 0 {
@@ -55,8 +62,12 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Println(s)
+		case "selftest":
+			if err := selftest(*n, *seed); err != nil {
+				log.Fatal(err)
+			}
 		case "all":
-			main2(*seed)
+			runAll(*seed)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", cmd)
 			os.Exit(2)
@@ -64,7 +75,83 @@ func main() {
 	}
 }
 
-func main2(seed uint64) {
+// selftest runs every core.Session entry point at size n on one reused
+// session, printing each phase's charged cost. It doubles as the smoke
+// path: any facade or engine regression fails it.
+func selftest(n int, seed uint64) error {
+	if n < 1 {
+		return fmt.Errorf("selftest: -n must be at least 1 (got %d)", n)
+	}
+	s := core.NewSession(core.QRQW, 1<<16, core.WithSeed(seed))
+	defer s.Close()
+
+	p, err := s.RandomPermutation(n)
+	if err != nil {
+		return err
+	}
+	if !perm.IsPermutation(p) {
+		return fmt.Errorf("selftest: invalid permutation")
+	}
+	fmt.Printf("random permutation    n=%-6d %v\n", n, s.Stats())
+
+	s.Reset()
+	cp, err := s.RandomCyclicPermutation(n)
+	if err != nil {
+		return err
+	}
+	if !perm.IsCyclic(cp) {
+		return fmt.Errorf("selftest: permutation not cyclic")
+	}
+	fmt.Printf("cyclic permutation    n=%-6d %v\n", n, s.Stats())
+
+	s.Reset()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % max(1, n/8)
+	}
+	if _, err := s.MultipleCompaction(labels, max(1, n/8)); err != nil {
+		return err
+	}
+	fmt.Printf("multiple compaction   n=%-6d %v\n", n, s.Stats())
+
+	s.Reset()
+	keys := make([]core.Word, n)
+	for i := range keys {
+		keys[i] = core.Word((i*2654435761 + 1) % (1 << 30))
+	}
+	if err := s.SortUniform(append([]core.Word(nil), keys...), 1<<30); err != nil {
+		return err
+	}
+	fmt.Printf("distributive sort     n=%-6d %v\n", n, s.Stats())
+
+	s.Reset()
+	tb, err := s.BuildHashTable(keys)
+	if err != nil {
+		return err
+	}
+	found, err := tb.Lookup(keys[:min(n, 16)])
+	if err != nil {
+		return err
+	}
+	for _, ok := range found {
+		if !ok {
+			return fmt.Errorf("selftest: hash table lost a key")
+		}
+	}
+	fmt.Printf("hashing build+lookup  n=%-6d %v\n", n, s.Stats())
+
+	s.Reset()
+	counts := make([]int, n)
+	counts[0] = 32
+	if _, err := s.BalanceLoads(counts); err != nil {
+		return err
+	}
+	fmt.Printf("load balancing        n=%-6d %v\n", n, s.Stats())
+	fmt.Println("selftest ok")
+	return nil
+}
+
+func runAll(seed uint64) {
 	rows, err := exp.TableI([]int{1 << 12, 1 << 14, 1 << 16}, seed)
 	if err != nil {
 		log.Fatal(err)

@@ -5,8 +5,8 @@
 // random permutation, parallel hashing, sorting), the EREW baselines
 // they are compared against, and the paper's evaluation artifacts.
 //
-// See README.md for an overview, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the paper-vs-measured record. The public entry
-// points live in internal/core; the benchmark harness at the repository
-// root regenerates every table and figure.
+// See README.md for an overview and DESIGN.md for the system inventory,
+// including the paper-vs-measured record. The public entry points are
+// the Session API in internal/core; the benchmark harness at the
+// repository root regenerates every table and figure.
 package lowcontend

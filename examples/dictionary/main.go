@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,24 +13,29 @@ import (
 )
 
 func main() {
-	const n = 4096
-	m := core.NewMachine(core.QRQW, 1<<20, core.WithSeed(7))
+	n := flag.Int("n", 4096, "number of keys")
+	flag.Parse()
+	if *n < 1 {
+		log.Fatalf("-n must be at least 1 (got %d)", *n)
+	}
+	s := core.NewSession(core.QRQW, 1<<20, core.WithSeed(7))
 	rng := xrand.NewStream(99)
 	seen := map[core.Word]bool{}
-	keys := make([]core.Word, 0, n)
-	for len(keys) < n {
+	keys := make([]core.Word, 0, *n)
+	for len(keys) < *n {
 		k := core.Word(rng.Uint64n(1 << 30))
 		if !seen[k] {
 			seen[k] = true
 			keys = append(keys, k)
 		}
 	}
-	tb, err := core.BuildHashTable(m, keys)
+	tb, err := s.BuildHashTable(keys)
 	if err != nil {
 		log.Fatal(err)
 	}
-	build := m.Stats()
-	queries := append([]core.Word{}, keys[:8]...)
+	build := s.Stats()
+	nq := min(len(keys), 8)
+	queries := append([]core.Word{}, keys[:nq]...)
 	queries = append(queries, 1<<31, 1<<31+1)
 	found, err := tb.Lookup(queries)
 	if err != nil {
@@ -37,5 +43,5 @@ func main() {
 	}
 	fmt.Printf("lookups: %v\n", found)
 	fmt.Printf("build cost:  %v\n", build)
-	fmt.Printf("total cost:  %v\n", m.Stats())
+	fmt.Printf("total cost:  %v\n", s.Stats())
 }

@@ -1,9 +1,11 @@
 // maspar reruns the paper's Table II experiment (random permutation on
 // the MasPar MP-1) on the simulator: three algorithms at n = p = 16384
-// and n = p = 1024 under the queued-contention metric.
+// and n = p = 1024 under the queued-contention metric. With -quick the
+// experiment runs at a small size (for smoke tests).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -11,10 +13,18 @@ import (
 )
 
 func main() {
-	rows, err := exp.TableII(1)
+	quick := flag.Bool("quick", false, "run a small instance only")
+	flag.Parse()
+	sizes := []int{16384, 1024}
+	if *quick {
+		sizes = []int{256}
+	}
+	rows, err := exp.TableIISizes(sizes, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(exp.RenderTableII(rows))
-	fmt.Println("\npaper (ms on the MP-1): sorting 11.25/10.01, scans 8.02/6.05, qrqw 7.57/2.88")
+	if !*quick {
+		fmt.Println("\npaper (ms on the MP-1): sorting 11.25/10.01, scans 8.02/6.05, qrqw 7.57/2.88")
+	}
 }

@@ -1,9 +1,10 @@
-// Quickstart: build a QRQW PRAM, generate a random permutation with the
-// low-contention dart-throwing algorithm (Theorem 5.1), and inspect the
-// charged cost.
+// Quickstart: open a QRQW session, generate a random permutation with
+// the low-contention dart-throwing algorithm (Theorem 5.1), and inspect
+// the charged cost.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -11,11 +12,17 @@ import (
 )
 
 func main() {
-	m := core.NewMachine(core.QRQW, 1<<16, core.WithSeed(42))
-	p, err := core.RandomPermutation(m, 1024)
+	n := flag.Int("n", 1024, "permutation size")
+	flag.Parse()
+	if *n < 1 {
+		log.Fatalf("-n must be at least 1 (got %d)", *n)
+	}
+	s := core.NewSession(core.QRQW, 1<<16, core.WithSeed(42))
+	p, err := s.RandomPermutation(*n)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("first 16 images: %v\n", p[:16])
-	fmt.Printf("machine cost:    %v\n", m.Stats())
+	show := min(len(p), 16)
+	fmt.Printf("first %d images: %v\n", show, p[:show])
+	fmt.Printf("session cost:    %v\n", s.Stats())
 }

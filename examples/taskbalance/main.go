@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,12 +14,16 @@ import (
 )
 
 func main() {
-	const n = 4096
-	counts := make([]int, n)
+	n := flag.Int("n", 4096, "number of processors")
+	flag.Parse()
+	if *n < 1 {
+		log.Fatalf("-n must be at least 1 (got %d)", *n)
+	}
+	counts := make([]int, *n)
 	counts[0] = 64
-	counts[1000] = 32
-	m := core.NewMachine(core.QRQW, 1<<20, core.WithSeed(11))
-	asg, err := core.BalanceLoads(m, counts)
+	counts[*n/4] = 32
+	s := core.NewSession(core.QRQW, 1<<20, core.WithSeed(11))
+	asg, err := s.BalanceLoads(counts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,11 +38,11 @@ func main() {
 		}
 	}
 	fmt.Printf("max tasks per processor after balancing: %d\n", maxT)
-	fmt.Printf("QRQW cost: %v\n", m.Stats())
+	fmt.Printf("QRQW cost: %v\n", s.Stats())
 
-	em := core.NewMachine(core.EREW, 1<<20)
-	if _, err := loadbalance.EREWBalance(em, counts); err != nil {
+	es := core.NewSession(core.EREW, 1<<20)
+	if _, err := loadbalance.EREWBalance(es.Machine(), counts); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("EREW baseline cost: %v\n", em.Stats())
+	fmt.Printf("EREW baseline cost: %v\n", es.Stats())
 }

@@ -4,30 +4,36 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"lowcontend/internal/core"
+	"lowcontend/internal/prim"
 	"lowcontend/internal/xrand"
 )
 
 func main() {
-	const n = 8192
-	m := core.NewMachine(core.QRQW, 1<<20, core.WithSeed(3))
+	n := flag.Int("n", 8192, "number of keys")
+	flag.Parse()
+	if *n < 1 {
+		log.Fatalf("-n must be at least 1 (got %d)", *n)
+	}
+	s := core.NewSession(core.QRQW, 1<<20, core.WithSeed(3))
 	rng := xrand.NewStream(5)
-	keys := make([]core.Word, n)
+	keys := make([]core.Word, *n)
 	for i := range keys {
 		keys[i] = core.Word(rng.Uint64n(1 << 40))
 	}
-	if err := core.SortUniform(m, keys, 1<<40); err != nil {
+	if err := s.SortUniform(keys, 1<<40); err != nil {
 		log.Fatal(err)
 	}
 	ok := true
-	for i := 1; i < n; i++ {
+	for i := 1; i < *n; i++ {
 		if keys[i] < keys[i-1] {
 			ok = false
 		}
 	}
-	fmt.Printf("sorted %d uniform keys: ok=%v\n", n, ok)
-	fmt.Printf("cost: %v (compare lg n = 13)\n", m.Stats())
+	fmt.Printf("sorted %d uniform keys: ok=%v\n", *n, ok)
+	fmt.Printf("cost: %v (compare lg n = %d)\n", s.Stats(), prim.CeilLog2(*n))
 }

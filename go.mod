@@ -1,0 +1,3 @@
+module lowcontend
+
+go 1.24

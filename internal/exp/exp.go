@@ -3,7 +3,11 @@
 // the PRAM simulator and renders them as text tables. Absolute numbers
 // are simulator-charged time units, not the paper's milliseconds; the
 // comparisons reproduce the paper's *shape* (who wins, growth rates,
-// crossovers) as recorded in EXPERIMENTS.md.
+// crossovers) as recorded in DESIGN.md.
+//
+// Machines are owned by core.Session values and host↔device data moves
+// through the session's DeviceSlice API; the algorithm packages are
+// driven directly through Session.Machine.
 package exp
 
 import (
@@ -11,6 +15,7 @@ import (
 	"strings"
 
 	"lowcontend/internal/compact"
+	"lowcontend/internal/core"
 	"lowcontend/internal/hashing"
 	"lowcontend/internal/loadbalance"
 	"lowcontend/internal/machine"
@@ -29,21 +34,26 @@ type Row struct {
 	EREW    int64
 }
 
+// session constructs a measurement session.
+func session(model machine.Model, memWords int, seed uint64) *core.Session {
+	return core.NewSession(model, memWords, core.WithSeed(seed))
+}
+
 // TableI measures each Table I problem at the given sizes: the QRQW
 // algorithm's charged time against its best EREW baseline's.
 func TableI(sizes []int, seed uint64) ([]Row, error) {
 	var rows []Row
 	for _, n := range sizes {
 		// Random permutation: QRQW dart throwing vs EREW sorting-based.
-		qm := machine.New(machine.QRQW, 1<<18, machine.WithSeed(seed))
-		if _, err := perm.Random(qm, n); err != nil {
+		qs := session(core.QRQW, 1<<18, seed)
+		if _, err := perm.Random(qs.Machine(), n); err != nil {
 			return nil, err
 		}
-		em := machine.New(machine.EREW, 1<<18, machine.WithSeed(seed))
-		if _, err := perm.SortingBased(em, n); err != nil {
+		es := session(core.EREW, 1<<18, seed)
+		if _, err := perm.SortingBased(es.Machine(), n); err != nil {
 			return nil, err
 		}
-		rows = append(rows, Row{"random permutation", n, qm.Stats().Time, em.Stats().Time})
+		rows = append(rows, Row{"random permutation", n, qs.Stats().Time, es.Stats().Time})
 
 		// Multiple compaction: QRQW log-star engine vs EREW via stable
 		// integer sort of the labels (the easy reduction the paper
@@ -53,88 +63,75 @@ func TableI(sizes []int, seed uint64) ([]Row, error) {
 		for i := range labels {
 			labels[i] = s.Intn(prim.Max(1, n/8))
 		}
-		qm2 := machine.New(machine.QRQW, 1<<20, machine.WithSeed(seed))
-		in, err := multicompact.BuildInput(qm2, labels, prim.Max(1, n/8))
+		qs2 := session(core.QRQW, 1<<20, seed)
+		in, err := multicompact.BuildInput(qs2.Machine(), labels, prim.Max(1, n/8))
 		if err != nil {
 			return nil, err
 		}
-		if _, err := multicompact.Run(qm2, in); err != nil {
+		if _, err := multicompact.Run(qs2.Machine(), in); err != nil {
 			return nil, err
 		}
-		em2 := machine.New(machine.EREW, 1<<20, machine.WithSeed(seed))
-		kb := em2.Alloc(n)
-		for i := range labels {
-			em2.SetWord(kb+i, machine.Word(labels[i]))
-		}
-		if err := prim.BitonicSortPadded(em2, kb, -1, n); err != nil {
+		es2 := session(core.EREW, 1<<20, seed)
+		kb := es2.UploadInts(labels)
+		if err := prim.BitonicSortPadded(es2.Machine(), kb.Base(), -1, n); err != nil {
 			return nil, err
 		}
-		rows = append(rows, Row{"multiple compaction", n, qm2.Stats().Time, em2.Stats().Time})
+		rows = append(rows, Row{"multiple compaction", n, qs2.Stats().Time, es2.Stats().Time})
 
 		// Sorting from U(0,1): QRQW distributive sort vs EREW bitonic.
-		qm3 := machine.New(machine.QRQW, 1<<20, machine.WithSeed(seed))
-		keys := qm3.Alloc(n)
 		s3 := xrand.NewStream(seed ^ 0x77)
 		vals := make([]machine.Word, n)
 		for i := range vals {
 			vals[i] = machine.Word(s3.Uint64n(1 << 40))
 		}
-		qm3.Store(keys, vals)
-		if err := sortalg.DistributiveSort(qm3, keys, n, 1<<40); err != nil {
+		qs3 := session(core.QRQW, 1<<20, seed)
+		keys := qs3.Upload(vals)
+		if err := sortalg.DistributiveSort(qs3.Machine(), keys.Base(), keys.Len(), 1<<40); err != nil {
 			return nil, err
 		}
-		em3 := machine.New(machine.EREW, 1<<20, machine.WithSeed(seed))
-		kb3 := em3.Alloc(n)
-		em3.Store(kb3, vals)
-		if err := prim.BitonicSortPadded(em3, kb3, -1, n); err != nil {
+		es3 := session(core.EREW, 1<<20, seed)
+		kb3 := es3.Upload(vals)
+		if err := prim.BitonicSortPadded(es3.Machine(), kb3.Base(), -1, n); err != nil {
 			return nil, err
 		}
-		rows = append(rows, Row{"sorting from U(0,1)", n, qm3.Stats().Time, em3.Stats().Time})
+		rows = append(rows, Row{"sorting from U(0,1)", n, qs3.Stats().Time, es3.Stats().Time})
 
 		// Parallel hashing: QRQW build+lookup vs EREW batch membership.
 		hn := prim.Min(n, 1<<13) // hashing memory grows fastest
-		qm4 := machine.New(machine.QRQW, 1<<20, machine.WithSeed(seed))
 		hkeys := distinct(seed+9, hn)
-		hb := qm4.Alloc(hn)
-		qm4.Store(hb, hkeys)
-		tb, err := hashing.Build(qm4, hb, hn)
+		qs4 := session(core.QRQW, 1<<20, seed)
+		hb := qs4.Upload(hkeys)
+		tb, err := hashing.Build(qs4.Machine(), hb.Base(), hb.Len())
 		if err != nil {
 			return nil, err
 		}
-		qb := qm4.Alloc(hn)
-		ob := qm4.Alloc(hn)
-		qm4.Store(qb, hkeys)
-		if err := tb.Lookup(qb, ob, hn); err != nil {
+		qb := qs4.Upload(hkeys)
+		ob := qs4.Malloc(hn)
+		if err := tb.Lookup(qb.Base(), ob.Base(), hn); err != nil {
 			return nil, err
 		}
-		em4 := machine.New(machine.EREW, 1<<20, machine.WithSeed(seed))
-		kb4 := em4.Alloc(hn)
-		em4.Store(kb4, hkeys)
-		qb4 := em4.Alloc(hn)
-		ob4 := em4.Alloc(hn)
-		em4.Store(qb4, hkeys)
-		if err := hashing.EREWMembership(em4, kb4, hn, qb4, ob4, hn); err != nil {
+		es4 := session(core.EREW, 1<<20, seed)
+		kb4 := es4.Upload(hkeys)
+		qb4 := es4.Upload(hkeys)
+		ob4 := es4.Malloc(hn)
+		if err := hashing.EREWMembership(es4.Machine(), kb4.Base(), hn, qb4.Base(), ob4.Base(), hn); err != nil {
 			return nil, err
 		}
-		rows = append(rows, Row{"parallel hashing", hn, qm4.Stats().Time, em4.Stats().Time})
+		rows = append(rows, Row{"parallel hashing", hn, qs4.Stats().Time, es4.Stats().Time})
 
 		// Load balancing (small L): QRQW dispersal vs EREW prefix sums.
 		counts := make([]int, n)
 		counts[0] = 32 // small max load: the regime where QRQW wins
 		counts[n/2] = 16
-		qm5 := machine.New(machine.QRQW, 1<<20, machine.WithSeed(seed))
-		b, err := loadbalance.New(qm5, counts)
-		if err != nil {
+		qs5 := session(core.QRQW, 1<<20, seed)
+		if _, err := qs5.BalanceLoads(counts); err != nil {
 			return nil, err
 		}
-		if err := b.Run(); err != nil {
+		es5 := session(core.EREW, 1<<20, seed)
+		if _, err := loadbalance.EREWBalance(es5.Machine(), counts); err != nil {
 			return nil, err
 		}
-		em5 := machine.New(machine.EREW, 1<<20, machine.WithSeed(seed))
-		if _, err := loadbalance.EREWBalance(em5, counts); err != nil {
-			return nil, err
-		}
-		rows = append(rows, Row{"load balancing (L=32)", n, qm5.Stats().Time, em5.Stats().Time})
+		rows = append(rows, Row{"load balancing (L=32)", n, qs5.Stats().Time, es5.Stats().Time})
 	}
 	return rows, nil
 }
@@ -158,14 +155,20 @@ type TableIIRow struct {
 	Time      int64
 }
 
-// TableII reruns the MasPar experiment on the simulator: the three
-// random-permutation algorithms at n = p = 16384 and n = p = 1024,
-// charged under the queued-contention metric (the paper argues the
-// simd-qrqw metric captures the MP-1; Theorem 2.2(2) makes the qrqw
-// charge equivalent up to constants).
+// TableII reruns the MasPar experiment on the simulator at the paper's
+// sizes: the three random-permutation algorithms at n = p = 16384 and
+// n = p = 1024, charged under the queued-contention metric (the paper
+// argues the simd-qrqw metric captures the MP-1; Theorem 2.2(2) makes
+// the qrqw charge equivalent up to constants).
 func TableII(seed uint64) ([]TableIIRow, error) {
+	return TableIISizes([]int{16384, 1024}, seed)
+}
+
+// TableIISizes is TableII at caller-chosen problem sizes (smoke tests
+// use tiny ones).
+func TableIISizes(sizes []int, seed uint64) ([]TableIIRow, error) {
 	var rows []TableIIRow
-	for _, n := range []int{16384, 1024} {
+	for _, n := range sizes {
 		algos := []struct {
 			name string
 			f    func(*machine.Machine, int) (int, error)
@@ -175,38 +178,61 @@ func TableII(seed uint64) ([]TableIIRow, error) {
 			{"dart-throwing for QRQW", perm.Random},
 		}
 		for _, a := range algos {
-			m := machine.New(machine.QRQW, 1<<18, machine.WithSeed(seed))
-			if _, err := a.f(m, n); err != nil {
+			s := session(core.QRQW, 1<<18, seed)
+			if _, err := a.f(s.Machine(), n); err != nil {
 				return nil, err
 			}
-			rows = append(rows, TableIIRow{a.name, n, m.Stats().Time})
+			rows = append(rows, TableIIRow{a.name, n, s.Stats().Time})
 		}
 	}
 	return rows, nil
 }
 
-// RenderTableII formats the Table II reproduction.
+// RenderTableII formats the Table II reproduction, one column per
+// problem size present in the rows (in first-seen order).
 func RenderTableII(rows []TableIIRow) string {
 	var b strings.Builder
 	b.WriteString("Table II — random permutation (simulator-charged time)\n")
-	fmt.Fprintf(&b, "%-28s %14s %14s\n", "Algorithm", "16K proc.", "1K proc.")
-	byName := map[string][2]int64{}
+	var sizes []int
+	sizeSeen := map[int]bool{}
+	nameSeen := map[string]bool{}
+	byName := map[string][]int64{}
 	var order []string
 	for _, r := range rows {
-		v := byName[r.Algorithm]
-		if r.N == 16384 {
-			v[0] = r.Time
-		} else {
-			v[1] = r.Time
+		if !sizeSeen[r.N] {
+			sizeSeen[r.N] = true
+			sizes = append(sizes, r.N)
 		}
-		if _, ok := byName[r.Algorithm]; !ok {
+		if !nameSeen[r.Algorithm] {
+			nameSeen[r.Algorithm] = true
 			order = append(order, r.Algorithm)
 		}
+	}
+	fmt.Fprintf(&b, "%-28s", "Algorithm")
+	for _, n := range sizes {
+		fmt.Fprintf(&b, " %13d", n)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		col := 0
+		for i, n := range sizes {
+			if n == r.N {
+				col = i
+			}
+		}
+		v := byName[r.Algorithm]
+		if v == nil {
+			v = make([]int64, len(sizes))
+		}
+		v[col] = r.Time
 		byName[r.Algorithm] = v
 	}
 	for _, name := range order {
-		v := byName[name]
-		fmt.Fprintf(&b, "%-28s %14d %14d\n", name, v[0], v[1])
+		fmt.Fprintf(&b, "%-28s", name)
+		for _, t := range byName[name] {
+			fmt.Fprintf(&b, " %13d", t)
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }
@@ -221,14 +247,10 @@ func Fig1(seed uint64) (string, error) {
 	non := []int{1, 0, 3, 2, 4}
 	fmt.Fprintf(&b, "cyclic    pi  = %v  cycles: %v\n", cyc, perm.CycleRepresentation(cyc))
 	fmt.Fprintf(&b, "noncyclic phi = %v  cycles: %v\n", non, perm.CycleRepresentation(non))
-	m := machine.New(machine.QRQW, 1<<14, machine.WithSeed(seed))
-	base, err := perm.CyclicFast(m, 8)
+	s := session(core.QRQW, 1<<14, seed)
+	p, err := s.RandomCyclicPermutation(8)
 	if err != nil {
 		return "", err
-	}
-	p := make([]int, 8)
-	for i := range p {
-		p[i] = int(m.Word(base + i))
 	}
 	fmt.Fprintf(&b, "generated (Thm 5.2, n=8): %v  cycles: %v  single cycle: %v\n",
 		p, perm.CycleRepresentation(p), perm.IsCyclic(p))
@@ -246,15 +268,11 @@ func LowerBound(seed uint64) (string, error) {
 	for _, L := range []int{4, 16, 64, 256, 1024} {
 		counts := make([]int, n)
 		counts[0] = L
-		m := machine.New(machine.QRQW, 1<<20, machine.WithSeed(seed))
-		bal, err := loadbalance.New(m, counts)
-		if err != nil {
+		s := session(core.QRQW, 1<<20, seed)
+		if _, err := s.BalanceLoads(counts); err != nil {
 			return "", err
 		}
-		if err := bal.Run(); err != nil {
-			return "", err
-		}
-		fmt.Fprintf(&b, "%8d %8d %12d\n", L, prim.CeilLog2(L), m.Stats().Time)
+		fmt.Fprintf(&b, "%8d %8d %12d\n", L, prim.CeilLog2(L), s.Stats().Time)
 	}
 	return b.String(), nil
 }
@@ -269,29 +287,27 @@ func CompactionScaling(seed uint64) (string, error) {
 	for _, lgn := range []int{12, 14, 16} {
 		n := 1 << uint(lgn)
 		k := n / 64
-		qm := machine.New(machine.QRQW, 1<<21, machine.WithSeed(seed))
-		flags := qm.Alloc(n)
-		vals := qm.Alloc(n)
 		s := xrand.NewStream(seed)
 		pm := s.Perm(n)
+		flagVals := make([]machine.Word, n)
+		cellVals := make([]machine.Word, n)
 		for j := 0; j < k; j++ {
-			qm.SetWord(flags+pm[j], 1)
-			qm.SetWord(vals+pm[j], machine.Word(j))
+			flagVals[pm[j]] = 1
+			cellVals[pm[j]] = machine.Word(j)
 		}
-		if _, err := compact.LinearCompact(qm, flags, vals, n, k); err != nil {
+		qs := session(core.QRQW, 1<<21, seed)
+		flags := qs.Upload(flagVals)
+		vals := qs.Upload(cellVals)
+		if _, err := compact.LinearCompact(qs.Machine(), flags.Base(), vals.Base(), n, k); err != nil {
 			return "", err
 		}
-		em := machine.New(machine.EREW, 1<<21, machine.WithSeed(seed))
-		flags2 := em.Alloc(n)
-		vals2 := em.Alloc(n)
-		for j := 0; j < k; j++ {
-			em.SetWord(flags2+pm[j], 1)
-			em.SetWord(vals2+pm[j], machine.Word(j))
-		}
-		if _, err := compact.EREWCompact(em, flags2, vals2, n, k); err != nil {
+		es := session(core.EREW, 1<<21, seed)
+		flags2 := es.Upload(flagVals)
+		vals2 := es.Upload(cellVals)
+		if _, err := compact.EREWCompact(es.Machine(), flags2.Base(), vals2.Base(), n, k); err != nil {
 			return "", err
 		}
-		fmt.Fprintf(&b, "%10d %12d %12d\n", n, qm.Stats().Time, em.Stats().Time)
+		fmt.Fprintf(&b, "%10d %12d %12d\n", n, qs.Stats().Time, es.Stats().Time)
 	}
 	return b.String(), nil
 }

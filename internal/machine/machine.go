@@ -22,10 +22,16 @@
 // shared write, and charged local operation, and PTWork is the
 // processor-time product (sum over steps of p * cost).
 //
+// Each model's cost and legality rules live behind the costModel
+// interface in model.go; the step loop in step.go is model-agnostic.
+//
 // The simulator is itself a parallel Go program: the virtual processors
 // of a step are sharded over GOMAXPROCS goroutines, and contention
 // counting uses atomic per-cell counters that are reset via touched-address
 // lists so that cost is proportional to the operations actually performed.
+// Steps whose shards provably touch disjoint address ranges (and every
+// single-worker step) settle on a contention-free fast path with no
+// atomics and no inter-phase barriers.
 package machine
 
 import (
@@ -37,95 +43,17 @@ import (
 // words is represented with 64-bit integers.
 type Word = int64
 
-// Model identifies the memory-contention rule and cost metric charged by
-// a Machine.
-type Model uint8
-
-// The contention models of the paper (Section 2.1).
-const (
-	// EREW forbids any concurrent access to a cell.
-	EREW Model = iota
-	// CREW permits concurrent reads but forbids concurrent writes.
-	CREW
-	// QRQW queues concurrent reads and writes: a step costs
-	// max(m, kappa).
-	QRQW
-	// CRQW permits free concurrent reads and queues concurrent writes.
-	CRQW
-	// CRCW permits free concurrent reads and writes (arbitrary-winner).
-	CRCW
-	// SIMDQRQW is the QRQW restriction with r_i = c_i = w_i <= 1 per
-	// step, modelling SIMD machines such as the MasPar MP-1.
-	SIMDQRQW
-	// ScanSIMDQRQW is SIMDQRQW augmented with a unit-time scan
-	// primitive (Section 5.2's scan-simd-qrqw pram).
-	ScanSIMDQRQW
-	// FetchAdd is the fetch&add PRAM (Section 7.3): CRCW cost plus a
-	// combining unit-time FetchAddStep collective.
-	FetchAdd
-	// ScanQRQW is QRQW augmented with a unit-time scan primitive but
-	// without the SIMD one-operation restriction; it charges the scan
-	// metric to MIMD-style algorithms.
-	ScanQRQW
-)
-
-var modelNames = [...]string{
-	EREW:         "EREW",
-	CREW:         "CREW",
-	QRQW:         "QRQW",
-	CRQW:         "CRQW",
-	CRCW:         "CRCW",
-	SIMDQRQW:     "SIMD-QRQW",
-	ScanSIMDQRQW: "scan-SIMD-QRQW",
-	FetchAdd:     "Fetch&Add",
-	ScanQRQW:     "scan-QRQW",
-}
-
-// String returns the conventional name of the model.
-func (m Model) String() string {
-	if int(m) < len(modelNames) {
-		return modelNames[m]
-	}
-	return fmt.Sprintf("Model(%d)", uint8(m))
-}
-
-// Queued reports whether the model charges queued (contention-linear)
-// cost for writes.
-func (m Model) Queued() bool {
-	switch m {
-	case QRQW, CRQW, SIMDQRQW, ScanSIMDQRQW, ScanQRQW:
-		return true
-	}
-	return false
-}
-
-// ConcurrentReads reports whether the model permits concurrent reads
-// (free or queued).
-func (m Model) ConcurrentReads() bool { return m != EREW }
-
-// ConcurrentWrites reports whether the model permits concurrent writes
-// (free or queued).
-func (m Model) ConcurrentWrites() bool { return m != EREW && m != CREW }
-
-// HasUnitScan reports whether the model provides a unit-time scan
-// primitive.
-func (m Model) HasUnitScan() bool { return m == ScanSIMDQRQW || m == ScanQRQW }
-
-// SIMD reports whether the model restricts each processor to at most one
-// read, one compute and one write per step.
-func (m Model) SIMD() bool { return m == SIMDQRQW || m == ScanSIMDQRQW }
-
 // Machine is an instrumented PRAM. It is not safe for concurrent use by
 // multiple goroutines: one step executes at a time (the step itself runs
 // in parallel internally).
 type Machine struct {
 	model Model
+	cm    costModel // the model's Definition 2.3 rule set
 	seed  uint64
 
 	mem     []Word
 	countsR []int32 // per-cell read-contention scratch (zero between steps)
 	countsW []int32 // per-cell write-contention scratch (zero between steps)
-	winner  []int32 // per-cell write arbitration scratch (-1 between steps)
 	brk     int     // bump-allocation watermark
 
 	maxWorkers int
@@ -136,6 +64,12 @@ type Machine struct {
 	trace     []StepTrace
 	tracing   bool
 	err       error // sticky first model violation
+
+	// noFastPath forces every step through the sharded atomic
+	// contention machinery, for testing that the fast path charges
+	// identical Stats; fastSteps counts steps settled on the fast path.
+	noFastPath bool
+	fastSteps  int64
 }
 
 // Option configures a Machine at construction time.
@@ -167,6 +101,7 @@ func New(model Model, memWords int, opts ...Option) *Machine {
 	}
 	m := &Machine{
 		model:      model,
+		cm:         model.rules(),
 		seed:       1,
 		maxWorkers: runtime.GOMAXPROCS(0),
 	}
@@ -205,7 +140,6 @@ func (m *Machine) growTo(n int) {
 	if c := 2 * len(m.mem); n < c {
 		n = c
 	}
-	old := len(m.mem)
 	mem := make([]Word, n)
 	copy(mem, m.mem)
 	m.mem = mem
@@ -215,12 +149,6 @@ func (m *Machine) growTo(n int) {
 	cw := make([]int32, n)
 	copy(cw, m.countsW)
 	m.countsW = cw
-	w := make([]int32, n)
-	copy(w, m.winner)
-	for i := old; i < n; i++ {
-		w[i] = -1
-	}
-	m.winner = w
 }
 
 // Alloc reserves n zeroed words of shared memory and returns the base
@@ -276,12 +204,18 @@ func (m *Machine) Store(base int, vals []Word) {
 // LoadWords copies n words starting at base out of shared memory.
 // Host-side access, uncharged.
 func (m *Machine) LoadWords(base, n int) []Word {
-	if base < 0 || n < 0 || base+n > len(m.mem) {
-		panic(fmt.Sprintf("machine: LoadWords [%d,%d) out of range 0..%d", base, base+n, len(m.mem)))
-	}
 	out := make([]Word, n)
-	copy(out, m.mem[base:])
+	m.LoadInto(base, out)
 	return out
+}
+
+// LoadInto copies len(dst) words starting at base into dst. Host-side
+// access, uncharged.
+func (m *Machine) LoadInto(base int, dst []Word) {
+	if base < 0 || base+len(dst) > len(m.mem) {
+		panic(fmt.Sprintf("machine: load [%d,%d) out of range 0..%d", base, base+len(dst), len(m.mem)))
+	}
+	copy(dst, m.mem[base:])
 }
 
 // Fill sets n cells starting at base to v. Host-side access, uncharged.
@@ -303,12 +237,32 @@ func (m *Machine) ResetStats() {
 	m.stepIndex = 0
 }
 
-// Reset zeroes memory, releases all allocations, and clears statistics.
+// Reset zeroes memory, releases all allocations, and clears statistics,
+// keeping every backing array (mem, the contention scratch, and the
+// pooled step workers) at its current capacity. It is the cheap way to
+// reuse one Machine across algorithm runs without reallocating.
 func (m *Machine) Reset() {
 	for i := range m.mem {
 		m.mem[i] = 0
 	}
 	m.brk = 0
+	m.ResetStats()
+}
+
+// Free releases the machine's backing stores: shared memory, the
+// contention-accounting scratch arrays, and the per-step worker buffers
+// (which return to a package-level pool for other machines to reuse).
+// The machine stays valid — allocation restarts at address zero and the
+// arrays are re-grown on demand — but unlike Reset nothing is retained,
+// so Free is the right call when a machine becomes idle for a long time
+// or was sized for a much larger workload than what follows.
+func (m *Machine) Free() {
+	m.mem, m.countsR, m.countsW = nil, nil, nil
+	m.brk = 0
+	for _, w := range m.pool {
+		putWorker(w)
+	}
+	m.pool = nil
 	m.ResetStats()
 }
 

@@ -421,6 +421,155 @@ func TestResetAndResetStats(t *testing.T) {
 	}
 }
 
+func TestFree(t *testing.T) {
+	m := New(QRQW, 1<<12)
+	m.Alloc(100)
+	m.SetWord(0, 7)
+	if err := m.ParDo(4096, func(c *Ctx, i int) { c.Write(i%100, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	m.Free()
+	if m.MemWords() != 0 || m.Allocated() != 0 {
+		t.Fatalf("Free left MemWords=%d Allocated=%d", m.MemWords(), m.Allocated())
+	}
+	if m.Stats() != (Stats{}) || m.Err() != nil {
+		t.Error("Free must clear stats and error")
+	}
+	// The machine must remain fully usable: memory re-grows on demand.
+	base := m.Alloc(8)
+	if base != 0 || m.Word(base) != 0 {
+		t.Fatalf("post-Free Alloc base=%d val=%d", base, m.Word(base))
+	}
+	if err := m.ParDo(8, func(c *Ctx, i int) { c.Write(base+i, Word(i)) }); err != nil {
+		t.Fatal(err)
+	}
+	if m.Word(base+7) != 7 {
+		t.Error("post-Free step did not execute")
+	}
+}
+
+func TestReuseAcrossRuns(t *testing.T) {
+	// The same program run twice on one machine — separated by Reset or
+	// by Free — must charge identical stats and produce identical memory.
+	program := func(m *Machine) []Word {
+		base := m.Alloc(512)
+		if err := m.ParDo(512, func(c *Ctx, i int) {
+			c.Write(base+c.Rand().Intn(512), Word(i))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.ParDo(512, func(c *Ctx, i int) {
+			v := c.Read(base + i)
+			c.Write(base+i, v+1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return m.LoadWords(base, 512)
+	}
+	m := New(QRQW, 1<<10, WithSeed(42))
+	mem1 := program(m)
+	st1 := m.Stats()
+	m.Reset()
+	mem2 := program(m)
+	st2 := m.Stats()
+	m.Free()
+	mem3 := program(m)
+	st3 := m.Stats()
+	if st1 != st2 || st1 != st3 {
+		t.Fatalf("stats differ across reuse: %v / %v / %v", st1, st2, st3)
+	}
+	for i := range mem1 {
+		if mem1[i] != mem2[i] || mem1[i] != mem3[i] {
+			t.Fatalf("memory differs at %d after reuse", i)
+		}
+	}
+}
+
+func TestFastPathEngages(t *testing.T) {
+	// A disjoint-address step (proc i touches cell i) must settle on the
+	// contention-free fast path even above the parallel cutoff.
+	const n = 4 * serialCutoff
+	m := New(QRQW, n, WithWorkers(8))
+	if err := m.ParDo(n, func(c *Ctx, i int) { c.Write(i, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if m.fastSteps != 1 {
+		t.Errorf("fastSteps = %d, want 1", m.fastSteps)
+	}
+	// A step where every shard reads one hot cell cannot prove
+	// disjointness and must take the sharded path.
+	if err := m.ParDo(n, func(c *Ctx, i int) { c.Read(0) }); err != nil {
+		t.Fatal(err)
+	}
+	if m.fastSteps != 1 {
+		t.Errorf("fastSteps after hot-cell step = %d, want 1", m.fastSteps)
+	}
+}
+
+func TestFastPathMatchesShardedPath(t *testing.T) {
+	// Regression for the fast path: the same program — mixing disjoint
+	// steps, hot cells, and contended writes — must charge identical
+	// Stats and leave identical memory whether or not the fast path is
+	// allowed, at several worker counts.
+	const n = 3 * serialCutoff
+	program := func(m *Machine) {
+		base := m.Alloc(n)
+		hot := m.Alloc(1)
+		// Disjoint: eligible for the fast path.
+		if err := m.ParDo(n, func(c *Ctx, i int) { c.Write(base+i, Word(i)) }); err != nil {
+			t.Fatal(err)
+		}
+		// Neighbor reads: still disjoint per shard except at boundaries.
+		if err := m.ParDo(n, func(c *Ctx, i int) {
+			v := c.Read(base + (i+1)%n)
+			c.Write(base+i, v+1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Contended writes onto one cell from a sparse subset.
+		if err := m.ParDo(n, func(c *Ctx, i int) {
+			if i%1024 == 0 {
+				c.Write(hot, Word(i))
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Random scatter: cross-shard collisions likely.
+		if err := m.ParDo(n, func(c *Ctx, i int) {
+			c.Write(base+c.Rand().Intn(n), Word(i))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type result struct {
+		st  Stats
+		mem []Word
+	}
+	run := func(workers int, disableFast bool) result {
+		m := New(QRQW, n+1, WithSeed(9), WithWorkers(workers))
+		m.noFastPath = disableFast
+		program(m)
+		if disableFast && m.fastSteps != 0 {
+			t.Fatal("noFastPath did not disable the fast path")
+		}
+		return result{m.Stats(), m.LoadWords(0, n+1)}
+	}
+	ref := run(1, true)
+	for _, workers := range []int{1, 2, 8} {
+		for _, disable := range []bool{true, false} {
+			got := run(workers, disable)
+			if got.st != ref.st {
+				t.Fatalf("workers=%d noFast=%v stats %v, want %v", workers, disable, got.st, ref.st)
+			}
+			for i := range ref.mem {
+				if got.mem[i] != ref.mem[i] {
+					t.Fatalf("workers=%d noFast=%v memory differs at %d", workers, disable, i)
+				}
+			}
+		}
+	}
+}
+
 func TestParDoRejectsBadP(t *testing.T) {
 	m := New(QRQW, 4)
 	if err := m.ParDo(0, func(c *Ctx, i int) {}); err == nil {

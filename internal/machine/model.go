@@ -1,0 +1,198 @@
+package machine
+
+import "fmt"
+
+// Model identifies the memory-contention rule and cost metric charged by
+// a Machine.
+type Model uint8
+
+// The contention models of the paper (Section 2.1).
+const (
+	// EREW forbids any concurrent access to a cell.
+	EREW Model = iota
+	// CREW permits concurrent reads but forbids concurrent writes.
+	CREW
+	// QRQW queues concurrent reads and writes: a step costs
+	// max(m, kappa).
+	QRQW
+	// CRQW permits free concurrent reads and queues concurrent writes.
+	CRQW
+	// CRCW permits free concurrent reads and writes (arbitrary-winner).
+	CRCW
+	// SIMDQRQW is the QRQW restriction with r_i = c_i = w_i <= 1 per
+	// step, modelling SIMD machines such as the MasPar MP-1.
+	SIMDQRQW
+	// ScanSIMDQRQW is SIMDQRQW augmented with a unit-time scan
+	// primitive (Section 5.2's scan-simd-qrqw pram).
+	ScanSIMDQRQW
+	// FetchAdd is the fetch&add PRAM (Section 7.3): CRCW cost plus a
+	// combining unit-time FetchAddStep collective.
+	FetchAdd
+	// ScanQRQW is QRQW augmented with a unit-time scan primitive but
+	// without the SIMD one-operation restriction; it charges the scan
+	// metric to MIMD-style algorithms.
+	ScanQRQW
+)
+
+var modelNames = [...]string{
+	EREW:         "EREW",
+	CREW:         "CREW",
+	QRQW:         "QRQW",
+	CRQW:         "CRQW",
+	CRCW:         "CRCW",
+	SIMDQRQW:     "SIMD-QRQW",
+	ScanSIMDQRQW: "scan-SIMD-QRQW",
+	FetchAdd:     "Fetch&Add",
+	ScanQRQW:     "scan-QRQW",
+}
+
+// String returns the conventional name of the model.
+func (m Model) String() string {
+	if int(m) < len(modelNames) {
+		return modelNames[m]
+	}
+	return fmt.Sprintf("Model(%d)", uint8(m))
+}
+
+// Queued reports whether the model charges queued (contention-linear)
+// cost for writes.
+func (m Model) Queued() bool {
+	switch m {
+	case QRQW, CRQW, SIMDQRQW, ScanSIMDQRQW, ScanQRQW:
+		return true
+	}
+	return false
+}
+
+// ConcurrentReads reports whether the model permits concurrent reads
+// (free or queued).
+func (m Model) ConcurrentReads() bool { return m != EREW }
+
+// ConcurrentWrites reports whether the model permits concurrent writes
+// (free or queued).
+func (m Model) ConcurrentWrites() bool { return m != EREW && m != CREW }
+
+// HasUnitScan reports whether the model provides a unit-time scan
+// primitive.
+func (m Model) HasUnitScan() bool { return m == ScanSIMDQRQW || m == ScanQRQW }
+
+// SIMD reports whether the model restricts each processor to at most one
+// read, one compute and one write per step.
+func (m Model) SIMD() bool { return m == SIMDQRQW || m == ScanSIMDQRQW }
+
+// costModel is the per-model rule set of Definition 2.3: given one
+// step's observed shape — m (the maximum per-processor operation count,
+// already floored at 1), kappaR and kappaW (the maximum per-cell read
+// and write contention) — it charges the step's cost and classifies
+// illegal access patterns. The engine in step.go is model-agnostic; it
+// measures the step and delegates both decisions here, so adding a model
+// means adding one small type below and registering it in costModels,
+// never editing the step loop.
+//
+// The SIMD one-operation-per-kind restriction is per-processor rather
+// than per-cell, so it is detected by the engine while the processor
+// bodies run (see worker.afterProc) and reported via Model.SIMD.
+type costModel interface {
+	// stepCost returns the model-charged cost of one step.
+	stepCost(m, kappaR, kappaW int64) int64
+	// violation returns the kind of model violation implied by the
+	// observed contention maxima ("concurrent-read" or
+	// "concurrent-write"), or "" when the step is legal.
+	violation(kappaR, kappaW int64) string
+}
+
+// erewCost: exclusive reads, exclusive writes; a step costs m and any
+// contention is a violation.
+type erewCost struct{}
+
+func (erewCost) stepCost(m, _, _ int64) int64 { return m }
+func (erewCost) violation(kappaR, kappaW int64) string {
+	if kappaR > 1 {
+		return "concurrent-read"
+	}
+	if kappaW > 1 {
+		return "concurrent-write"
+	}
+	return ""
+}
+
+// crewCost: free concurrent reads, exclusive writes.
+type crewCost struct{}
+
+func (crewCost) stepCost(m, _, _ int64) int64 { return m }
+func (crewCost) violation(_, kappaW int64) string {
+	if kappaW > 1 {
+		return "concurrent-write"
+	}
+	return ""
+}
+
+// qrqwCost: queued reads and writes; a step costs max(m, kappa)
+// (Definition 2.3).
+type qrqwCost struct{}
+
+func (qrqwCost) stepCost(m, kappaR, kappaW int64) int64 { return max(m, kappaR, kappaW) }
+func (qrqwCost) violation(_, _ int64) string            { return "" }
+
+// crqwCost: free concurrent reads, queued writes.
+type crqwCost struct{}
+
+func (crqwCost) stepCost(m, _, kappaW int64) int64 { return max(m, kappaW) }
+func (crqwCost) violation(_, _ int64) string       { return "" }
+
+// crcwCost: free concurrent reads and writes (arbitrary winner); a step
+// costs m regardless of contention.
+type crcwCost struct{}
+
+func (crcwCost) stepCost(m, _, _ int64) int64 { return m }
+func (crcwCost) violation(_, _ int64) string  { return "" }
+
+// simdQRQWCost charges the QRQW queue metric; the additional r_i = c_i =
+// w_i <= 1 restriction is enforced per-processor by the engine.
+type simdQRQWCost struct{}
+
+func (simdQRQWCost) stepCost(m, kappaR, kappaW int64) int64 { return max(m, kappaR, kappaW) }
+func (simdQRQWCost) violation(_, _ int64) string            { return "" }
+
+// scanSIMDQRQWCost is simdQRQWCost on a machine that additionally owns a
+// unit-time scan network (the scan primitive itself is charged by
+// ScanStep, outside the step loop).
+type scanSIMDQRQWCost struct{}
+
+func (scanSIMDQRQWCost) stepCost(m, kappaR, kappaW int64) int64 { return max(m, kappaR, kappaW) }
+func (scanSIMDQRQWCost) violation(_, _ int64) string            { return "" }
+
+// scanQRQWCost is qrqwCost plus the unit-time scan capability.
+type scanQRQWCost struct{}
+
+func (scanQRQWCost) stepCost(m, kappaR, kappaW int64) int64 { return max(m, kappaR, kappaW) }
+func (scanQRQWCost) violation(_, _ int64) string            { return "" }
+
+// fetchAddCost: CRCW cost metric; the combining fetch&add collective is
+// charged separately by FetchAddStep.
+type fetchAddCost struct{}
+
+func (fetchAddCost) stepCost(m, _, _ int64) int64 { return m }
+func (fetchAddCost) violation(_, _ int64) string  { return "" }
+
+// costModels maps each Model to its rule set. New resolves the machine's
+// model through this table once, at construction time.
+var costModels = [...]costModel{
+	EREW:         erewCost{},
+	CREW:         crewCost{},
+	QRQW:         qrqwCost{},
+	CRQW:         crqwCost{},
+	CRCW:         crcwCost{},
+	SIMDQRQW:     simdQRQWCost{},
+	ScanSIMDQRQW: scanSIMDQRQWCost{},
+	FetchAdd:     fetchAddCost{},
+	ScanQRQW:     scanQRQWCost{},
+}
+
+// rules returns the model's costModel.
+func (m Model) rules() costModel {
+	if int(m) >= len(costModels) || costModels[m] == nil {
+		panic(fmt.Sprintf("machine: unknown model %d", uint8(m)))
+	}
+	return costModels[m]
+}

@@ -1,0 +1,97 @@
+package machine
+
+import "testing"
+
+// Unit tests for each model's Definition 2.3 rule set, exercising the
+// costModel implementations directly (no engine involved).
+
+func TestCostModelStepCost(t *testing.T) {
+	cases := []struct {
+		model   Model
+		m, r, w int64
+		want    int64
+	}{
+		// EREW/CREW: cost is m; contention is a legality question, not a
+		// cost one.
+		{EREW, 3, 1, 1, 3},
+		{CREW, 2, 9, 1, 2},
+		// CRCW and Fetch&Add charge m regardless of contention.
+		{CRCW, 1, 50, 70, 1},
+		{CRCW, 4, 1, 1, 4},
+		{FetchAdd, 2, 30, 30, 2},
+		// QRQW and its SIMD/scan variants charge max(m, kappa).
+		{QRQW, 1, 7, 3, 7},
+		{QRQW, 9, 2, 2, 9},
+		{QRQW, 1, 2, 8, 8},
+		{SIMDQRQW, 1, 6, 1, 6},
+		{ScanSIMDQRQW, 1, 1, 5, 5},
+		{ScanQRQW, 2, 4, 3, 4},
+		// CRQW: reads are free, writes queue.
+		{CRQW, 1, 99, 1, 1},
+		{CRQW, 1, 99, 12, 12},
+		{CRQW, 20, 99, 12, 20},
+	}
+	for _, c := range cases {
+		if got := c.model.rules().stepCost(c.m, c.r, c.w); got != c.want {
+			t.Errorf("%v.stepCost(m=%d, kr=%d, kw=%d) = %d, want %d",
+				c.model, c.m, c.r, c.w, got, c.want)
+		}
+	}
+}
+
+func TestCostModelViolation(t *testing.T) {
+	cases := []struct {
+		model Model
+		r, w  int64
+		want  string
+	}{
+		{EREW, 1, 1, ""},
+		{EREW, 2, 1, "concurrent-read"},
+		{EREW, 1, 2, "concurrent-write"},
+		// EREW reports the read violation first when both occur, matching
+		// the engine's historical precedence.
+		{EREW, 3, 3, "concurrent-read"},
+		{CREW, 5, 1, ""},
+		{CREW, 1, 2, "concurrent-write"},
+		{QRQW, 100, 100, ""},
+		{CRQW, 100, 100, ""},
+		{CRCW, 100, 100, ""},
+		{SIMDQRQW, 100, 100, ""},
+		{ScanSIMDQRQW, 100, 100, ""},
+		{ScanQRQW, 100, 100, ""},
+		{FetchAdd, 100, 100, ""},
+	}
+	for _, c := range cases {
+		if got := c.model.rules().violation(c.r, c.w); got != c.want {
+			t.Errorf("%v.violation(kr=%d, kw=%d) = %q, want %q",
+				c.model, c.r, c.w, got, c.want)
+		}
+	}
+}
+
+func TestEveryModelHasRules(t *testing.T) {
+	for mo := range Model(uint8(len(modelNames))) {
+		if mo.rules() == nil {
+			t.Errorf("model %v has no registered costModel", mo)
+		}
+	}
+}
+
+func TestUnknownModelRulesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("rules() on an unknown model should panic")
+		}
+	}()
+	Model(200).rules()
+}
+
+func TestNewResolvesRules(t *testing.T) {
+	m := New(CRQW, 8)
+	if m.cm == nil {
+		t.Fatal("New did not resolve the cost model")
+	}
+	if _, ok := m.cm.(crqwCost); !ok {
+		t.Errorf("resolved rules = %T, want crqwCost", m.cm)
+	}
+}

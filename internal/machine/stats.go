@@ -4,6 +4,14 @@ import "fmt"
 
 // Stats accumulates the model-charged cost of every step executed by a
 // Machine.
+//
+// Stats are deterministic for a fixed (program, model, seed): host
+// scheduling, worker count, and the engine's choice of settlement path
+// never change them. Part of that guarantee is the machine's write
+// arbitration invariant — when several processors write one cell in a
+// step, the highest processor index wins — which every execution path
+// (single-worker, disjoint-shard fast path, sharded atomic path)
+// preserves.
 type Stats struct {
 	// Steps is the number of synchronous PRAM steps executed.
 	Steps int64
@@ -83,7 +91,10 @@ func (s Stats) String() string {
 }
 
 // StepTrace records the accounting of one executed step (tracing must be
-// enabled with WithTrace).
+// enabled with WithTrace). Like Stats, a trace is reproducible across
+// worker counts and settlement paths: contended cells always retain the
+// value written by the highest-indexed processor, so the post-step memory
+// a trace describes is unique.
 type StepTrace struct {
 	Step      int64 // 1-based step index
 	Procs     int   // processors participating

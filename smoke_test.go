@@ -1,0 +1,60 @@
+package lowcontend
+
+import (
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// Smoke tests for the command and example binaries: build each one and
+// run it with a tiny problem size, so a facade or flag regression cannot
+// slip through the unit suites (which never execute package main).
+
+func buildAndRun(t *testing.T, pkg string, args ...string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	out, err = exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", pkg, args, err, out)
+	}
+	return string(out)
+}
+
+func TestSmokeCmdLowcontend(t *testing.T) {
+	out := buildAndRun(t, "./cmd/lowcontend", "-n", "128", "selftest")
+	if want := "selftest ok"; !strings.Contains(out, want) {
+		t.Errorf("selftest output missing %q:\n%s", want, out)
+	}
+}
+
+func TestSmokeExamples(t *testing.T) {
+	cases := []struct {
+		pkg  string
+		args []string
+		want string
+	}{
+		{"./examples/quickstart", []string{"-n", "128"}, "session cost"},
+		{"./examples/dictionary", []string{"-n", "128"}, "build cost"},
+		{"./examples/urnsort", []string{"-n", "256"}, "ok=true"},
+		{"./examples/taskbalance", []string{"-n", "256"}, "QRQW cost"},
+		{"./examples/maspar", []string{"-quick"}, "Table II"},
+	}
+	for _, c := range cases {
+		t.Run(filepath.Base(c.pkg), func(t *testing.T) {
+			t.Parallel()
+			out := buildAndRun(t, c.pkg, c.args...)
+			if !strings.Contains(out, c.want) {
+				t.Errorf("%s output missing %q:\n%s", c.pkg, c.want, out)
+			}
+		})
+	}
+}
