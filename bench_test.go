@@ -1,18 +1,20 @@
 // Benchmarks regenerating every table and figure of the paper's
-// evaluation, plus ablations of the design choices called out in
-// DESIGN.md and wall-clock (native goroutine) counterparts of the
-// headline experiment. Reported "time-units/op" metrics are
-// simulator-charged PRAM time; ns/op is host wall-clock.
+// evaluation (driven by the internal/exp experiment registry), plus
+// ablations of the design choices called out in DESIGN.md and
+// wall-clock (native goroutine) counterparts of the headline
+// experiment. Reported "time-units/op" metrics are simulator-charged
+// PRAM time; ns/op is host wall-clock.
 package lowcontend
 
 import (
+	"fmt"
 	"testing"
 
 	"lowcontend/internal/compact"
-	"lowcontend/internal/hashing"
-	"lowcontend/internal/loadbalance"
+	"lowcontend/internal/core"
+	"lowcontend/internal/exp"
+	"lowcontend/internal/exp/spec"
 	"lowcontend/internal/machine"
-	"lowcontend/internal/multicompact"
 	"lowcontend/internal/native"
 	"lowcontend/internal/perm"
 	"lowcontend/internal/prim"
@@ -26,161 +28,66 @@ func report(b *testing.B, st machine.Stats) {
 	b.ReportMetric(float64(st.MaxContention), "max-contention")
 }
 
-// --- Table II: random permutation, three algorithms, 16K and 1K ------
+// --- Experiment registry: every table/figure cell ---------------------
+//
+// BenchmarkExperiments regenerates each registered artifact cell by
+// cell through the spec runner, reporting each cell's charged PRAM cost
+// alongside its wall-clock. The sub-benchmark tree mirrors the registry
+// (experiment/cell), so new registry entries are benchmarked with no
+// code change here.
 
-func benchPerm(b *testing.B, n int, f func(*machine.Machine, int) (int, error)) {
-	var st machine.Stats
-	for i := 0; i < b.N; i++ {
-		m := machine.New(machine.QRQW, 1<<18, machine.WithSeed(uint64(i)+1))
-		if _, err := f(m, n); err != nil {
-			b.Fatal(err)
-		}
-		st = m.Stats()
+func BenchmarkExperiments(b *testing.B) {
+	pool := core.NewSessionPool()
+	defer pool.Close()
+	for _, e := range exp.Registry() {
+		b.Run(e.Name, func(b *testing.B) {
+			cells := e.Cells(e.DefaultSizes)
+			for ci, cell := range cells {
+				b.Run(cell.Name, func(b *testing.B) {
+					var res spec.Result
+					for i := 0; i < b.N; i++ {
+						one := spec.Experiment{
+							Name:  e.Name,
+							Cells: func([]int) []spec.Cell { return cells[ci : ci+1] },
+						}
+						res = (&spec.Runner{Parallel: 1, Pool: pool}).Run(one, nil, uint64(i)+1)
+						if err := res.FirstErr(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					var st machine.Stats
+					for _, m := range res.Measurements() {
+						st = st.Add(m.Stats)
+					}
+					report(b, st)
+				})
+			}
+		})
 	}
-	report(b, st)
 }
 
-func BenchmarkTableII_Sorting16K(b *testing.B)  { benchPerm(b, 16384, perm.SortingBased) }
-func BenchmarkTableII_ScanDart16K(b *testing.B) { benchPerm(b, 16384, perm.ScanDart) }
-func BenchmarkTableII_QRQWDart16K(b *testing.B) { benchPerm(b, 16384, perm.Random) }
-func BenchmarkTableII_Sorting1K(b *testing.B)   { benchPerm(b, 1024, perm.SortingBased) }
-func BenchmarkTableII_ScanDart1K(b *testing.B)  { benchPerm(b, 1024, perm.ScanDart) }
-func BenchmarkTableII_QRQWDart1K(b *testing.B)  { benchPerm(b, 1024, perm.Random) }
-
-// --- Table I rows ----------------------------------------------------
-
-func BenchmarkTableI_RandomPermutationQRQW(b *testing.B) { benchPerm(b, 1<<14, perm.Random) }
-func BenchmarkTableI_RandomPermutationEREW(b *testing.B) {
-	var st machine.Stats
-	for i := 0; i < b.N; i++ {
-		m := machine.New(machine.EREW, 1<<18, machine.WithSeed(uint64(i)+1))
-		if _, err := perm.SortingBased(m, 1<<14); err != nil {
-			b.Fatal(err)
-		}
-		st = m.Stats()
+// BenchmarkRegenerateAll measures wall-clock artifact regeneration of
+// the full registry at the paper's sizes, at increasing runner
+// parallelism. Charged stats are bit-identical across the variants (the
+// determinism contract); only host wall-clock may differ.
+func BenchmarkRegenerateAll(b *testing.B) {
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			pool := core.NewSessionPool()
+			if par > 1 {
+				pool.Workers = 1
+			}
+			defer pool.Close()
+			r := &spec.Runner{Parallel: par, Pool: pool}
+			for i := 0; i < b.N; i++ {
+				for _, e := range exp.Registry() {
+					if err := r.Run(e, e.DefaultSizes, 1).FirstErr(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 	}
-	report(b, st)
-}
-
-func BenchmarkTableI_MultipleCompactionQRQW(b *testing.B) {
-	n := 1 << 14
-	labels := make([]int, n)
-	s := xrand.NewStream(4)
-	for i := range labels {
-		labels[i] = s.Intn(n / 8)
-	}
-	var st machine.Stats
-	for i := 0; i < b.N; i++ {
-		m := machine.New(machine.QRQW, 1<<20, machine.WithSeed(uint64(i)+1))
-		in, err := multicompact.BuildInput(m, labels, n/8)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := multicompact.Run(m, in); err != nil {
-			b.Fatal(err)
-		}
-		st = m.Stats()
-	}
-	report(b, st)
-}
-
-func BenchmarkTableI_SortU01QRQW(b *testing.B) {
-	n := 1 << 13
-	s := xrand.NewStream(5)
-	vals := make([]machine.Word, n)
-	for i := range vals {
-		vals[i] = machine.Word(s.Uint64n(1 << 40))
-	}
-	var st machine.Stats
-	for i := 0; i < b.N; i++ {
-		m := machine.New(machine.QRQW, 1<<19, machine.WithSeed(uint64(i)+1))
-		keys := m.Alloc(n)
-		m.Store(keys, vals)
-		if err := sortalg.DistributiveSort(m, keys, n, 1<<40); err != nil {
-			b.Fatal(err)
-		}
-		st = m.Stats()
-	}
-	report(b, st)
-}
-
-func BenchmarkTableI_SortU01EREWBitonic(b *testing.B) {
-	n := 1 << 13
-	s := xrand.NewStream(5)
-	vals := make([]machine.Word, n)
-	for i := range vals {
-		vals[i] = machine.Word(s.Uint64n(1 << 40))
-	}
-	var st machine.Stats
-	for i := 0; i < b.N; i++ {
-		m := machine.New(machine.EREW, 1<<19, machine.WithSeed(uint64(i)+1))
-		keys := m.Alloc(n)
-		m.Store(keys, vals)
-		if err := prim.BitonicSortPadded(m, keys, -1, n); err != nil {
-			b.Fatal(err)
-		}
-		st = m.Stats()
-	}
-	report(b, st)
-}
-
-func BenchmarkTableI_HashingBuildQRQW(b *testing.B) {
-	n := 1 << 12
-	s := xrand.NewStream(6)
-	seen := map[machine.Word]bool{}
-	keys := make([]machine.Word, 0, n)
-	for len(keys) < n {
-		k := machine.Word(s.Uint64n(1 << 30))
-		if !seen[k] {
-			seen[k] = true
-			keys = append(keys, k)
-		}
-	}
-	var st machine.Stats
-	for i := 0; i < b.N; i++ {
-		m := machine.New(machine.QRQW, 1<<20, machine.WithSeed(uint64(i)+1))
-		base := m.Alloc(n)
-		m.Store(base, keys)
-		if _, err := hashing.Build(m, base, n); err != nil {
-			b.Fatal(err)
-		}
-		st = m.Stats()
-	}
-	report(b, st)
-}
-
-func BenchmarkTableI_LoadBalancingQRQW(b *testing.B) {
-	n := 1 << 14
-	counts := make([]int, n)
-	counts[0] = 32
-	var st machine.Stats
-	for i := 0; i < b.N; i++ {
-		m := machine.New(machine.QRQW, 1<<20, machine.WithSeed(uint64(i)+1))
-		bal, err := loadbalance.New(m, counts)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := bal.Run(); err != nil {
-			b.Fatal(err)
-		}
-		st = m.Stats()
-	}
-	report(b, st)
-}
-
-func BenchmarkTableI_LoadBalancingEREW(b *testing.B) {
-	n := 1 << 14
-	counts := make([]int, n)
-	counts[0] = 32
-	var st machine.Stats
-	for i := 0; i < b.N; i++ {
-		m := machine.New(machine.EREW, 1<<20, machine.WithSeed(uint64(i)+1))
-		if _, err := loadbalance.EREWBalance(m, counts); err != nil {
-			b.Fatal(err)
-		}
-		st = m.Stats()
-	}
-	report(b, st)
 }
 
 // --- Figure 1: cyclic vs general permutation generation --------------
@@ -209,32 +116,19 @@ func BenchmarkFig1_CyclicEfficient(b *testing.B) {
 	report(b, st)
 }
 
-// --- Lower bound (Theorem 3.2): time vs L ----------------------------
+// --- Ablations --------------------------------------------------------
 
-func benchLB(b *testing.B, L int) {
-	n := 1024
-	counts := make([]int, n)
-	counts[0] = L
+func benchPerm(b *testing.B, n int, f func(*machine.Machine, int) (int, error)) {
 	var st machine.Stats
 	for i := 0; i < b.N; i++ {
-		m := machine.New(machine.QRQW, 1<<19, machine.WithSeed(uint64(i)+1))
-		bal, err := loadbalance.New(m, counts)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := bal.Run(); err != nil {
+		m := machine.New(machine.QRQW, 1<<18, machine.WithSeed(uint64(i)+1))
+		if _, err := f(m, n); err != nil {
 			b.Fatal(err)
 		}
 		st = m.Stats()
 	}
 	report(b, st)
 }
-
-func BenchmarkLowerBound_L16(b *testing.B)   { benchLB(b, 16) }
-func BenchmarkLowerBound_L256(b *testing.B)  { benchLB(b, 256) }
-func BenchmarkLowerBound_L1024(b *testing.B) { benchLB(b, 1024) }
-
-// --- Ablations --------------------------------------------------------
 
 // Ablation (a), Section 5.1.2: the cyclic-permutation array-size
 // trade-off O(lg n/f + f) — compare the sqrt(lg n)-sized staging against

@@ -4,75 +4,187 @@
 //
 // Usage:
 //
-//	lowcontend [-seed N] [-n N] table1|table2|fig1|lowerbound|compaction|selftest|all
+//	lowcontend [flags] list
+//	lowcontend [flags] run <experiment> [run <experiment> ...]
+//	lowcontend [flags] table1|table2|fig1|lowerbound|compaction|selftest|all
 //
+// Flags:
+//
+//	-seed N      base random seed (default 1)
+//	-parallel N  concurrent experiment cells (0 = GOMAXPROCS)
+//	-sizes a,b   comma-separated sizes overriding each experiment's defaults
+//	-json        emit machine-readable JSON (rows + charged stats) instead of text
+//	-check       verify each experiment's expected paper shape after running
+//	-n N         problem size for selftest
+//
+// Experiments are declared in the internal/exp registry and executed by
+// a concurrent runner over a pool of reusable sessions; charged stats
+// and rendered artifacts are bit-identical at any -parallel value.
 // selftest exercises every core.Session entry point at size -n and
-// prints the charged costs; the other subcommands reproduce the paper's
-// artifacts.
+// prints the charged costs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"lowcontend/internal/core"
 	"lowcontend/internal/exp"
+	"lowcontend/internal/exp/spec"
 	"lowcontend/internal/perm"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	seed := flag.Uint64("seed", 1, "base random seed")
 	n := flag.Int("n", 512, "problem size for selftest")
+	parallel := flag.Int("parallel", 0, "concurrent experiment cells (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
+	sizesFlag := flag.String("sizes", "", "comma-separated sizes overriding each experiment's defaults")
+	check := flag.Bool("check", false, "verify each experiment's expected paper shape after running")
 	flag.Parse()
+
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lowcontend: %v\n", err)
+		return 2
+	}
+
+	// One session pool serves every experiment of the invocation. When
+	// cells run concurrently, each pooled machine is bounded to one
+	// step-level worker so that cell parallelism is not multiplied by
+	// step parallelism (charged stats are independent of both).
+	par := *parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	pool := core.NewSessionPool()
+	if par > 1 {
+		pool.Workers = 1
+	}
+	defer pool.Close()
+	runner := &spec.Runner{Parallel: par, Pool: pool}
+
+	// Resolve the argument list into an ordered action plan first, so
+	// argument errors abort before any work runs, then execute the plan
+	// strictly in argument order.
 	cmds := flag.Args()
 	if len(cmds) == 0 {
 		cmds = []string{"all"}
 	}
-	for _, cmd := range cmds {
-		switch cmd {
-		case "table1":
-			rows, err := exp.TableI([]int{1 << 12, 1 << 14, 1 << 16}, *seed)
-			if err != nil {
-				log.Fatal(err)
+	var actions []string // registry names, or the pseudo-actions "list"/"selftest"
+	for i := 0; i < len(cmds); i++ {
+		switch cmd := cmds[i]; cmd {
+		case "list", "selftest":
+			actions = append(actions, cmd)
+		case "run":
+			if i+1 >= len(cmds) {
+				fmt.Fprintln(os.Stderr, "lowcontend: run requires an experiment name (see lowcontend list)")
+				return 2
 			}
-			fmt.Println(exp.RenderRows("Table I — QRQW vs best EREW (simulator-charged time)", rows))
-		case "table2":
-			rows, err := exp.TableII(*seed)
-			if err != nil {
-				log.Fatal(err)
+			i++
+			if _, ok := exp.Find(cmds[i]); !ok {
+				fmt.Fprintf(os.Stderr, "lowcontend: unknown experiment %q (see lowcontend list)\n", cmds[i])
+				return 2
 			}
-			fmt.Println(exp.RenderTableII(rows))
-		case "fig1":
-			s, err := exp.Fig1(*seed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Println(s)
-		case "lowerbound":
-			s, err := exp.LowerBound(*seed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Println(s)
-		case "compaction":
-			s, err := exp.CompactionScaling(*seed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Println(s)
-		case "selftest":
-			if err := selftest(*n, *seed); err != nil {
-				log.Fatal(err)
-			}
+			actions = append(actions, cmds[i])
+		case "table1", "table2", "fig1", "lowerbound", "compaction":
+			actions = append(actions, cmd)
 		case "all":
-			runAll(*seed)
+			for _, e := range exp.Registry() {
+				actions = append(actions, e.Name)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", cmd)
-			os.Exit(2)
+			return 2
 		}
 	}
+
+	exit := 0
+	var results []spec.Result
+	for _, name := range actions {
+		switch name {
+		case "list":
+			printList()
+			continue
+		case "selftest":
+			if err := selftest(*n, *seed); err != nil {
+				fmt.Fprintf(os.Stderr, "lowcontend: %v\n", err)
+				exit = 1
+			}
+			continue
+		}
+		e, _ := exp.Find(name)
+		sz := sizes
+		if sz == nil {
+			sz = e.DefaultSizes
+		}
+		res := runner.Run(e, sz, *seed)
+		for _, c := range res.Cells {
+			if c.Err != nil {
+				fmt.Fprintf(os.Stderr, "lowcontend: %s/%s: %v\n", res.Experiment, c.Cell, c.Err)
+				exit = 1
+			}
+		}
+		if *jsonOut {
+			results = append(results, res)
+		} else {
+			fmt.Println(e.Render(res))
+		}
+		if *check && e.Check != nil {
+			if err := e.Check(res); err != nil {
+				fmt.Fprintf(os.Stderr, "lowcontend: shape check failed: %v\n", err)
+				exit = 1
+			}
+		}
+	}
+	if *jsonOut && results != nil {
+		out, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lowcontend: %v\n", err)
+			return 1
+		}
+		fmt.Println(string(out))
+	}
+	return exit
+}
+
+func printList() {
+	fmt.Println("Experiments (lowcontend run <name>):")
+	for _, e := range exp.Registry() {
+		sizes := ""
+		if e.DefaultSizes != nil {
+			parts := make([]string, len(e.DefaultSizes))
+			for i, n := range e.DefaultSizes {
+				parts[i] = strconv.Itoa(n)
+			}
+			sizes = "  [sizes: " + strings.Join(parts, ",") + "]"
+		}
+		fmt.Printf("  %-12s %s%s\n", e.Name, e.Description, sizes)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -sizes entry %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }
 
 // selftest runs every core.Session entry point at size n on one reused
@@ -149,24 +261,4 @@ func selftest(n int, seed uint64) error {
 	fmt.Printf("load balancing        n=%-6d %v\n", n, s.Stats())
 	fmt.Println("selftest ok")
 	return nil
-}
-
-func runAll(seed uint64) {
-	rows, err := exp.TableI([]int{1 << 12, 1 << 14, 1 << 16}, seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(exp.RenderRows("Table I — QRQW vs best EREW (simulator-charged time)", rows))
-	rows2, err := exp.TableII(seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(exp.RenderTableII(rows2))
-	for _, f := range []func(uint64) (string, error){exp.Fig1, exp.LowerBound, exp.CompactionScaling} {
-		s, err := f(seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println(s)
-	}
 }

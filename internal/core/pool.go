@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sync"
+
+	"lowcontend/internal/machine"
+)
+
+// SessionPool recycles Sessions across independent runs so that callers
+// executing many short-lived measurements (experiment runners, servers)
+// do not churn machine allocations. Idle sessions are keyed by
+// (model, requested memory words): Acquire returns a pooled session of
+// the same shape when one is idle — Reset and Reseeded, so its behavior
+// and charged stats are bit-identical to a fresh
+// NewSession(model, memWords, WithSeed(seed)) — and constructs a new one
+// otherwise.
+//
+// A SessionPool is safe for concurrent use. The Sessions it hands out
+// are not: each acquired session belongs to one goroutine until it is
+// Released.
+type SessionPool struct {
+	// Workers, when positive, bounds the host goroutines each pooled
+	// machine uses per step (machine.WithWorkers). Runners that execute
+	// many sessions concurrently set it low — typically 1 — so that
+	// session-level parallelism is not multiplied by step-level
+	// parallelism. Charged stats are independent of the worker count.
+	Workers int
+
+	mu   sync.Mutex
+	idle map[poolKey][]*Session
+	st   PoolStats
+}
+
+type poolKey struct {
+	model    machine.Model
+	memWords int
+}
+
+// PoolStats counts pool traffic: Acquires = Reuses + News.
+type PoolStats struct {
+	Acquires int64 // total Acquire calls
+	Reuses   int64 // acquires satisfied by an idle session
+	News     int64 // acquires that constructed a fresh session
+}
+
+// NewSessionPool constructs an empty pool. The zero value is also ready
+// to use; the constructor exists for symmetry with the rest of the API.
+func NewSessionPool() *SessionPool {
+	return &SessionPool{}
+}
+
+// Acquire returns a session for the given model, memory capacity, and
+// seed — pooled if an idle session of that shape exists, freshly
+// constructed otherwise. The caller owns the session until Release.
+func (p *SessionPool) Acquire(model machine.Model, memWords int, seed uint64) *Session {
+	key := poolKey{model, memWords}
+	p.mu.Lock()
+	p.st.Acquires++
+	if p.idle == nil {
+		p.idle = make(map[poolKey][]*Session)
+	}
+	if ss := p.idle[key]; len(ss) > 0 {
+		s := ss[len(ss)-1]
+		p.idle[key] = ss[:len(ss)-1]
+		p.st.Reuses++
+		p.mu.Unlock()
+		s.Reseed(seed)
+		return s
+	}
+	p.st.News++
+	p.mu.Unlock()
+	opts := []machine.Option{machine.WithSeed(seed)}
+	if p.Workers > 0 {
+		opts = append(opts, machine.WithWorkers(p.Workers))
+	}
+	return NewSession(model, memWords, opts...)
+}
+
+// Release resets s and returns it to the pool for reuse. The caller must
+// not touch s (or any DeviceSlice bound to it) afterwards.
+func (p *SessionPool) Release(s *Session) {
+	s.Reset()
+	key := poolKey{s.Model(), s.memWords}
+	p.mu.Lock()
+	if p.idle == nil {
+		p.idle = make(map[poolKey][]*Session)
+	}
+	p.idle[key] = append(p.idle[key], s)
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the pool's traffic counters.
+func (p *SessionPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.st
+}
+
+// Close releases the backing stores of every idle session and empties
+// the pool. The pool remains usable; subsequent Acquires construct fresh
+// sessions.
+func (p *SessionPool) Close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, ss := range idle {
+		for _, s := range ss {
+			s.Close()
+		}
+	}
+}

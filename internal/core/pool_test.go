@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"lowcontend/internal/machine"
+	"lowcontend/internal/perm"
+)
+
+func TestSessionPoolReusesByShape(t *testing.T) {
+	p := NewSessionPool()
+	a := p.Acquire(QRQW, 1<<12, 1)
+	b := p.Acquire(QRQW, 1<<14, 1)
+	p.Release(a)
+	p.Release(b)
+	// Same shape comes back from the pool; a different shape does not.
+	if got := p.Acquire(QRQW, 1<<12, 2); got != a {
+		t.Error("same-shape Acquire did not reuse the idle session")
+	}
+	if got := p.Acquire(EREW, 1<<14, 2); got == b {
+		t.Error("Acquire reused a session across models")
+	}
+	st := p.Stats()
+	if st.Acquires != 4 || st.Reuses != 1 || st.News != 3 {
+		t.Errorf("PoolStats = %+v, want 4 acquires / 1 reuse / 3 new", st)
+	}
+}
+
+func TestSessionPoolReuseIsBitIdentical(t *testing.T) {
+	// A pooled session dirtied by one run and re-acquired under a new
+	// seed must replay exactly the run of a fresh session with that seed.
+	fresh := NewSession(QRQW, 1<<13, WithSeed(42))
+	want, err := fresh.RandomPermutation(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStats := fresh.Stats()
+
+	p := NewSessionPool()
+	s := p.Acquire(QRQW, 1<<13, 7)
+	if _, err := s.RandomPermutation(300); err != nil {
+		t.Fatal(err)
+	}
+	p.Release(s)
+	s = p.Acquire(QRQW, 1<<13, 42)
+	got, err := s.RandomPermutation(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st != wantStats {
+		t.Fatalf("pooled stats %v, want %v", st, wantStats)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("pooled session produced a different permutation")
+		}
+	}
+}
+
+func TestSessionPoolConcurrent(t *testing.T) {
+	// Many goroutines hammering one pool (run under -race in CI): every
+	// run's charged stats must equal a sequential fresh-session reference
+	// for its seed, regardless of which pooled machine served it.
+	const goroutines, runsEach, n = 8, 6, 128
+	ref := make(map[uint64]machine.Stats)
+	for g := range goroutines {
+		for r := range runsEach {
+			seed := uint64(g*runsEach+r) + 1
+			s := NewSession(QRQW, 1<<12, WithSeed(seed))
+			if _, err := s.RandomPermutation(n); err != nil {
+				t.Fatal(err)
+			}
+			ref[seed] = s.Stats()
+		}
+	}
+
+	p := NewSessionPool()
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*runsEach)
+	for g := range goroutines {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range runsEach {
+				seed := uint64(g*runsEach+r) + 1
+				s := p.Acquire(QRQW, 1<<12, seed)
+				pm, err := s.RandomPermutation(n)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !perm.IsPermutation(pm) {
+					t.Error("pooled run produced an invalid permutation")
+				}
+				if st := s.Stats(); st != ref[seed] {
+					t.Errorf("seed %d: pooled stats %v, want %v", seed, st, ref[seed])
+				}
+				p.Release(s)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Acquires != goroutines*runsEach {
+		t.Errorf("Acquires = %d, want %d", st.Acquires, goroutines*runsEach)
+	}
+}
+
+func TestSessionPoolClose(t *testing.T) {
+	p := NewSessionPool()
+	s := p.Acquire(QRQW, 1<<10, 1)
+	p.Release(s)
+	p.Close()
+	if s.Machine().MemWords() != 0 {
+		t.Error("Close did not free idle sessions")
+	}
+	// The pool stays usable after Close.
+	s2 := p.Acquire(QRQW, 1<<10, 2)
+	if _, err := s2.RandomPermutation(64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionPoolWorkers(t *testing.T) {
+	// Workers bounds step-level host parallelism without changing charged
+	// stats.
+	fresh := NewSession(QRQW, 1<<12, WithSeed(5))
+	if _, err := fresh.RandomPermutation(200); err != nil {
+		t.Fatal(err)
+	}
+	p := &SessionPool{Workers: 1}
+	s := p.Acquire(QRQW, 1<<12, 5)
+	if _, err := s.RandomPermutation(200); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats() != fresh.Stats() {
+		t.Errorf("Workers=1 stats %v, want %v", s.Stats(), fresh.Stats())
+	}
+}

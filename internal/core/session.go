@@ -12,12 +12,18 @@ import (
 // as the Machine it wraps.
 type Session struct {
 	m *machine.Machine
+
+	// memWords is the capacity requested at construction (the machine may
+	// since have grown past it). SessionPool keys idle sessions on
+	// (model, memWords) so a released session is only handed back to
+	// callers that asked for the same shape.
+	memWords int
 }
 
 // NewSession constructs a session around a fresh PRAM with the given
 // model and initial memory capacity in words.
 func NewSession(model machine.Model, memWords int, opts ...machine.Option) *Session {
-	return &Session{m: machine.New(model, memWords, opts...)}
+	return &Session{m: machine.New(model, memWords, opts...), memWords: memWords}
 }
 
 // Machine exposes the underlying simulator for callers that drive
@@ -39,6 +45,11 @@ func (s *Session) Err() error { return s.m.Err() }
 // array allocated, so a session can be reused across algorithm runs
 // without paying allocation again.
 func (s *Session) Reset() { s.m.Reset() }
+
+// Reseed replaces the machine's base random seed. Combined with Reset it
+// makes a reused session replay exactly the run of a fresh session
+// constructed WithSeed(seed).
+func (s *Session) Reseed(seed uint64) { s.m.Reseed(seed) }
 
 // Close releases the machine's backing stores (shared memory, contention
 // scratch, pooled step workers). The session remains usable; the next

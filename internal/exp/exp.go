@@ -1,29 +1,25 @@
 // Package exp regenerates the paper's evaluation artifacts (Table I,
-// Table II, Figure 1, and the Theorem 3.2 lower-bound demonstration) on
-// the PRAM simulator and renders them as text tables. Absolute numbers
-// are simulator-charged time units, not the paper's milliseconds; the
-// comparisons reproduce the paper's *shape* (who wins, growth rates,
-// crossovers) as recorded in DESIGN.md.
+// Table II, Figure 1, the Theorem 3.2 lower-bound demonstration, and
+// the compaction-scaling comparison) on the PRAM simulator and renders
+// them as text tables. Absolute numbers are simulator-charged time
+// units, not the paper's milliseconds; the comparisons reproduce the
+// paper's *shape* (who wins, growth rates, crossovers) as recorded in
+// DESIGN.md.
 //
-// Machines are owned by core.Session values and host↔device data moves
-// through the session's DeviceSlice API; the algorithm packages are
-// driven directly through Session.Machine.
+// Every artifact is declared in registry.go as a spec.Experiment — a
+// list of measurement cells plus a renderer and an expected-shape
+// check — and executed by a spec.Runner over a pool of reusable
+// sessions. Cells derive all randomness from the base seed and their
+// own parameters, so charged stats and rendered artifacts are
+// bit-identical at any runner parallelism. The functions in this file
+// are the sequential convenience wrappers over that registry.
 package exp
 
 import (
 	"fmt"
 	"strings"
 
-	"lowcontend/internal/compact"
-	"lowcontend/internal/core"
-	"lowcontend/internal/hashing"
-	"lowcontend/internal/loadbalance"
-	"lowcontend/internal/machine"
-	"lowcontend/internal/multicompact"
-	"lowcontend/internal/perm"
-	"lowcontend/internal/prim"
-	"lowcontend/internal/sortalg"
-	"lowcontend/internal/xrand"
+	"lowcontend/internal/exp/spec"
 )
 
 // Row is one measurement: problem, size, and charged times.
@@ -34,106 +30,28 @@ type Row struct {
 	EREW    int64
 }
 
-// session constructs a measurement session.
-func session(model machine.Model, memWords int, seed uint64) *core.Session {
-	return core.NewSession(model, memWords, core.WithSeed(seed))
+// run executes a registry experiment sequentially and surfaces the
+// first cell error, preserving the pre-registry harness's contract.
+func run(name string, sizes []int, seed uint64) (spec.Result, error) {
+	e, ok := Find(name)
+	if !ok {
+		return spec.Result{}, fmt.Errorf("exp: unknown experiment %q", name)
+	}
+	if sizes == nil {
+		sizes = e.DefaultSizes
+	}
+	res := (&spec.Runner{Parallel: 1}).Run(e, sizes, seed)
+	return res, res.FirstErr()
 }
 
 // TableI measures each Table I problem at the given sizes: the QRQW
 // algorithm's charged time against its best EREW baseline's.
 func TableI(sizes []int, seed uint64) ([]Row, error) {
-	var rows []Row
-	for _, n := range sizes {
-		// Random permutation: QRQW dart throwing vs EREW sorting-based.
-		qs := session(core.QRQW, 1<<18, seed)
-		if _, err := perm.Random(qs.Machine(), n); err != nil {
-			return nil, err
-		}
-		es := session(core.EREW, 1<<18, seed)
-		if _, err := perm.SortingBased(es.Machine(), n); err != nil {
-			return nil, err
-		}
-		rows = append(rows, Row{"random permutation", n, qs.Stats().Time, es.Stats().Time})
-
-		// Multiple compaction: QRQW log-star engine vs EREW via stable
-		// integer sort of the labels (the easy reduction the paper
-		// cites).
-		labels := make([]int, n)
-		s := xrand.NewStream(seed + uint64(n))
-		for i := range labels {
-			labels[i] = s.Intn(prim.Max(1, n/8))
-		}
-		qs2 := session(core.QRQW, 1<<20, seed)
-		in, err := multicompact.BuildInput(qs2.Machine(), labels, prim.Max(1, n/8))
-		if err != nil {
-			return nil, err
-		}
-		if _, err := multicompact.Run(qs2.Machine(), in); err != nil {
-			return nil, err
-		}
-		es2 := session(core.EREW, 1<<20, seed)
-		kb := es2.UploadInts(labels)
-		if err := prim.BitonicSortPadded(es2.Machine(), kb.Base(), -1, n); err != nil {
-			return nil, err
-		}
-		rows = append(rows, Row{"multiple compaction", n, qs2.Stats().Time, es2.Stats().Time})
-
-		// Sorting from U(0,1): QRQW distributive sort vs EREW bitonic.
-		s3 := xrand.NewStream(seed ^ 0x77)
-		vals := make([]machine.Word, n)
-		for i := range vals {
-			vals[i] = machine.Word(s3.Uint64n(1 << 40))
-		}
-		qs3 := session(core.QRQW, 1<<20, seed)
-		keys := qs3.Upload(vals)
-		if err := sortalg.DistributiveSort(qs3.Machine(), keys.Base(), keys.Len(), 1<<40); err != nil {
-			return nil, err
-		}
-		es3 := session(core.EREW, 1<<20, seed)
-		kb3 := es3.Upload(vals)
-		if err := prim.BitonicSortPadded(es3.Machine(), kb3.Base(), -1, n); err != nil {
-			return nil, err
-		}
-		rows = append(rows, Row{"sorting from U(0,1)", n, qs3.Stats().Time, es3.Stats().Time})
-
-		// Parallel hashing: QRQW build+lookup vs EREW batch membership.
-		hn := prim.Min(n, 1<<13) // hashing memory grows fastest
-		hkeys := distinct(seed+9, hn)
-		qs4 := session(core.QRQW, 1<<20, seed)
-		hb := qs4.Upload(hkeys)
-		tb, err := hashing.Build(qs4.Machine(), hb.Base(), hb.Len())
-		if err != nil {
-			return nil, err
-		}
-		qb := qs4.Upload(hkeys)
-		ob := qs4.Malloc(hn)
-		if err := tb.Lookup(qb.Base(), ob.Base(), hn); err != nil {
-			return nil, err
-		}
-		es4 := session(core.EREW, 1<<20, seed)
-		kb4 := es4.Upload(hkeys)
-		qb4 := es4.Upload(hkeys)
-		ob4 := es4.Malloc(hn)
-		if err := hashing.EREWMembership(es4.Machine(), kb4.Base(), hn, qb4.Base(), ob4.Base(), hn); err != nil {
-			return nil, err
-		}
-		rows = append(rows, Row{"parallel hashing", hn, qs4.Stats().Time, es4.Stats().Time})
-
-		// Load balancing (small L): QRQW dispersal vs EREW prefix sums.
-		counts := make([]int, n)
-		counts[0] = 32 // small max load: the regime where QRQW wins
-		counts[n/2] = 16
-		qs5 := session(core.QRQW, 1<<20, seed)
-		if _, err := qs5.BalanceLoads(counts); err != nil {
-			return nil, err
-		}
-		es5 := session(core.EREW, 1<<20, seed)
-		if _, err := loadbalance.EREWBalance(es5.Machine(), counts); err != nil {
-			return nil, err
-		}
-		rows = append(rows, Row{"load balancing (L=32)", n, qs5.Stats().Time, es5.Stats().Time})
+	res, err := run("table1", sizes, seed)
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return tableIRows(res), nil
 }
 
 // RenderRows formats measurement rows as an aligned text table.
@@ -142,7 +60,11 @@ func RenderRows(title string, rows []Row) string {
 	fmt.Fprintf(&b, "%s\n", title)
 	fmt.Fprintf(&b, "%-26s %10s %12s %12s %8s\n", "problem", "n", "QRQW time", "EREW time", "ratio")
 	for _, r := range rows {
-		ratio := float64(r.EREW) / float64(prim.Max(1, int(r.QRQW)))
+		den := float64(r.QRQW)
+		if r.QRQW <= 0 {
+			den = 1
+		}
+		ratio := float64(r.EREW) / den
 		fmt.Fprintf(&b, "%-26s %10d %12d %12d %8.2f\n", r.Problem, r.N, r.QRQW, r.EREW, ratio)
 	}
 	return b.String()
@@ -156,80 +78,62 @@ type TableIIRow struct {
 }
 
 // TableII reruns the MasPar experiment on the simulator at the paper's
-// sizes: the three random-permutation algorithms at n = p = 16384 and
-// n = p = 1024, charged under the queued-contention metric (the paper
-// argues the simd-qrqw metric captures the MP-1; Theorem 2.2(2) makes
-// the qrqw charge equivalent up to constants).
+// sizes (n = p = 16384 and n = p = 1024).
 func TableII(seed uint64) ([]TableIIRow, error) {
-	return TableIISizes([]int{16384, 1024}, seed)
+	return TableIISizes(nil, seed)
 }
 
 // TableIISizes is TableII at caller-chosen problem sizes (smoke tests
-// use tiny ones).
+// use tiny ones); nil means the paper's sizes.
 func TableIISizes(sizes []int, seed uint64) ([]TableIIRow, error) {
-	var rows []TableIIRow
-	for _, n := range sizes {
-		algos := []struct {
-			name string
-			f    func(*machine.Machine, int) (int, error)
-		}{
-			{"sorting-based (EREW)", perm.SortingBased},
-			{"dart-throwing with scans", perm.ScanDart},
-			{"dart-throwing for QRQW", perm.Random},
-		}
-		for _, a := range algos {
-			s := session(core.QRQW, 1<<18, seed)
-			if _, err := a.f(s.Machine(), n); err != nil {
-				return nil, err
-			}
-			rows = append(rows, TableIIRow{a.name, n, s.Stats().Time})
-		}
+	res, err := run("table2", sizes, seed)
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return tableIIRows(res), nil
 }
 
 // RenderTableII formats the Table II reproduction, one column per
 // problem size present in the rows (in first-seen order).
 func RenderTableII(rows []TableIIRow) string {
-	var b strings.Builder
-	b.WriteString("Table II — random permutation (simulator-charged time)\n")
-	var sizes []int
-	sizeSeen := map[int]bool{}
-	nameSeen := map[string]bool{}
-	byName := map[string][]int64{}
-	var order []string
+	var (
+		sizes []int                  // column sizes in first-seen order
+		order []string               // algorithms in first-seen order
+		col   = map[int]int{}        // size -> column index
+		times = map[string][]int64{} // algorithm -> per-column times
+	)
 	for _, r := range rows {
-		if !sizeSeen[r.N] {
-			sizeSeen[r.N] = true
+		c, ok := col[r.N]
+		if !ok {
+			c = len(sizes)
+			col[r.N] = c
 			sizes = append(sizes, r.N)
 		}
-		if !nameSeen[r.Algorithm] {
-			nameSeen[r.Algorithm] = true
+		v, ok := times[r.Algorithm]
+		if !ok {
 			order = append(order, r.Algorithm)
 		}
+		for len(v) <= c {
+			v = append(v, 0)
+		}
+		v[c] = r.Time
+		times[r.Algorithm] = v
 	}
+	var b strings.Builder
+	b.WriteString("Table II — random permutation (simulator-charged time)\n")
 	fmt.Fprintf(&b, "%-28s", "Algorithm")
 	for _, n := range sizes {
 		fmt.Fprintf(&b, " %13d", n)
 	}
 	b.WriteString("\n")
-	for _, r := range rows {
-		col := 0
-		for i, n := range sizes {
-			if n == r.N {
-				col = i
-			}
-		}
-		v := byName[r.Algorithm]
-		if v == nil {
-			v = make([]int64, len(sizes))
-		}
-		v[col] = r.Time
-		byName[r.Algorithm] = v
-	}
 	for _, name := range order {
 		fmt.Fprintf(&b, "%-28s", name)
-		for _, t := range byName[name] {
+		v := times[name]
+		for c := range sizes {
+			var t int64
+			if c < len(v) {
+				t = v[c]
+			}
 			fmt.Fprintf(&b, " %13d", t)
 		}
 		b.WriteString("\n")
@@ -240,88 +144,23 @@ func RenderTableII(rows []TableIIRow) string {
 // Fig1 renders the paper's Figure 1: a cyclic and a noncyclic
 // permutation with their cycle representations, plus a freshly generated
 // random cyclic permutation from the Theorem 5.2 algorithm.
-func Fig1(seed uint64) (string, error) {
-	var b strings.Builder
-	b.WriteString("Figure 1 — permutations and cycle representations\n")
-	cyc := []int{2, 0, 3, 4, 1}
-	non := []int{1, 0, 3, 2, 4}
-	fmt.Fprintf(&b, "cyclic    pi  = %v  cycles: %v\n", cyc, perm.CycleRepresentation(cyc))
-	fmt.Fprintf(&b, "noncyclic phi = %v  cycles: %v\n", non, perm.CycleRepresentation(non))
-	s := session(core.QRQW, 1<<14, seed)
-	p, err := s.RandomCyclicPermutation(8)
-	if err != nil {
-		return "", err
-	}
-	fmt.Fprintf(&b, "generated (Thm 5.2, n=8): %v  cycles: %v  single cycle: %v\n",
-		p, perm.CycleRepresentation(p), perm.IsCyclic(p))
-	return b.String(), nil
-}
+func Fig1(seed uint64) (string, error) { return renderOne("fig1", seed) }
 
 // LowerBound measures QRQW load-balancing time against lg L (Theorem
 // 3.2's Omega(lg L) lower bound: the measured series must grow at least
 // linearly in lg L).
-func LowerBound(seed uint64) (string, error) {
-	var b strings.Builder
-	b.WriteString("Theorem 3.2 — load balancing time vs lg L (n = 1024)\n")
-	fmt.Fprintf(&b, "%8s %8s %12s\n", "L", "lg L", "QRQW time")
-	n := 1024
-	for _, L := range []int{4, 16, 64, 256, 1024} {
-		counts := make([]int, n)
-		counts[0] = L
-		s := session(core.QRQW, 1<<20, seed)
-		if _, err := s.BalanceLoads(counts); err != nil {
-			return "", err
-		}
-		fmt.Fprintf(&b, "%8d %8d %12d\n", L, prim.CeilLog2(L), s.Stats().Time)
-	}
-	return b.String(), nil
-}
+func LowerBound(seed uint64) (string, error) { return renderOne("lowerbound", seed) }
 
 // CompactionScaling compares linear-compaction growth against the EREW
 // pack (the sqrt(lg n) vs lg n separation behind Table I's load
 // balancing row).
-func CompactionScaling(seed uint64) (string, error) {
-	var b strings.Builder
-	b.WriteString("Linear compaction vs EREW pack (k = n/64)\n")
-	fmt.Fprintf(&b, "%10s %12s %12s\n", "n", "QRQW time", "EREW time")
-	for _, lgn := range []int{12, 14, 16} {
-		n := 1 << uint(lgn)
-		k := n / 64
-		s := xrand.NewStream(seed)
-		pm := s.Perm(n)
-		flagVals := make([]machine.Word, n)
-		cellVals := make([]machine.Word, n)
-		for j := 0; j < k; j++ {
-			flagVals[pm[j]] = 1
-			cellVals[pm[j]] = machine.Word(j)
-		}
-		qs := session(core.QRQW, 1<<21, seed)
-		flags := qs.Upload(flagVals)
-		vals := qs.Upload(cellVals)
-		if _, err := compact.LinearCompact(qs.Machine(), flags.Base(), vals.Base(), n, k); err != nil {
-			return "", err
-		}
-		es := session(core.EREW, 1<<21, seed)
-		flags2 := es.Upload(flagVals)
-		vals2 := es.Upload(cellVals)
-		if _, err := compact.EREWCompact(es.Machine(), flags2.Base(), vals2.Base(), n, k); err != nil {
-			return "", err
-		}
-		fmt.Fprintf(&b, "%10d %12d %12d\n", n, qs.Stats().Time, es.Stats().Time)
-	}
-	return b.String(), nil
-}
+func CompactionScaling(seed uint64) (string, error) { return renderOne("compaction", seed) }
 
-func distinct(seed uint64, n int) []machine.Word {
-	s := xrand.NewStream(seed)
-	seen := make(map[machine.Word]bool, n)
-	out := make([]machine.Word, 0, n)
-	for len(out) < n {
-		k := machine.Word(s.Uint64n(1 << 30))
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, k)
-		}
+func renderOne(name string, seed uint64) (string, error) {
+	res, err := run(name, nil, seed)
+	if err != nil {
+		return "", err
 	}
-	return out
+	e, _ := Find(name)
+	return e.Render(res), nil
 }

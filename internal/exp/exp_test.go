@@ -1,8 +1,12 @@
 package exp
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+
+	"lowcontend/internal/core"
+	"lowcontend/internal/exp/spec"
 )
 
 func TestTableIIOrderingMatchesPaper(t *testing.T) {
@@ -72,5 +76,131 @@ func TestCompactionScaling(t *testing.T) {
 	}
 	if !strings.Contains(s, "Linear compaction") {
 		t.Error("missing title")
+	}
+}
+
+// TestRenderTableIIGolden pins the renderer's exact output, including
+// first-seen column/row ordering and zero-filled missing combinations.
+func TestRenderTableIIGolden(t *testing.T) {
+	rows := []TableIIRow{
+		{"sorting-based (EREW)", 16384, 455},
+		{"dart-throwing with scans", 16384, 307},
+		{"dart-throwing for QRQW", 16384, 163},
+		{"sorting-based (EREW)", 1024, 247},
+		{"dart-throwing with scans", 1024, 238},
+		{"dart-throwing for QRQW", 1024, 130},
+	}
+	want := "Table II — random permutation (simulator-charged time)\n" +
+		"Algorithm                            16384          1024\n" +
+		"sorting-based (EREW)                   455           247\n" +
+		"dart-throwing with scans               307           238\n" +
+		"dart-throwing for QRQW                 163           130\n"
+	if got := RenderTableII(rows); got != want {
+		t.Errorf("RenderTableII:\n%q\nwant:\n%q", got, want)
+	}
+	// A missing (size, algorithm) combination renders as 0, and column
+	// order stays first-seen.
+	sparse := []TableIIRow{
+		{"a", 10, 1},
+		{"b", 20, 2},
+		{"a", 20, 3},
+	}
+	wantSparse := "Table II — random permutation (simulator-charged time)\n" +
+		"Algorithm                               10            20\n" +
+		"a                                        1             3\n" +
+		"b                                        0             2\n"
+	if got := RenderTableII(sparse); got != wantSparse {
+		t.Errorf("sparse RenderTableII:\n%q\nwant:\n%q", got, wantSparse)
+	}
+}
+
+// TestRenderRowsRatioGuard pins the ratio column's precision path and
+// zero guard.
+func TestRenderRowsRatioGuard(t *testing.T) {
+	out := RenderRows("t", []Row{
+		{"big", 4, 1 << 33, 3 << 33}, // would truncate through int32
+		{"zero", 4, 0, 7},
+	})
+	if !strings.Contains(out, "3.00") {
+		t.Errorf("large-value ratio wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "7.00") {
+		t.Errorf("zero-denominator guard wrong:\n%s", out)
+	}
+}
+
+// TestParallelRunMatchesSequential locks in the determinism contract:
+// per-cell charged stats and rendered artifacts are bit-identical
+// between a sequential run and any runner parallelism, shared pool or
+// not.
+func TestParallelRunMatchesSequential(t *testing.T) {
+	sizes := map[string][]int{
+		"table1":     {1 << 9},
+		"table2":     {512, 256},
+		"fig1":       nil,
+		"lowerbound": {4, 16, 64},
+		"compaction": {1 << 10, 1 << 11},
+	}
+	pool := core.NewSessionPool()
+	defer pool.Close()
+	for _, e := range Registry() {
+		t.Run(e.Name, func(t *testing.T) {
+			sz, ok := sizes[e.Name]
+			if !ok {
+				sz = e.DefaultSizes
+			}
+			seq := (&spec.Runner{Parallel: 1}).Run(e, sz, 11)
+			if err := seq.FirstErr(); err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range []int{4, 8} {
+				got := (&spec.Runner{Parallel: par, Pool: pool}).Run(e, sz, 11)
+				if !reflect.DeepEqual(seq, got) {
+					t.Fatalf("Parallel=%d result differs from sequential:\n%+v\nvs\n%+v", par, got, seq)
+				}
+				if seq.Cells != nil && e.Render(got) != e.Render(seq) {
+					t.Fatalf("Parallel=%d rendered artifact differs", par)
+				}
+			}
+		})
+	}
+}
+
+// TestExpectedShapeChecks runs each experiment's paper-shape check at
+// the paper's sizes (the sizes the Check contracts are stated for).
+func TestExpectedShapeChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-size experiment sweep")
+	}
+	pool := core.NewSessionPool()
+	defer pool.Close()
+	for _, e := range Registry() {
+		t.Run(e.Name, func(t *testing.T) {
+			res := (&spec.Runner{Parallel: 2, Pool: pool}).Run(e, e.DefaultSizes, 1)
+			if err := res.FirstErr(); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Check(res); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	if len(Registry()) != 5 {
+		t.Errorf("Registry() = %d experiments, want 5", len(Registry()))
+	}
+	for _, name := range []string{"table1", "table2", "fig1", "lowerbound", "compaction"} {
+		e, ok := Find(name)
+		if !ok {
+			t.Fatalf("Find(%q) failed", name)
+		}
+		if e.Render == nil || e.Check == nil || e.Cells == nil {
+			t.Errorf("%s: incomplete experiment spec", name)
+		}
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find accepted an unknown name")
 	}
 }

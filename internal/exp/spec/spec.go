@@ -1,0 +1,225 @@
+// Package spec turns the experiment harness from imperative
+// table-builders into data: an Experiment declares its measurement
+// Cells, and a Runner executes cells over a bounded worker pool of
+// reusable sessions (core.SessionPool).
+//
+// The determinism contract: a cell's behavior is a pure function of
+// (cell definition, base seed). Cells derive every random stream they
+// use from the base seed and their own parameters — never from
+// execution order, a shared counter, or the session that happens to
+// serve them — and pooled sessions are Reset+Reseeded so that a reused
+// machine replays a fresh one bit-for-bit. Charged PRAM stats are
+// therefore bit-identical whatever the Runner's parallelism, and
+// results are returned in cell declaration order, so rendered artifacts
+// are byte-identical between Parallel=1 and Parallel=N.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lowcontend/internal/core"
+	"lowcontend/internal/machine"
+)
+
+// Measurement is one charged observation recorded by a cell: a group
+// (the problem or algorithm it belongs to), an optional series within
+// the group (e.g. "QRQW" vs "EREW" legs of a comparison), the problem
+// size, and the machine's charged stats. Note carries free-form artifact
+// text for figure-style cells.
+type Measurement struct {
+	Group  string        `json:"group,omitempty"`
+	Series string        `json:"series,omitempty"`
+	N      int           `json:"n,omitempty"`
+	Stats  machine.Stats `json:"stats,omitzero"`
+	Note   string        `json:"note,omitempty"`
+}
+
+// Cell is one independently runnable unit of an experiment (one table
+// row, one curve point). Run records measurements through the Ctx; any
+// error (or panic) is attributed to this cell alone.
+type Cell struct {
+	Name string
+	Run  func(*Ctx) error
+}
+
+// Ctx is a cell's window onto the runner: it hands out sessions from
+// the shared pool (released automatically when the cell finishes) and
+// collects the cell's measurements.
+type Ctx struct {
+	// Seed is the experiment's base seed. Cells must derive all
+	// randomness from it and their own parameters so that behavior is
+	// independent of execution order.
+	Seed uint64
+
+	pool     *core.SessionPool
+	sessions []*core.Session
+	meas     []Measurement
+}
+
+// Session acquires a pooled session with the given model, memory
+// capacity, and seed. It is released back to the pool when the cell
+// finishes; do not retain it (or any DeviceSlice bound to it) beyond
+// the cell's Run.
+func (c *Ctx) Session(model machine.Model, memWords int, seed uint64) *core.Session {
+	s := c.pool.Acquire(model, memWords, seed)
+	c.sessions = append(c.sessions, s)
+	return s
+}
+
+// Record appends a measurement to the cell's results.
+func (c *Ctx) Record(m Measurement) { c.meas = append(c.meas, m) }
+
+// Note records a free-form artifact line.
+func (c *Ctx) Note(format string, args ...any) {
+	c.meas = append(c.meas, Measurement{Note: fmt.Sprintf(format, args...)})
+}
+
+// CellResult is one cell's outcome: its measurements in recording
+// order, or the error that stopped it. Index is the cell's position in
+// the experiment's declaration order.
+type CellResult struct {
+	Cell         string
+	Index        int
+	Measurements []Measurement
+	Err          error
+}
+
+// MarshalJSON renders the result with the error (if any) as a string.
+func (r CellResult) MarshalJSON() ([]byte, error) {
+	var errText string
+	if r.Err != nil {
+		errText = r.Err.Error()
+	}
+	return json.Marshal(struct {
+		Cell         string        `json:"cell"`
+		Index        int           `json:"index"`
+		Measurements []Measurement `json:"measurements,omitempty"`
+		Error        string        `json:"error,omitempty"`
+	}{r.Cell, r.Index, r.Measurements, errText})
+}
+
+// Result is one experiment run: per-cell results in declaration order.
+type Result struct {
+	Experiment string       `json:"experiment"`
+	Cells      []CellResult `json:"cells"`
+}
+
+// FirstErr returns the first failed cell's error (in declaration
+// order), annotated with the experiment and cell name, or nil if every
+// cell succeeded.
+func (r Result) FirstErr() error {
+	for _, c := range r.Cells {
+		if c.Err != nil {
+			return fmt.Errorf("%s/%s: %w", r.Experiment, c.Cell, c.Err)
+		}
+	}
+	return nil
+}
+
+// Measurements flattens the per-cell measurements in declaration order.
+// Failed cells are skipped entirely — a cell that errored or panicked
+// after recording part of its data must not leak partial measurements
+// into rendered artifacts (its partials remain inspectable on Cells).
+func (r Result) Measurements() []Measurement {
+	var out []Measurement
+	for _, c := range r.Cells {
+		if c.Err != nil {
+			continue
+		}
+		out = append(out, c.Measurements...)
+	}
+	return out
+}
+
+// Experiment is a declarative artifact spec: a name and description for
+// the registry, the sizes the paper uses, a Cells factory producing the
+// measurement cells for a size sweep, a Render turning a Result into
+// the artifact's text form, and an optional Check asserting the
+// paper's expected shape (orderings, growth) on a Result at paper
+// sizes.
+type Experiment struct {
+	Name         string
+	Description  string
+	DefaultSizes []int // nil when the experiment is not size-parameterized
+	Cells        func(sizes []int) []Cell
+	Render       func(Result) string
+	Check        func(Result) error
+}
+
+// Runner executes experiment cells over a bounded worker pool of
+// reusable sessions.
+type Runner struct {
+	// Parallel bounds the number of cells executing concurrently.
+	// <= 0 means GOMAXPROCS.
+	Parallel int
+	// Pool supplies sessions. When nil, each Run uses a private pool
+	// (with step-level workers bounded to 1 when Parallel > 1, so
+	// session-level parallelism is not multiplied by step-level
+	// parallelism) and closes it on return.
+	Pool *core.SessionPool
+}
+
+// Run executes every cell of e for the given size sweep and base seed
+// and returns per-cell results in declaration order. Cell errors and
+// panics are recorded per cell, never aborting sibling cells.
+func (r *Runner) Run(e Experiment, sizes []int, seed uint64) Result {
+	cells := e.Cells(sizes)
+	res := Result{Experiment: e.Name, Cells: make([]CellResult, len(cells))}
+	par := r.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(cells) {
+		par = len(cells)
+	}
+	pool := r.Pool
+	if pool == nil {
+		pool = core.NewSessionPool()
+		if par > 1 {
+			pool.Workers = 1
+		}
+		defer pool.Close()
+	}
+	if par <= 1 {
+		for i, c := range cells {
+			res.Cells[i] = runCell(pool, c, i, seed)
+		}
+		return res
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for range par {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res.Cells[i] = runCell(pool, cells[i], i, seed)
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return res
+}
+
+func runCell(pool *core.SessionPool, c Cell, index int, seed uint64) (out CellResult) {
+	ctx := &Ctx{Seed: seed, pool: pool}
+	out = CellResult{Cell: c.Name, Index: index}
+	defer func() {
+		for _, s := range ctx.sessions {
+			pool.Release(s)
+		}
+		out.Measurements = ctx.meas
+		if p := recover(); p != nil {
+			out.Err = fmt.Errorf("cell panicked: %v", p)
+		}
+	}()
+	out.Err = c.Run(ctx)
+	return out
+}

@@ -1,0 +1,147 @@
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lowcontend/internal/core"
+	"lowcontend/internal/machine"
+)
+
+// permExperiment builds a real experiment: one random-permutation cell
+// per size, each deriving its session seed from the base seed and its
+// own size only.
+func permExperiment() Experiment {
+	return Experiment{
+		Name:         "perm",
+		DefaultSizes: []int{64, 128, 256},
+		Cells: func(sizes []int) []Cell {
+			var cells []Cell
+			for _, n := range sizes {
+				cells = append(cells, Cell{
+					Name: fmt.Sprintf("perm/%d", n),
+					Run: func(c *Ctx) error {
+						s := c.Session(core.QRQW, 1<<12, c.Seed+uint64(n))
+						if _, err := s.RandomPermutation(n); err != nil {
+							return err
+						}
+						c.Record(Measurement{Group: "perm", N: n, Stats: s.Stats()})
+						return nil
+					},
+				})
+			}
+			return cells
+		},
+	}
+}
+
+func TestRunnerParallelMatchesSequential(t *testing.T) {
+	e := permExperiment()
+	seq := (&Runner{Parallel: 1}).Run(e, e.DefaultSizes, 9)
+	if err := seq.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 8} {
+		got := (&Runner{Parallel: par}).Run(e, e.DefaultSizes, 9)
+		if !reflect.DeepEqual(seq, got) {
+			t.Errorf("Parallel=%d result differs from sequential:\n%+v\nvs\n%+v", par, got, seq)
+		}
+	}
+}
+
+func TestRunnerSharedPoolMatchesPrivate(t *testing.T) {
+	e := permExperiment()
+	want := (&Runner{Parallel: 1}).Run(e, e.DefaultSizes, 3)
+	pool := core.NewSessionPool()
+	defer pool.Close()
+	r := &Runner{Parallel: 4, Pool: pool}
+	for range 3 { // repeated runs reuse dirty sessions
+		if got := r.Run(e, e.DefaultSizes, 3); !reflect.DeepEqual(want, got) {
+			t.Fatalf("shared-pool result differs:\n%+v\nvs\n%+v", got, want)
+		}
+	}
+	if st := pool.Stats(); st.Reuses == 0 {
+		t.Error("shared pool never reused a session across runs")
+	}
+}
+
+func TestRunnerPerCellErrorAttribution(t *testing.T) {
+	boom := errors.New("boom")
+	e := Experiment{
+		Name: "mixed",
+		Cells: func([]int) []Cell {
+			return []Cell{
+				{Name: "ok", Run: func(c *Ctx) error {
+					c.Record(Measurement{Group: "ok", N: 1})
+					return nil
+				}},
+				{Name: "fails", Run: func(*Ctx) error { return boom }},
+				{Name: "panics", Run: func(*Ctx) error { panic("kaboom") }},
+				{Name: "also-ok", Run: func(c *Ctx) error {
+					c.Record(Measurement{Group: "also-ok", N: 2})
+					return nil
+				}},
+			}
+		},
+	}
+	res := (&Runner{Parallel: 4}).Run(e, nil, 1)
+	if len(res.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(res.Cells))
+	}
+	// Sibling cells complete despite the failures, and results stay in
+	// declaration order.
+	for i, want := range []string{"ok", "fails", "panics", "also-ok"} {
+		if res.Cells[i].Cell != want || res.Cells[i].Index != i {
+			t.Errorf("cell %d = %q (index %d), want %q", i, res.Cells[i].Cell, res.Cells[i].Index, want)
+		}
+	}
+	if !errors.Is(res.Cells[1].Err, boom) {
+		t.Errorf("cell 1 error = %v, want %v", res.Cells[1].Err, boom)
+	}
+	if res.Cells[2].Err == nil || !strings.Contains(res.Cells[2].Err.Error(), "kaboom") {
+		t.Errorf("cell 2 error = %v, want captured panic", res.Cells[2].Err)
+	}
+	if res.Cells[0].Err != nil || res.Cells[3].Err != nil {
+		t.Error("healthy cells must not inherit sibling errors")
+	}
+	if err := res.FirstErr(); err == nil || !strings.Contains(err.Error(), "mixed/fails") {
+		t.Errorf("FirstErr = %v, want mixed/fails attribution", err)
+	}
+	if got := len(res.Measurements()); got != 2 {
+		t.Errorf("Measurements() = %d entries, want 2", got)
+	}
+}
+
+func TestResultJSON(t *testing.T) {
+	res := Result{
+		Experiment: "e",
+		Cells: []CellResult{
+			{Cell: "a", Index: 0, Measurements: []Measurement{
+				{Group: "g", Series: "QRQW", N: 4, Stats: machine.Stats{Time: 17}},
+				{Note: "a note"}, // note-only measurements omit zero stats
+			}},
+			{Cell: "b", Index: 1, Err: errors.New("bad cell")},
+		},
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"experiment":"e"`, `"cell":"a"`, `"series":"QRQW"`, `"error":"bad cell"`, `"stats":{"time":17}`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, `"note":"a note","stats"`) || strings.Contains(s, `"stats":{},"note"`) {
+		t.Errorf("note-only measurement must omit zero stats:\n%s", s)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(b, &round); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+}

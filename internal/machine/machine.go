@@ -118,6 +118,13 @@ func (m *Machine) Model() Model { return m.model }
 // Seed returns the machine's base random seed.
 func (m *Machine) Seed() uint64 { return m.seed }
 
+// Reseed replaces the base seed from which per-processor random streams
+// are derived. Streams are derived per step (from seed, step index, and
+// processor id), so after Reset+Reseed a reused machine replays exactly
+// the randomness of a fresh machine constructed WithSeed(seed): pooled
+// machines are bit-identical to newly allocated ones.
+func (m *Machine) Reseed(seed uint64) { m.seed = seed }
+
 // Err returns the first model violation encountered, or nil.
 func (m *Machine) Err() error { return m.err }
 
@@ -143,12 +150,11 @@ func (m *Machine) growTo(n int) {
 	mem := make([]Word, n)
 	copy(mem, m.mem)
 	m.mem = mem
-	cr := make([]int32, n)
-	copy(cr, m.countsR)
-	m.countsR = cr
-	cw := make([]int32, n)
-	copy(cw, m.countsW)
-	m.countsW = cw
+	// The contention scratch is zero between steps (settlement resets
+	// every touched counter), so growing it never needs to preserve
+	// contents: fresh zeroed arrays replace the old ones outright.
+	m.countsR = make([]int32, n)
+	m.countsW = make([]int32, n)
 }
 
 // Alloc reserves n zeroed words of shared memory and returns the base
@@ -173,9 +179,7 @@ func (m *Machine) Release(mark int) {
 	if mark < 0 || mark > m.brk {
 		panic("machine: Release with invalid mark")
 	}
-	for i := mark; i < m.brk; i++ {
-		m.mem[i] = 0
-	}
+	clear(m.mem[mark:m.brk])
 	m.brk = mark
 }
 
@@ -223,7 +227,11 @@ func (m *Machine) Fill(base, n int, v Word) {
 	if base < 0 || n < 0 || base+n > len(m.mem) {
 		panic("machine: Fill out of range")
 	}
-	for i := 0; i < n; i++ {
+	if v == 0 {
+		clear(m.mem[base : base+n])
+		return
+	}
+	for i := range n {
 		m.mem[base+i] = v
 	}
 }
@@ -242,9 +250,7 @@ func (m *Machine) ResetStats() {
 // pooled step workers) at its current capacity. It is the cheap way to
 // reuse one Machine across algorithm runs without reallocating.
 func (m *Machine) Reset() {
-	for i := range m.mem {
-		m.mem[i] = 0
-	}
+	clear(m.mem)
 	m.brk = 0
 	m.ResetStats()
 }

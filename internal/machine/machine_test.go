@@ -485,6 +485,41 @@ func TestReuseAcrossRuns(t *testing.T) {
 	}
 }
 
+func TestReseedReplaysFreshMachine(t *testing.T) {
+	// Reset+Reseed must make a reused machine replay exactly the run of a
+	// fresh machine constructed with the new seed: same memory, same
+	// stats. This is the invariant the core.SessionPool relies on.
+	program := func(m *Machine) []Word {
+		base := m.Alloc(256)
+		if err := m.ParDo(256, func(c *Ctx, i int) {
+			c.Write(base+c.Rand().Intn(256), Word(i))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return m.LoadWords(base, 256)
+	}
+	fresh := New(QRQW, 1<<9, WithSeed(77))
+	memFresh := program(fresh)
+	stFresh := fresh.Stats()
+
+	reused := New(QRQW, 1<<9, WithSeed(13))
+	program(reused) // dirty the machine under a different seed
+	reused.Reset()
+	reused.Reseed(77)
+	if reused.Seed() != 77 {
+		t.Fatalf("Seed() = %d after Reseed(77)", reused.Seed())
+	}
+	memReused := program(reused)
+	if st := reused.Stats(); st != stFresh {
+		t.Fatalf("reseeded stats %v, want %v", st, stFresh)
+	}
+	for i := range memFresh {
+		if memFresh[i] != memReused[i] {
+			t.Fatalf("memory differs at %d after Reseed", i)
+		}
+	}
+}
+
 func TestFastPathEngages(t *testing.T) {
 	// A disjoint-address step (proc i touches cell i) must settle on the
 	// contention-free fast path even above the parallel cutoff.

@@ -14,35 +14,35 @@ import "fmt"
 // preserves.
 type Stats struct {
 	// Steps is the number of synchronous PRAM steps executed.
-	Steps int64
+	Steps int64 `json:"steps,omitzero"`
 	// Time is the sum of per-step costs under the machine's model
 	// (Definition 2.3). This is the quantity the paper calls "time" in
 	// the work-time presentation.
-	Time int64
+	Time int64 `json:"time,omitzero"`
 	// Ops counts every shared-memory read, shared-memory write, and
 	// charged local compute operation. Linear-work claims in the paper
 	// correspond to Ops = O(n).
-	Ops int64
+	Ops int64 `json:"ops,omitzero"`
 	// PTWork is the processor-time product: the sum over steps of
 	// (processors in the step) * (step cost). This is "work" in the
 	// sense of Definition 2.3 when a fixed processor count is used.
-	PTWork int64
+	PTWork int64 `json:"pt_work,omitzero"`
 	// ReadOps, WriteOps and ComputeOps break down Ops.
-	ReadOps    int64
-	WriteOps   int64
-	ComputeOps int64
+	ReadOps    int64 `json:"read_ops,omitzero"`
+	WriteOps   int64 `json:"write_ops,omitzero"`
+	ComputeOps int64 `json:"compute_ops,omitzero"`
 	// MaxContention is the maximum per-cell contention observed in any
 	// single step.
-	MaxContention int64
+	MaxContention int64 `json:"max_contention,omitzero"`
 	// SumContention is the sum over steps of the step's maximum
 	// contention; on a QRQW machine Time >= SumContention.
-	SumContention int64
+	SumContention int64 `json:"sum_contention,omitzero"`
 	// MaxProcs is the largest processor count used in a single step.
-	MaxProcs int64
+	MaxProcs int64 `json:"max_procs,omitzero"`
 	// ScanSteps counts unit-time scan primitives (scan models only).
-	ScanSteps int64
+	ScanSteps int64 `json:"scan_steps,omitzero"`
 	// FetchAddSteps counts combining fetch&add collectives.
-	FetchAddSteps int64
+	FetchAddSteps int64 `json:"fetch_add_steps,omitzero"`
 }
 
 // Add returns the component-wise accumulation of s and t (max fields take

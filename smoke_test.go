@@ -36,6 +36,47 @@ func TestSmokeCmdLowcontend(t *testing.T) {
 	}
 }
 
+func TestSmokeCmdLowcontendRegistry(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{"list", []string{"list"}, []string{"table1", "table2", "fig1", "lowerbound", "compaction"}},
+		{"run", []string{"-sizes", "256", "run", "table2"}, []string{"Table II", "dart-throwing for QRQW"}},
+		{"parallel", []string{"-sizes", "256", "-parallel", "4", "run", "table1"}, []string{"Table I", "load balancing"}},
+		{"json", []string{"-json", "-sizes", "128", "-parallel", "2", "run", "table2", "run", "fig1"}, []string{`"experiment": "table2"`, `"stats"`, `"time"`, `single cycle: true`}},
+		{"check", []string{"-check", "-sizes", "16", "run", "lowerbound"}, []string{"Theorem 3.2"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			out := buildAndRun(t, "./cmd/lowcontend", c.args...)
+			for _, want := range c.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("lowcontend %v output missing %q:\n%s", c.args, want, out)
+				}
+			}
+		})
+	}
+}
+
+// TestSmokeParallelRegenerationIsDeterministic locks in the artifact
+// determinism contract at the binary level: rendered output of the
+// smoke-sized regeneration is byte-identical between -parallel 1 and
+// -parallel 4 (the same diff CI performs).
+func TestSmokeParallelRegenerationIsDeterministic(t *testing.T) {
+	args := []string{"-sizes", "512", "-seed", "3"}
+	seq := buildAndRun(t, "./cmd/lowcontend", append(args, "-parallel", "1", "all")...)
+	par := buildAndRun(t, "./cmd/lowcontend", append(args, "-parallel", "4", "all")...)
+	if seq != par {
+		t.Errorf("-parallel 4 output differs from -parallel 1:\n--- parallel 1 ---\n%s\n--- parallel 4 ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "Table I") || !strings.Contains(seq, "Linear compaction") {
+		t.Errorf("regeneration output incomplete:\n%s", seq)
+	}
+}
+
 func TestSmokeExamples(t *testing.T) {
 	cases := []struct {
 		pkg  string
