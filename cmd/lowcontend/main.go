@@ -13,7 +13,8 @@
 //	-seed N      base random seed (default 1)
 //	-parallel N  concurrent experiment cells (0 = GOMAXPROCS)
 //	-sizes a,b   comma-separated sizes overriding each experiment's defaults
-//	-json        emit machine-readable JSON (rows + charged stats) instead of text
+//	-json        emit machine-readable JSON (results + charged stats, plus
+//	             session-pool hit/miss counters) instead of text
 //	-check       verify each experiment's expected paper shape after running
 //	-n N         problem size for selftest
 //
@@ -47,7 +48,7 @@ func run() int {
 	seed := flag.Uint64("seed", 1, "base random seed")
 	n := flag.Int("n", 512, "problem size for selftest")
 	parallel := flag.Int("parallel", 0, "concurrent experiment cells (0 = GOMAXPROCS)")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (with session-pool counters) instead of rendered tables")
 	sizesFlag := flag.String("sizes", "", "comma-separated sizes overriding each experiment's defaults")
 	check := flag.Bool("check", false, "verify each experiment's expected paper shape after running")
 	flag.Parse()
@@ -147,7 +148,14 @@ func run() int {
 		}
 	}
 	if *jsonOut && results != nil {
-		out, err := json.MarshalIndent(results, "", "  ")
+		// The pool counters ride along so session reuse is visible
+		// outside tests; they depend on -parallel (more concurrent
+		// cells need more fresh sessions), so determinism diffs
+		// compare the results field only.
+		out, err := json.MarshalIndent(struct {
+			Results []spec.Result  `json:"results"`
+			Pool    core.PoolStats `json:"pool"`
+		}{results, pool.Stats()}, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lowcontend: %v\n", err)
 			return 1
@@ -170,6 +178,8 @@ func printList() {
 		}
 		fmt.Printf("  %-12s %s%s\n", e.Name, e.Description, sizes)
 	}
+	fmt.Println()
+	fmt.Println("Serve these over HTTP: lowcontendd starts a daemon (POST /v1/runs; see README).")
 }
 
 func parseSizes(s string) ([]int, error) {

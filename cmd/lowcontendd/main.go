@@ -1,0 +1,128 @@
+// Command lowcontendd serves the experiment registry as a long-lived
+// JSON HTTP daemon — the service counterpart of the lowcontend CLI.
+//
+// Usage:
+//
+//	lowcontendd [flags]
+//
+// Flags:
+//
+//	-addr host:port  listen address (default from LOWCONTEND_ADDR, then
+//	                 PORT, then :8080)
+//	-workers N       job worker goroutines (default 2)
+//	-queue N         bounded job queue depth (default 32)
+//	-parallel N      per-job cell parallelism when a request omits it (default 1)
+//	-max-size N      largest accepted problem size per request (default 1<<20)
+//	-drain D         graceful-shutdown drain timeout (default 30s)
+//
+// Endpoints: GET /v1/experiments, POST /v1/runs, GET /v1/runs/{id},
+// GET /v1/runs/{id}/artifact, GET /healthz, GET /metrics. Identical
+// (experiment, sizes, seed) submissions are served from the artifact
+// cache — determinism makes cached artifacts byte-exact — and SIGINT or
+// SIGTERM drains running jobs before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lowcontend/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", defaultAddr(), "listen address (env LOWCONTEND_ADDR or PORT override the default)")
+	workers := flag.Int("workers", 2, "job worker goroutines")
+	queue := flag.Int("queue", 32, "bounded job queue depth")
+	parallel := flag.Int("parallel", 1, "per-job cell parallelism when a request omits it")
+	maxSize := flag.Int("max-size", serve.DefaultLimits().MaxSize, "largest accepted problem size per request")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	flag.Parse()
+
+	// serve.Config gives negative Workers a tests-only meaning (zero
+	// workers: jobs queue forever), so an operator typo must not reach
+	// it — refuse non-positive tuning values outright.
+	if *workers < 1 || *queue < 1 || *parallel < 1 || *maxSize < 1 || *drain <= 0 {
+		fmt.Fprintf(os.Stderr, "lowcontendd: -workers, -queue, -parallel, -max-size must be >= 1 and -drain positive\n")
+		return 2
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Parallel:   *parallel,
+		Limits:     serve.Limits{MaxSize: *maxSize},
+	})
+
+	// Listen explicitly (rather than ListenAndServe) so -addr :0 binds
+	// an ephemeral port and the printed address tells callers — smoke
+	// tests, scripts — where the daemon actually lives.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lowcontendd: %v\n", err)
+		return 1
+	}
+	fmt.Printf("lowcontendd listening on %s\n", ln.Addr())
+
+	// Connection timeouts bound hostile clients: slowloris headers,
+	// trickled bodies, and parked keep-alives must not pin goroutines
+	// forever (or eat the whole -drain budget at shutdown).
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "lowcontendd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Println("lowcontendd draining")
+	// Each phase gets its own deadline: a slow client holding the HTTP
+	// listener open must not eat the job drain's budget.
+	hctx, hcancel := context.WithTimeout(context.Background(), *drain)
+	if err := hs.Shutdown(hctx); err != nil {
+		fmt.Fprintf(os.Stderr, "lowcontendd: http shutdown: %v\n", err)
+	}
+	hcancel()
+	jctx, jcancel := context.WithTimeout(context.Background(), *drain)
+	defer jcancel()
+	if err := srv.Shutdown(jctx); err != nil {
+		fmt.Fprintf(os.Stderr, "lowcontendd: %v\n", err)
+		return 1
+	}
+	fmt.Println("lowcontendd stopped")
+	return 0
+}
+
+// defaultAddr resolves the flag default: LOWCONTEND_ADDR wins, then
+// PORT (Cloud-Run style, port only), then :8080.
+func defaultAddr() string {
+	if a := os.Getenv("LOWCONTEND_ADDR"); a != "" {
+		return a
+	}
+	if p := os.Getenv("PORT"); p != "" {
+		return ":" + p
+	}
+	return ":8080"
+}

@@ -36,11 +36,15 @@ type poolKey struct {
 	memWords int
 }
 
-// PoolStats counts pool traffic: Acquires = Reuses + News.
+// PoolStats counts pool traffic: Acquires = Reuses + News. Reuses are
+// pool hits (an idle session of the requested shape was recycled), News
+// are misses. The JSON form is what cmd/lowcontend -json publishes
+// under "pool"; the lowcontendd /metrics endpoint flattens the same
+// counters into its own pool_* keys (internal/serve/metrics.go).
 type PoolStats struct {
-	Acquires int64 // total Acquire calls
-	Reuses   int64 // acquires satisfied by an idle session
-	News     int64 // acquires that constructed a fresh session
+	Acquires int64 `json:"acquires"` // total Acquire calls
+	Reuses   int64 `json:"reuses"`   // acquires satisfied by an idle session (hits)
+	News     int64 `json:"news"`     // acquires that constructed a fresh session (misses)
 }
 
 // NewSessionPool constructs an empty pool. The zero value is also ready
@@ -94,6 +98,18 @@ func (p *SessionPool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.st
+}
+
+// Idle returns the number of sessions currently parked in the pool,
+// summed over all shapes. Servers expose it as a gauge.
+func (p *SessionPool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, ss := range p.idle {
+		n += len(ss)
+	}
+	return n
 }
 
 // Close releases the backing stores of every idle session and empties

@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"slices"
+	"sync"
+)
+
+// Info is registry metadata about one experiment, for listings (the
+// CLI's list subcommand, the daemon's GET /v1/experiments).
+type Info struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// DefaultSizes are the paper's sizes; nil when the experiment is
+	// not size-parameterized.
+	DefaultSizes []int `json:"default_sizes,omitempty"`
+	// Cells is the number of measurement cells the experiment expands
+	// to at its default sizes.
+	Cells int `json:"cells"`
+}
+
+// Describe returns metadata for every registry experiment in
+// presentation order. The registry is static, so the (cell-count
+// expanding) computation runs once; callers receive a fresh copy each
+// time — DefaultSizes included, so no caller can corrupt the memoized
+// data or the registry's own sizes.
+func Describe() []Info {
+	infos := slices.Clone(describeOnce())
+	for i := range infos {
+		infos[i].DefaultSizes = slices.Clone(infos[i].DefaultSizes)
+	}
+	return infos
+}
+
+var describeOnce = sync.OnceValue(func() []Info {
+	var out []Info
+	for _, e := range experiments {
+		out = append(out, Info{
+			Name:         e.Name,
+			Description:  e.Description,
+			DefaultSizes: e.DefaultSizes,
+			Cells:        len(e.Cells(e.DefaultSizes)),
+		})
+	}
+	return out
+})

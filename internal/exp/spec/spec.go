@@ -160,6 +160,12 @@ type Runner struct {
 	// session-level parallelism is not multiplied by step-level
 	// parallelism) and closes it on return.
 	Pool *core.SessionPool
+	// CellHook, when non-nil, is called immediately before
+	// (start=true) and after (start=false) each cell executes — the
+	// after call fires even when the cell errors or panics. Cells may
+	// run concurrently, so the hook must be safe for concurrent use.
+	// Servers use it to gauge in-flight cells; it must not block.
+	CellHook func(cell string, start bool)
 }
 
 // Run executes every cell of e for the given size sweep and base seed
@@ -185,7 +191,7 @@ func (r *Runner) Run(e Experiment, sizes []int, seed uint64) Result {
 	}
 	if par <= 1 {
 		for i, c := range cells {
-			res.Cells[i] = runCell(pool, c, i, seed)
+			res.Cells[i] = r.runCell(pool, c, i, seed)
 		}
 		return res
 	}
@@ -196,7 +202,7 @@ func (r *Runner) Run(e Experiment, sizes []int, seed uint64) Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				res.Cells[i] = runCell(pool, cells[i], i, seed)
+				res.Cells[i] = r.runCell(pool, cells[i], i, seed)
 			}
 		}()
 	}
@@ -208,7 +214,11 @@ func (r *Runner) Run(e Experiment, sizes []int, seed uint64) Result {
 	return res
 }
 
-func runCell(pool *core.SessionPool, c Cell, index int, seed uint64) (out CellResult) {
+func (r *Runner) runCell(pool *core.SessionPool, c Cell, index int, seed uint64) (out CellResult) {
+	if r.CellHook != nil {
+		r.CellHook(c.Name, true)
+		defer r.CellHook(c.Name, false)
+	}
 	ctx := &Ctx{Seed: seed, pool: pool}
 	out = CellResult{Cell: c.Name, Index: index}
 	defer func() {

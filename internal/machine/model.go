@@ -1,6 +1,9 @@
 package machine
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Model identifies the memory-contention rule and cost metric charged by
 // a Machine.
@@ -44,6 +47,19 @@ var modelNames = [...]string{
 	ScanSIMDQRQW: "scan-SIMD-QRQW",
 	FetchAdd:     "Fetch&Add",
 	ScanQRQW:     "scan-QRQW",
+}
+
+// ParseModel resolves a conventional model name (as produced by
+// Model.String, e.g. "QRQW", "scan-SIMD-QRQW") back to its Model.
+// Matching is case-insensitive on the ASCII letters; it reports false
+// for unknown names.
+func ParseModel(name string) (Model, bool) {
+	for m, n := range modelNames {
+		if strings.EqualFold(n, name) {
+			return Model(m), true
+		}
+	}
+	return 0, false
 }
 
 // String returns the conventional name of the model.

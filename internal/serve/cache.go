@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"sync"
+
+	"lowcontend/internal/exp/spec"
+)
+
+// cacheEntry is one cached run outcome: the rendered artifact and the
+// full per-cell result. Only fully successful runs are cached, so the
+// entry never carries cell errors, and the determinism contract (stats
+// are a pure function of experiment+sizes+seed) makes a cached artifact
+// exact — byte-identical to what a fresh simulation would render.
+type cacheEntry struct {
+	artifact string
+	result   *spec.Result
+}
+
+// artifactCache is a bounded FIFO cache of completed runs keyed by the
+// canonical (experiment, sizes, seed, model) string. Entries are
+// immutable once inserted; eviction drops the oldest insertion.
+type artifactCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*cacheEntry
+	order   []string // insertion order, oldest first
+}
+
+func newArtifactCache(max int) *artifactCache {
+	return &artifactCache{max: max, entries: make(map[string]*cacheEntry)}
+}
+
+func (c *artifactCache) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+func (c *artifactCache) put(key string, e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return // identical by determinism; keep the first
+	}
+	for c.max > 0 && len(c.entries) >= c.max && len(c.order) > 0 {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+}
+
+func (c *artifactCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,501 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"lowcontend/internal/core"
+	"lowcontend/internal/exp/spec"
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+// The job lifecycle: queued → running → done | failed. A job is failed
+// when at least one cell errored; its per-cell errors remain
+// inspectable on the status result, mirroring the CLI's per-cell error
+// attribution.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// JobStatus is the wire form of a job on GET /v1/runs/{id}: the
+// normalized request, the lifecycle state, and — once finished — the
+// full per-cell result (charged PRAM stats, per-cell errors).
+type JobStatus struct {
+	ID         string       `json:"id"`
+	State      JobState     `json:"state"`
+	Experiment string       `json:"experiment"`
+	Sizes      []int        `json:"sizes,omitempty"`
+	Seed       uint64       `json:"seed"`
+	Model      string       `json:"model,omitempty"`
+	Parallel   int          `json:"parallel,omitempty"`
+	CacheHit   bool         `json:"cache_hit,omitempty"`
+	Error      string       `json:"error,omitempty"`
+	Created    time.Time    `json:"created"`
+	Started    *time.Time   `json:"started,omitempty"`
+	Finished   *time.Time   `json:"finished,omitempty"`
+	Result     *spec.Result `json:"result,omitempty"`
+}
+
+// job is the manager's record of one submitted run. All mutable fields
+// are guarded by the manager's mutex; workers copy what they need out
+// under the lock and publish results back under it.
+type job struct {
+	id       string
+	params   runParams
+	state    JobState
+	cacheHit bool
+	artifact string
+	result   *spec.Result
+	errMsg   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// manager owns the bounded job queue, the worker pool that drains it,
+// and the job table. Workers share one core.SessionPool across every
+// request, so machines allocated for one job are recycled by the next.
+type manager struct {
+	pool     *core.SessionPool
+	cache    *artifactCache
+	met      *metrics
+	parallel int // per-job cell parallelism when the request says 0
+	maxJobs  int // retained job records (finished jobs beyond this are evicted)
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string           // insertion order, for eviction
+	flights map[string]*flight // in-flight runs by cache key, for coalescing
+	byKey   map[string]string  // cache key → completed job id, for idempotent resubmission
+	live    int                // queued + running jobs, coalesced waiters included
+	maxLive int                // live bound; past it submissions get 503
+	nextID  int
+	closed  bool
+
+	queue   chan *job
+	wg      sync.WaitGroup
+	drained chan struct{} // closed once every worker has exited
+}
+
+// flight coalesces concurrent identical runs: the first job to miss
+// the cache becomes the leader and simulates; followers register as
+// waiters — releasing their worker immediately instead of parking on
+// it — and the leader completes them with its own outcome. Determinism
+// makes that exact: an identical (experiment, sizes, seed) run would
+// reproduce the leader's artifact, stats, and even its failure
+// bit-for-bit.
+type flight struct {
+	leader  *job
+	waiters []*job
+}
+
+func newManager(pool *core.SessionPool, cache *artifactCache, met *metrics, workers, queueDepth, parallel, maxJobs int) *manager {
+	m := &manager{
+		pool:     pool,
+		cache:    cache,
+		met:      met,
+		parallel: parallel,
+		maxJobs:  maxJobs,
+		jobs:     make(map[string]*job),
+		flights:  make(map[string]*flight),
+		byKey:    make(map[string]string),
+		queue:    make(chan *job, queueDepth),
+		drained:  make(chan struct{}),
+		// The queue bounds jobs waiting for a worker, but coalesced
+		// waiters leave the queue in microseconds and park on their
+		// leader, so live jobs are bounded separately: room for a full
+		// queue and busy workers, plus a queue's worth of waiters.
+		maxLive: 2*queueDepth + workers,
+	}
+	// Retention must exceed the live bound, or a table full of live
+	// jobs would evict a just-completed inline cache hit before its
+	// client's first status poll.
+	if m.maxJobs <= m.maxLive {
+		m.maxJobs = m.maxLive + 64
+	}
+	for range workers {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for j := range m.queue {
+				m.safeRun(j)
+			}
+		}()
+	}
+	return m
+}
+
+// safeRun contains panics from job execution (spec.Runner recovers
+// cell panics, but a Cells factory or Render can still blow up): an
+// uncontained panic would kill the worker for good, leak the job's
+// live slot toward permanent 503, and strand every future duplicate on
+// a dead leader's flight. The panicking job — and any waiters
+// coalesced onto it — finish as failed instead.
+func (m *manager) safeRun(j *job) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		res := &spec.Result{Experiment: j.params.exp.Name, Cells: []spec.CellResult{{
+			Cell: "(job execution)",
+			Err:  fmt.Errorf("internal error: panic: %v", p),
+		}}}
+		m.mu.Lock()
+		var waiters []*job
+		if f, ok := m.flights[j.params.key]; ok && f.leader == j {
+			waiters = f.waiters
+			delete(m.flights, j.params.key)
+		}
+		m.mu.Unlock()
+		m.finish(j, "", res, false)
+		for _, wj := range waiters {
+			m.finish(wj, "", res, false)
+		}
+	}()
+	m.run(j)
+}
+
+// submit enqueues a validated run. It refuses with 503 when the daemon
+// is draining or the queue is full — the queue is the backpressure
+// boundary; nothing upstream of it blocks.
+func (m *manager) submit(p runParams) (JobStatus, *httpError) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.met.jobsRejected.Add(1)
+		return JobStatus{}, errf(http.StatusServiceUnavailable, "server is shutting down")
+	}
+	// A cached run completes inline: it costs zero simulation, so it
+	// must not consume a queue slot (or be 503-rejected when slow
+	// simulations saturate the queue), and the client skips a poll
+	// round-trip. Resubmissions are idempotent — when a completed
+	// record for the key is still retained, the client gets that run's
+	// id back rather than a fresh record, so a hot key can never grow
+	// the job table or evict other clients' unfetched runs. Lock order
+	// is always m.mu → cache.mu, never inverse.
+	if e, ok := m.cache.get(p.key); ok {
+		m.met.jobsSubmitted.Add(1)
+		m.met.cacheHits.Add(1)
+		m.met.jobsDone.Add(1)
+		if id, ok := m.byKey[p.key]; ok {
+			if prev, ok := m.jobs[id]; ok {
+				st := m.statusLocked(prev)
+				// The submit response reports how *this* submission
+				// was served (parallel never affects output, so the
+				// shared run satisfies any requested value); the
+				// record keeps its own history.
+				st.CacheHit = true
+				st.Parallel = p.parallel
+				m.mu.Unlock()
+				return st, nil
+			}
+		}
+		now := time.Now().UTC()
+		m.nextID++
+		j := &job{
+			id:       fmt.Sprintf("run-%d", m.nextID),
+			params:   p,
+			state:    JobDone,
+			cacheHit: true,
+			artifact: e.artifact,
+			result:   e.result,
+			created:  now,
+			started:  now,
+			finished: now,
+		}
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		m.byKey[p.key] = j.id
+		m.evictLocked()
+		st := m.statusLocked(j)
+		m.mu.Unlock()
+		return st, nil
+	}
+	m.nextID++
+	j := &job{
+		id:      fmt.Sprintf("run-%d", m.nextID),
+		params:  p,
+		state:   JobQueued,
+		created: time.Now().UTC(),
+	}
+	if m.live >= m.maxLive {
+		m.mu.Unlock()
+		m.met.jobsRejected.Add(1)
+		return JobStatus{}, errf(http.StatusServiceUnavailable, "too many in-flight runs (limit %d); retry later", m.maxLive)
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		m.met.jobsRejected.Add(1)
+		return JobStatus{}, errf(http.StatusServiceUnavailable, "job queue is full (depth %d)", cap(m.queue))
+	}
+	m.live++
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.evictLocked()
+	st := m.statusLocked(j)
+	// Counters move inside the lock: a worker's dequeue blocks on this
+	// mutex before it decrements jobs_queued, so the gauge can never be
+	// observed negative.
+	m.met.jobsSubmitted.Add(1)
+	m.met.jobsQueued.Add(1)
+	m.mu.Unlock()
+	return st, nil
+}
+
+// evictLocked drops the oldest finished jobs once the table exceeds
+// maxJobs. Queued and running jobs are never evicted.
+func (m *manager) evictLocked() {
+	for len(m.jobs) > m.maxJobs {
+		evicted := false
+		for i, id := range m.order {
+			j := m.jobs[id]
+			if j.state == JobDone || j.state == JobFailed {
+				delete(m.jobs, id)
+				if m.byKey[j.params.key] == id {
+					delete(m.byKey, j.params.key)
+				}
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything retained is still live
+		}
+	}
+}
+
+// run executes one job on a worker: serve it from the artifact cache
+// when an identical (experiment, sizes, seed, model) run already
+// completed — determinism makes the cached bytes exact — and simulate
+// otherwise.
+func (m *manager) run(j *job) {
+	m.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now().UTC()
+	p := j.params
+	// Gauges move with the state they mirror, inside the same critical
+	// section, so a client that just observed a state via the status
+	// endpoint (also under this lock) can never catch /metrics lagging.
+	m.met.jobsQueued.Add(-1)
+	m.met.jobsRunning.Add(1)
+	m.mu.Unlock()
+
+	if e, ok := m.cache.get(p.key); ok {
+		m.met.cacheHits.Add(1)
+		m.finish(j, e.artifact, e.result, true)
+		return
+	}
+
+	// Coalesce concurrent identical runs: the first worker to miss the
+	// cache for a key leads and simulates; later duplicates register as
+	// waiters and free their worker, so one slow run's duplicates can
+	// never occupy the whole pool.
+	m.mu.Lock()
+	if f, ok := m.flights[p.key]; ok {
+		f.waiters = append(f.waiters, j)
+		m.mu.Unlock()
+		return
+	}
+	m.flights[p.key] = &flight{leader: j}
+	m.mu.Unlock()
+
+	var artifact string
+	var res *spec.Result
+	if e, ok := m.cache.get(p.key); ok {
+		// A previous leader finished — cache.put, flight deregistered —
+		// between our cache miss and registering; don't re-simulate.
+		m.met.cacheHits.Add(1)
+		artifact, res = e.artifact, e.result
+		m.finish(j, artifact, res, true)
+	} else {
+		m.met.cacheMisses.Add(1)
+		artifact, res = m.simulate(p)
+		if res.FirstErr() == nil {
+			// Only fully successful runs are cached: a partial result
+			// must never be replayed as the canonical artifact.
+			m.cache.put(p.key, &cacheEntry{artifact: artifact, result: res})
+		}
+		m.finish(j, artifact, res, false)
+	}
+
+	// Complete the coalesced waiters with the identical outcome. After
+	// the flight is deregistered, fresh duplicates hit the cache (or
+	// lead a new flight if this run failed and cached nothing).
+	m.mu.Lock()
+	waiters := m.flights[p.key].waiters
+	delete(m.flights, p.key)
+	m.mu.Unlock()
+	shared := res.FirstErr() == nil
+	for _, wj := range waiters {
+		if shared {
+			// Coalescing, not a cache lookup — counted separately so
+			// /metrics doesn't conflate the two zero-simulation paths.
+			m.met.jobsCoalesced.Add(1)
+		}
+		m.finish(wj, artifact, res, shared)
+	}
+}
+
+// simulate runs the experiment and renders its artifact, gauging
+// in-flight cells as it goes.
+func (m *manager) simulate(p runParams) (string, *spec.Result) {
+	par := p.parallel
+	if par == 0 {
+		par = m.parallel
+	}
+	runner := &spec.Runner{
+		Parallel: par,
+		Pool:     m.pool,
+		CellHook: func(_ string, start bool) {
+			if start {
+				m.met.cellsInflight.Add(1)
+				m.met.cellsRun.Add(1)
+			} else {
+				m.met.cellsInflight.Add(-1)
+			}
+		},
+	}
+	res := runner.Run(p.exp, p.sizes, p.seed)
+	return renderArtifact(p.exp, res), &res
+}
+
+// renderArtifact renders a result exactly as `lowcontend run <exp>`
+// prints it — Render plus the trailing newline fmt.Println appends — so
+// the artifact endpoint is byte-identical to the CLI's stdout (CI
+// diffs the two).
+func renderArtifact(e spec.Experiment, res spec.Result) string {
+	return e.Render(res) + "\n"
+}
+
+func (m *manager) finish(j *job, artifact string, res *spec.Result, hit bool) {
+	errMsg := ""
+	state := JobDone
+	if err := res.FirstErr(); err != nil {
+		state = JobFailed
+		errMsg = err.Error()
+	}
+	m.mu.Lock()
+	if j.state == JobDone || j.state == JobFailed {
+		// Already settled (e.g. panic containment racing a normal
+		// completion); finishing is once-only.
+		m.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.artifact = artifact
+	j.result = res
+	j.cacheHit = hit
+	j.errMsg = errMsg
+	j.finished = time.Now().UTC()
+	// Counters settle with the state transition (see run): jobs_running
+	// covers coalesced waiters too — they stay JobRunning without
+	// occupying a worker until their leader completes them here.
+	m.live--
+	m.met.jobsRunning.Add(-1)
+	if state == JobFailed {
+		m.met.jobsFailed.Add(1)
+	} else {
+		m.met.jobsDone.Add(1)
+		m.byKey[j.params.key] = j.id
+	}
+	m.mu.Unlock()
+}
+
+// status returns the wire form of the job with the given id.
+func (m *manager) status(id string) (JobStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return m.statusLocked(j), true
+}
+
+func (m *manager) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:         j.id,
+		State:      j.state,
+		Experiment: j.params.exp.Name,
+		Sizes:      j.params.sizes,
+		Seed:       j.params.seed,
+		Model:      j.params.model,
+		Parallel:   j.params.parallel,
+		CacheHit:   j.cacheHit,
+		Error:      j.errMsg,
+		Created:    j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.state == JobDone || j.state == JobFailed {
+		st.Result = j.result
+	}
+	return st
+}
+
+// artifact returns the rendered artifact and result of a successfully
+// finished job — the single state gate for both artifact forms. A job
+// that has not completed yields 409 carrying the state so clients can
+// poll and retry; a failed job yields 409 with its error (its partial
+// result stays inspectable on the status endpoint, never as an
+// artifact).
+func (m *manager) artifact(id string) (string, *spec.Result, *httpError) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return "", nil, errf(http.StatusNotFound, "unknown run %q", id)
+	}
+	switch j.state {
+	case JobDone:
+		return j.artifact, j.result, nil
+	case JobFailed:
+		return "", nil, errf(http.StatusConflict, "run %s failed: %s", id, j.errMsg)
+	default:
+		return "", nil, errf(http.StatusConflict, "run %s is %s; poll GET /v1/runs/%s until done", id, j.state, id)
+	}
+}
+
+// shutdown drains the manager: no new submissions are accepted, queued
+// and running jobs complete (running cells are never interrupted), and
+// shutdown returns when the workers have exited or ctx expires. A
+// retried shutdown (after a ctx timeout) resumes waiting on the same
+// drain rather than reporting success early.
+func (m *manager) shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		// Submissions observe closed before touching the channel, so
+		// closing it here cannot race a send.
+		close(m.queue)
+		go func() {
+			m.wg.Wait()
+			close(m.drained)
+		}()
+	}
+	m.mu.Unlock()
+	select {
+	case <-m.drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown interrupted with jobs still draining: %w", ctx.Err())
+	}
+}

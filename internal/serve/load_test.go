@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLoadConcurrentIdenticalRequests is the service-level determinism
+// proof: N concurrent identical submissions — arriving over a real
+// HTTP listener, executed by a worker pool sharing one session pool —
+// produce byte-identical artifacts and bit-identical charged stats,
+// whether a given job simulated or was served from the artifact cache.
+// Run under -race in CI, it also pins the handler/manager/pool locking.
+func TestLoadConcurrentIdenticalRequests(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 64})
+	t.Cleanup(func() {
+		ctx, cancel := testContext(t)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	const clients = 12
+	const body = `{"experiment":"table2","sizes":[256],"seed":7}`
+
+	outcomes := make([]outcome, clients)
+	var wg sync.WaitGroup
+	for i := range clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outcomes[i] = fetchRun(ts.URL, body)
+		}()
+	}
+	wg.Wait()
+
+	hits := 0
+	for i, o := range outcomes {
+		if o.err != nil {
+			t.Fatalf("client %d: %v", i, o.err)
+		}
+		if o.cacheHit {
+			hits++
+		}
+		if !bytes.Equal(o.artifact, outcomes[0].artifact) {
+			t.Errorf("client %d artifact differs:\n%s\nvs\n%s", i, o.artifact, outcomes[0].artifact)
+		}
+		if !bytes.Equal(o.result, outcomes[0].result) {
+			t.Errorf("client %d charged stats differ:\n%s\nvs\n%s", i, o.result, outcomes[0].result)
+		}
+	}
+	if len(outcomes[0].artifact) == 0 {
+		t.Fatalf("empty artifact")
+	}
+	t.Logf("%d/%d identical requests served from the artifact cache", hits, clients)
+
+	// The worker pool shares one session pool: across 12 jobs (even
+	// counting cache hits) the simulating jobs must have recycled
+	// sessions rather than constructing a fresh machine per acquire.
+	var m map[string]int64
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m["pool_reuses"] < 1 {
+		t.Errorf("pool_reuses = %d, want >= 1 (pool not shared across requests?): %v", m["pool_reuses"], m)
+	}
+	if m["pool_acquires"] != m["pool_reuses"]+m["pool_news"] {
+		t.Errorf("pool counter identity violated: %v", m)
+	}
+	if m["jobs_done"] != clients || m["jobs_failed"] != 0 {
+		t.Errorf("job counters after load: %v", m)
+	}
+	if m["cells_inflight"] != 0 || m["jobs_running"] != 0 || m["jobs_queued"] != 0 {
+		t.Errorf("gauges did not settle: %v", m)
+	}
+	// Every zero-simulation completion (cache lookup or coalescing)
+	// reported cache_hit to its client, and the two counters split
+	// exactly that population.
+	if m["cache_hits"]+m["jobs_coalesced"] != int64(hits) {
+		t.Errorf("cache_hits(%d) + jobs_coalesced(%d) != %d jobs reporting cache_hit",
+			m["cache_hits"], m["jobs_coalesced"], hits)
+	}
+	// Coalescing bookkeeping must not leak: every flight deregisters.
+	s.jobs.mu.Lock()
+	leaked := len(s.jobs.flights)
+	s.jobs.mu.Unlock()
+	if leaked != 0 {
+		t.Errorf("%d in-flight entries leaked after load", leaked)
+	}
+}
+
+// TestConcurrentMixedSubmits races different experiments through one
+// shared pool — the -race companion to the identical-request load test.
+func TestConcurrentMixedSubmits(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 64})
+	t.Cleanup(func() {
+		ctx, cancel := testContext(t)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	bodies := []string{
+		`{"experiment":"fig1","seed":1}`,
+		`{"experiment":"table2","sizes":[128],"seed":2}`,
+		`{"experiment":"lowerbound","sizes":[4,16],"seed":3}`,
+		`{"experiment":"compaction","sizes":[256],"seed":4}`,
+	}
+	var wg sync.WaitGroup
+	for i := range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := submit(t, s, bodies[i%len(bodies)])
+			if fin := waitDone(t, s, st.ID); fin.State != JobDone {
+				t.Errorf("%s: state %q error %q", bodies[i%len(bodies)], fin.State, fin.Error)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// outcome is what one load-test client observed for its run.
+type outcome struct {
+	artifact []byte
+	result   []byte // canonical JSON of the per-cell result
+	cacheHit bool
+	err      error
+}
+
+// fetchRun submits a run over the wire, polls it to completion, and
+// fetches the artifact.
+func fetchRun(base, body string) (o outcome) {
+	post, err := http.Post(base+"/v1/runs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		o.err = err
+		return o
+	}
+	defer post.Body.Close()
+	if post.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(post.Body)
+		o.err = fmt.Errorf("submit: %s (%s)", post.Status, b)
+		return o
+	}
+	var st JobStatus
+	if o.err = json.NewDecoder(post.Body).Decode(&st); o.err != nil {
+		return o
+	}
+	if st.State == JobDone {
+		// Served inline from the artifact cache at submit time; the
+		// response reports how this submission was served.
+		o.cacheHit = st.CacheHit
+		if o.result, o.err = json.Marshal(st.Result); o.err != nil {
+			return o
+		}
+		return fetchArtifact(base, st.ID, o)
+	}
+	for {
+		time.Sleep(2 * time.Millisecond)
+		var cur JobStatus
+		if cur, o.err = getStatus(base, st.ID); o.err != nil {
+			return o
+		}
+		if cur.State == JobFailed {
+			o.err = fmt.Errorf("run failed: %s", cur.Error)
+			return o
+		}
+		if cur.State == JobDone {
+			o.cacheHit = cur.CacheHit
+			o.result, o.err = json.Marshal(cur.Result)
+			if o.err != nil {
+				return o
+			}
+			break
+		}
+	}
+	return fetchArtifact(base, st.ID, o)
+}
+
+func fetchArtifact(base, id string, o outcome) outcome {
+	resp, err := http.Get(base + "/v1/runs/" + id + "/artifact")
+	if err != nil {
+		o.err = err
+		return o
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		o.err = fmt.Errorf("artifact: %s", resp.Status)
+		return o
+	}
+	o.artifact, o.err = io.ReadAll(resp.Body)
+	return o
+}
+
+func getStatus(base, id string) (JobStatus, error) {
+	var st JobStatus
+	resp, err := http.Get(base + "/v1/runs/" + id)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return st, fmt.Errorf("status: %s (%s)", resp.Status, b)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}

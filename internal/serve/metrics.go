@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"lowcontend/internal/core"
+)
+
+// metrics is the daemon's expvar-style counter set: monotonic counters
+// for job and cache traffic plus gauges for queue occupancy and
+// in-flight cells. It is rendered as the flat JSON object served by
+// GET /metrics (keys sorted by encoding/json's map ordering, so the
+// document is stable for scrapers and tests).
+type metrics struct {
+	jobsSubmitted atomic.Int64 // accepted POST /v1/runs
+	jobsRejected  atomic.Int64 // refused with 503 (queue full / draining)
+	jobsQueued    atomic.Int64 // gauge: waiting in the queue
+	jobsRunning   atomic.Int64 // gauge: in the running state (includes coalesced waiters)
+	jobsDone      atomic.Int64 // submissions completed successfully (cache-served resubmissions included)
+	jobsFailed    atomic.Int64 // finished with at least one cell error
+	cacheHits     atomic.Int64 // runs served from the artifact cache
+	cacheMisses   atomic.Int64 // runs that had to simulate
+	jobsCoalesced atomic.Int64 // duplicate runs completed by flight coalescing (no lookup, no simulation)
+	cellsInflight atomic.Int64 // gauge: experiment cells executing now
+	cellsRun      atomic.Int64 // cells started since boot
+}
+
+// snapshot renders the counters, the artifact-cache occupancy, and the
+// shared session pool's traffic (hit/miss/idle) as one flat document.
+func (m *metrics) snapshot(pool *core.SessionPool, cacheEntries int) map[string]int64 {
+	ps := pool.Stats()
+	return map[string]int64{
+		"jobs_submitted": m.jobsSubmitted.Load(),
+		"jobs_rejected":  m.jobsRejected.Load(),
+		"jobs_queued":    m.jobsQueued.Load(),
+		"jobs_running":   m.jobsRunning.Load(),
+		"jobs_done":      m.jobsDone.Load(),
+		"jobs_failed":    m.jobsFailed.Load(),
+		"cache_hits":     m.cacheHits.Load(),
+		"cache_misses":   m.cacheMisses.Load(),
+		"jobs_coalesced": m.jobsCoalesced.Load(),
+		"cache_entries":  int64(cacheEntries),
+		"cells_inflight": m.cellsInflight.Load(),
+		"cells_run":      m.cellsRun.Load(),
+		"pool_acquires":  ps.Acquires,
+		"pool_reuses":    ps.Reuses,
+		"pool_news":      ps.News,
+		"pool_idle":      int64(pool.Idle()),
+	}
+}

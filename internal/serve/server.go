@@ -1,0 +1,228 @@
+// Package serve exposes the experiment registry as a long-lived JSON
+// HTTP service — the daemon behind cmd/lowcontendd. It turns one-shot
+// artifact regeneration into a multi-tenant workload:
+//
+//	GET  /v1/experiments        registry listing with cell counts
+//	POST /v1/runs               submit {experiment, sizes, seed, parallel?}; 202 + job id
+//	                            (a model field is reserved and refused until
+//	                            per-model reruns exist)
+//	GET  /v1/runs/{id}          job status, per-cell errors, charged PRAM stats
+//	GET  /v1/runs/{id}/artifact rendered artifact (text/plain; ?format=json for the result)
+//	GET  /healthz               liveness
+//	GET  /metrics               expvar-style counters (jobs, cache, pool, in-flight cells)
+//
+// Submissions land on a bounded queue drained by a worker pool that
+// shares one core.SessionPool, so simulated machines are recycled
+// across requests. Because a run's charged stats and rendered artifact
+// are a pure function of (experiment, sizes, seed) — the determinism
+// contract of internal/exp/spec — completed artifacts are cached by
+// that key and identical requests are served from the cache at zero
+// simulation cost, bit-for-bit exact. Request validation bounds sizes
+// so a hostile value cannot OOM the daemon, and Shutdown drains
+// running cells instead of interrupting them.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"lowcontend/internal/core"
+	"lowcontend/internal/exp"
+)
+
+// Config tunes a Server. The zero value serves with sensible defaults.
+type Config struct {
+	// Workers is the number of job-executing goroutines (default 2).
+	// Negative means zero workers — submissions queue but never
+	// execute — which only tests and diagnostics want.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting to run; submissions
+	// beyond it are refused with 503 (default 32).
+	QueueDepth int
+	// MaxJobs bounds the retained job table; the oldest finished jobs
+	// are evicted past it (default 256).
+	MaxJobs int
+	// CacheEntries bounds the artifact cache (default 128).
+	CacheEntries int
+	// Parallel is the per-job cell parallelism used when a request
+	// does not ask for one (default 1: concurrency comes from the
+	// worker pool, not from within a job).
+	Parallel int
+	// Limits bound request validation; zero fields take DefaultLimits.
+	Limits Limits
+	// Pool, when non-nil, supplies sessions and stays owned by the
+	// caller. When nil the server constructs its own single-worker
+	// pool (step-level parallelism stays 1 so concurrent jobs are not
+	// multiplied by step-level workers) and closes it on Shutdown.
+	Pool *core.SessionPool
+}
+
+// Server is the HTTP simulation service. Construct with New, mount
+// Handler, and Shutdown to drain.
+type Server struct {
+	pool    *core.SessionPool
+	ownPool bool
+	cache   *artifactCache
+	met     *metrics
+	jobs    *manager
+	mux     *http.ServeMux
+	limits  Limits
+	started time.Time
+}
+
+// New constructs a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Workers < 0 {
+		cfg.Workers = 0
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 32
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 256
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 128
+	}
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = 1
+	}
+	s := &Server{
+		pool:    cfg.Pool,
+		cache:   newArtifactCache(cfg.CacheEntries),
+		met:     &metrics{},
+		limits:  cfg.Limits.withDefaults(),
+		started: time.Now().UTC(),
+	}
+	if s.pool == nil {
+		s.pool = core.NewSessionPool()
+		s.pool.Workers = 1
+		s.ownPool = true
+	}
+	s.jobs = newManager(s.pool, s.cache, s.met, cfg.Workers, cfg.QueueDepth, cfg.Parallel, cfg.MaxJobs)
+	s.routes()
+	return s
+}
+
+// routes wires the endpoint table. Split from New so tests can assemble
+// bespoke servers (e.g. with a worker-less manager) around the same mux.
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/runs/{id}/artifact", s.handleArtifact)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the server: new submissions are refused with 503,
+// queued and running jobs finish (cells are never interrupted), and the
+// owned session pool (if any) is released. Callers stop the HTTP
+// listener first (http.Server.Shutdown), then drain jobs here.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.jobs.shutdown(ctx)
+	if err == nil && s.ownPool {
+		s.pool.Close()
+	}
+	return err
+}
+
+// --- handlers --------------------------------------------------------
+
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": exp.Describe()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	body := http.MaxBytesReader(w, r.Body, s.limits.MaxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, errf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, errf(http.StatusBadRequest, "bad request body: %v", err))
+		return
+	}
+	if dec.More() {
+		// One request per body: silently running only the first of two
+		// concatenated objects would drop the second.
+		writeError(w, errf(http.StatusBadRequest, "bad request body: trailing data after the run request"))
+		return
+	}
+	p, herr := validate(req, s.limits)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	st, herr := s.jobs.submit(p)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	w.Header().Set("Location", "/v1/runs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.jobs.status(id)
+	if !ok {
+		writeError(w, errf(http.StatusNotFound, "unknown run %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	artifact, result, herr := s.jobs.artifact(r.PathValue("id"))
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, result)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(artifact))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.met.snapshot(s.pool, s.cache.len()))
+}
+
+// --- wire helpers ----------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, e *httpError) {
+	writeJSON(w, e.code, map[string]string{"error": e.msg})
+}

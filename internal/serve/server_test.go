@@ -1,0 +1,471 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lowcontend/internal/exp"
+	"lowcontend/internal/exp/spec"
+)
+
+func testContext(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	return context.WithTimeout(context.Background(), 60*time.Second)
+}
+
+// newTestServer returns a stock server (2 workers) torn down with the
+// test.
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	s := New(Config{})
+	t.Cleanup(func() {
+		ctx, cancel := testContext(t)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s
+}
+
+// newStalledServer returns a server with no workers (Workers: -1), so
+// every submitted job stays queued forever — the deterministic way to
+// exercise the artifact-before-completion path.
+func newStalledServer(t *testing.T) *Server {
+	t.Helper()
+	return New(Config{Workers: -1, QueueDepth: 4, MaxJobs: 16, CacheEntries: 8})
+}
+
+// do performs one request against the server's handler and returns the
+// recorded response.
+func do(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, path, nil)
+	} else {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+// submit POSTs a run request and returns the accepted job status.
+func submit(t *testing.T, s *Server, body string) JobStatus {
+	t.Helper()
+	w := do(t, s, http.MethodPost, "/v1/runs", body)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit %s: code %d, body %s", body, w.Code, w.Body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatalf("submit response: %v", err)
+	}
+	if st.ID == "" {
+		t.Fatalf("submit returned empty id: %s", w.Body)
+	}
+	return st
+}
+
+// waitDone polls a job's status until it leaves the queue.
+func waitDone(t *testing.T, s *Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		w := do(t, s, http.MethodGet, "/v1/runs/"+id, "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("status %s: code %d, body %s", id, w.Code, w.Body)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+			t.Fatalf("status response: %v", err)
+		}
+		if st.State == JobDone || st.State == JobFailed {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return JobStatus{}
+}
+
+func TestEndpointTable(t *testing.T) {
+	stalled := newStalledServer(t)
+	queued := submit(t, stalled, `{"experiment":"fig1"}`)
+
+	cases := []struct {
+		name     string
+		server   *Server
+		method   string
+		path     string
+		body     string
+		wantCode int
+		wantSub  string // substring of the response body
+	}{
+		{"experiments list", nil, "GET", "/v1/experiments", "", 200, `"table1"`},
+		{"experiments cell counts", nil, "GET", "/v1/experiments", "", 200, `"cells"`},
+		{"healthz", nil, "GET", "/healthz", "", 200, `"status": "ok"`},
+		{"metrics", nil, "GET", "/metrics", "", 200, `"pool_reuses"`},
+		{"submit malformed json", nil, "POST", "/v1/runs", `{"experiment":`, 400, "bad request body"},
+		{"submit unknown field", nil, "POST", "/v1/runs", `{"experiment":"fig1","bogus":1}`, 400, "bad request body"},
+		{"submit trailing data", nil, "POST", "/v1/runs", `{"experiment":"fig1"}{"experiment":"table2"}`, 400, "trailing data"},
+		{"submit unknown experiment", nil, "POST", "/v1/runs", `{"experiment":"table9"}`, 404, "unknown experiment"},
+		{"submit size zero", nil, "POST", "/v1/runs", `{"experiment":"table2","sizes":[0]}`, 400, "out of range"},
+		{"submit size huge", nil, "POST", "/v1/runs", `{"experiment":"table2","sizes":[1073741824]}`, 400, "out of range"},
+		{"submit too many sizes", nil, "POST", "/v1/runs",
+			`{"experiment":"table2","sizes":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17]}`, 400, "too many sizes"},
+		{"submit sizes to size-free experiment", nil, "POST", "/v1/runs", `{"experiment":"fig1","sizes":[64]}`, 400, "not size-parameterized"},
+		{"submit bad model", nil, "POST", "/v1/runs", `{"experiment":"table2","model":"PRAM-9000"}`, 400, "unknown model"},
+		{"submit reserved model", nil, "POST", "/v1/runs", `{"experiment":"table2","model":"EREW"}`, 400, "reserved"},
+		{"submit bad parallel", nil, "POST", "/v1/runs", `{"experiment":"table2","parallel":-1}`, 400, "parallel"},
+		{"status unknown run", nil, "GET", "/v1/runs/run-999", "", 404, "unknown run"},
+		{"artifact unknown run", nil, "GET", "/v1/runs/run-999/artifact", "", 404, "unknown run"},
+		{"artifact before completion", stalled, "GET", "/v1/runs/" + queued.ID + "/artifact", "", 409, "poll GET"},
+		{"artifact json before completion", stalled, "GET", "/v1/runs/" + queued.ID + "/artifact?format=json", "", 409, "poll GET"},
+	}
+	shared := newTestServer(t)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := c.server
+			if s == nil {
+				s = shared
+			}
+			w := do(t, s, c.method, c.path, c.body)
+			if w.Code != c.wantCode {
+				t.Fatalf("%s %s: code %d, want %d (body %s)", c.method, c.path, w.Code, c.wantCode, w.Body)
+			}
+			if !strings.Contains(w.Body.String(), c.wantSub) {
+				t.Errorf("%s %s: body missing %q:\n%s", c.method, c.path, c.wantSub, w.Body)
+			}
+		})
+	}
+}
+
+func TestSubmitRunAndFetchArtifact(t *testing.T) {
+	s := newTestServer(t)
+	st := submit(t, s, `{"experiment":"table2","sizes":[256],"seed":7}`)
+	if st.State != JobQueued && st.State != JobRunning {
+		t.Errorf("fresh job state = %q", st.State)
+	}
+	if st.Seed != 7 || st.Experiment != "table2" {
+		t.Errorf("normalized request mangled: %+v", st)
+	}
+	fin := waitDone(t, s, st.ID)
+	if fin.State != JobDone {
+		t.Fatalf("job state = %q, error %q", fin.State, fin.Error)
+	}
+	if fin.Result == nil || len(fin.Result.Cells) == 0 {
+		t.Fatalf("finished job carries no result: %+v", fin)
+	}
+	for _, c := range fin.Result.Cells {
+		for _, m := range c.Measurements {
+			if m.Stats.Time <= 0 {
+				t.Errorf("cell %s charged non-positive time", c.Cell)
+			}
+		}
+	}
+
+	w := do(t, s, "GET", "/v1/runs/"+st.ID+"/artifact", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("artifact: code %d, body %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("artifact content type = %q", ct)
+	}
+
+	// The artifact must be byte-identical to what the CLI renders for
+	// the same request (Render plus fmt.Println's trailing newline).
+	e, _ := exp.Find("table2")
+	res := (&spec.Runner{Parallel: 1}).Run(e, []int{256}, 7)
+	if want := e.Render(res) + "\n"; w.Body.String() != want {
+		t.Errorf("artifact differs from CLI render:\n--- http ---\n%q\n--- cli ---\n%q", w.Body.String(), want)
+	}
+
+	wj := do(t, s, "GET", "/v1/runs/"+st.ID+"/artifact?format=json", "")
+	if wj.Code != http.StatusOK || !strings.Contains(wj.Body.String(), `"experiment": "table2"`) {
+		t.Errorf("artifact json: code %d, body %s", wj.Code, wj.Body)
+	}
+}
+
+func TestCacheHitPath(t *testing.T) {
+	s := newTestServer(t)
+	const body = `{"experiment":"fig1","seed":3}`
+	first := waitDone(t, s, submit(t, s, body).ID)
+	if first.State != JobDone || first.CacheHit {
+		t.Fatalf("first run: state %q cacheHit %v", first.State, first.CacheHit)
+	}
+	// An identical resubmission is served from the artifact cache at
+	// submit time, idempotently: same completed run, same id, no new
+	// record minted (so a hot key cannot evict other clients' runs).
+	second := submit(t, s, body)
+	if second.State != JobDone || !second.CacheHit {
+		t.Errorf("resubmission: state %q cacheHit %v, want inline done cache hit", second.State, second.CacheHit)
+	}
+	if second.ID != first.ID {
+		t.Errorf("resubmission minted a new record %s, want idempotent reuse of %s", second.ID, first.ID)
+	}
+	if second.Result == nil {
+		t.Errorf("inline cache hit carries no result")
+	}
+	a1 := do(t, s, "GET", "/v1/runs/"+first.ID+"/artifact", "").Body.String()
+	if a1 == "" || !strings.Contains(a1, "Figure 1") {
+		t.Errorf("cached artifact unavailable after resubmission:\n%s", a1)
+	}
+
+	var m map[string]int64
+	w := do(t, s, "GET", "/metrics", "")
+	if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if m["cache_hits"] < 1 {
+		t.Errorf("metrics cache_hits = %d, want >= 1 (%v)", m["cache_hits"], m)
+	}
+	if m["cache_entries"] < 1 || m["jobs_done"] < 2 {
+		t.Errorf("metrics inconsistent after two runs: %v", m)
+	}
+	if m["cells_inflight"] != 0 {
+		t.Errorf("cells_inflight gauge did not return to 0: %v", m)
+	}
+}
+
+// TestFailedJobSurfacesCellErrors drives the failure path at the jobs
+// layer (no registry experiment fails deterministically over HTTP):
+// a result with an errored cell must mark the job failed, expose the
+// per-cell error on status, refuse the artifact with 409, and never be
+// cached.
+func TestFailedJobSurfacesCellErrors(t *testing.T) {
+	s := newStalledServer(t)
+	st := submit(t, s, `{"experiment":"table1","sizes":[64]}`)
+	res := &spec.Result{
+		Experiment: "table1",
+		Cells: []spec.CellResult{
+			{Cell: "random permutation/64", Index: 0, Err: errors.New("machine wedged")},
+		},
+	}
+	m := s.jobs
+	m.mu.Lock()
+	j := m.jobs[st.ID]
+	m.mu.Unlock()
+	m.finish(j, "partial artifact\n", res, false)
+
+	fin, ok := m.status(st.ID)
+	if !ok || fin.State != JobFailed {
+		t.Fatalf("job state = %+v (ok=%v), want failed", fin, ok)
+	}
+	if !strings.Contains(fin.Error, "machine wedged") {
+		t.Errorf("job error %q does not carry the cell error", fin.Error)
+	}
+	w := do(t, s, "GET", "/v1/runs/"+st.ID, "")
+	if !strings.Contains(w.Body.String(), "machine wedged") {
+		t.Errorf("status body missing per-cell error:\n%s", w.Body)
+	}
+	if w = do(t, s, "GET", "/v1/runs/"+st.ID+"/artifact", ""); w.Code != http.StatusConflict {
+		t.Errorf("artifact of failed run: code %d, want 409", w.Code)
+	}
+	// The JSON form must gate on the same state: a failed run's partial
+	// result is status-endpoint data, never an artifact.
+	if w = do(t, s, "GET", "/v1/runs/"+st.ID+"/artifact?format=json", ""); w.Code != http.StatusConflict {
+		t.Errorf("json artifact of failed run: code %d, want 409", w.Code)
+	}
+	if s.cache.len() != 0 {
+		t.Errorf("failed run was cached")
+	}
+	if got := s.met.jobsFailed.Load(); got != 1 {
+		t.Errorf("jobs_failed = %d, want 1", got)
+	}
+}
+
+func TestQueueBackpressureAndShutdown(t *testing.T) {
+	s := newStalledServer(t) // no workers: jobs stay queued
+	// Fill the depth-4 queue, then overflow.
+	for range 4 {
+		submit(t, s, `{"experiment":"fig1"}`)
+	}
+	w := do(t, s, "POST", "/v1/runs", `{"experiment":"fig1"}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit: code %d, want 503 (body %s)", w.Code, w.Body)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal(do(t, s, "GET", "/metrics", "").Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["jobs_rejected"] < 1 || m["jobs_queued"] != 4 {
+		t.Errorf("metrics after overflow: %v", m)
+	}
+
+	// Coalesced waiters leave the queue without finishing, so live jobs
+	// are bounded separately: at the live cap, submissions get 503 even
+	// with queue slots free.
+	s.jobs.mu.Lock()
+	s.jobs.live = s.jobs.maxLive
+	s.jobs.mu.Unlock()
+	w = do(t, s, "POST", "/v1/runs", `{"experiment":"table2","sizes":[64]}`)
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "in-flight") {
+		t.Errorf("live-bound submit: code %d, body %s", w.Code, w.Body)
+	}
+}
+
+func TestShutdownDrainsAndRefuses(t *testing.T) {
+	s := New(Config{Workers: 2})
+	st := submit(t, s, `{"experiment":"fig1","seed":9}`)
+	ctx, cancel := testContext(t)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The accepted job drained to completion, not abandonment.
+	fin, ok := s.jobs.status(st.ID)
+	if !ok || (fin.State != JobDone && fin.State != JobFailed) {
+		t.Errorf("job after drain: %+v (ok=%v)", fin, ok)
+	}
+	w := do(t, s, "POST", "/v1/runs", `{"experiment":"fig1"}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Errorf("submit after shutdown: code %d, want 503", w.Code)
+	}
+}
+
+// TestValidateNormalization pins the request-normalization rules that
+// the HTTP cases can't observe cheaply: empty sizes (nil or explicit
+// []) fall back to the experiment's defaults rather than producing a
+// zero-cell "done" run, seed defaults to 1, and model names normalize
+// case-insensitively.
+func TestValidateNormalization(t *testing.T) {
+	lim := Limits{}.withDefaults()
+	e, _ := exp.Find("table2")
+
+	for _, sizes := range [][]int{nil, {}} {
+		p, herr := validate(RunRequest{Experiment: "table2", Sizes: sizes}, lim)
+		if herr != nil {
+			t.Fatalf("validate(sizes=%v): %v", sizes, herr)
+		}
+		if len(p.sizes) != len(e.DefaultSizes) || len(p.sizes) == 0 {
+			t.Errorf("sizes=%v normalized to %v, want defaults %v", sizes, p.sizes, e.DefaultSizes)
+		}
+		if p.seed != 1 {
+			t.Errorf("omitted seed normalized to %d, want 1", p.seed)
+		}
+	}
+
+	// model is reserved: a known model name is refused with a message
+	// saying so (case-insensitively recognized), an unknown name with
+	// the sharper "unknown model".
+	if _, herr := validate(RunRequest{Experiment: "fig1", Model: "qrqw"}, lim); herr == nil ||
+		herr.code != http.StatusBadRequest || !strings.Contains(herr.msg, "reserved") {
+		t.Errorf("known model name should be refused as reserved, got %v", herr)
+	}
+
+	// A lowered size cap filters substituted defaults instead of
+	// rejecting a sizes-omitted request with a 400 naming sizes the
+	// client never sent; it errors only when nothing remains runnable.
+	small := Limits{MaxSize: 5000}.withDefaults()
+	p3, herr := validate(RunRequest{Experiment: "table1"}, small) // defaults 4096,16384,65536
+	if herr != nil {
+		t.Fatalf("defaults under lowered cap: %v", herr)
+	}
+	if len(p3.sizes) != 1 || p3.sizes[0] != 4096 {
+		t.Errorf("filtered defaults = %v, want [4096]", p3.sizes)
+	}
+	tiny := Limits{MaxSize: 2}.withDefaults()
+	if _, herr := validate(RunRequest{Experiment: "table1"}, tiny); herr == nil || herr.code != http.StatusBadRequest {
+		t.Errorf("all-defaults-over-cap should 400, got %v", herr)
+	}
+	if _, herr := validate(RunRequest{Experiment: "fig1"}, tiny); herr != nil {
+		t.Errorf("size-free experiment rejected under tiny cap: %v", herr)
+	}
+}
+
+// TestShutdownIsIdempotent pins the drain contract on retried
+// shutdowns: a second Shutdown call waits for (or observes) the same
+// drain instead of short-circuiting to success while workers run.
+func TestShutdownIsIdempotent(t *testing.T) {
+	s := New(Config{Workers: 2})
+	submit(t, s, `{"experiment":"fig1"}`)
+	ctx, cancel := testContext(t)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("first shutdown: %v", err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+// TestWorkerPanicContainment pins safeRun: a panic outside the cell
+// recover (here, in the Cells factory itself) must fail the job and
+// its coalesced waiters, deregister the flight, and release the live
+// slots — never kill the worker silently.
+func TestWorkerPanicContainment(t *testing.T) {
+	s := newStalledServer(t) // no workers; the test drives safeRun itself
+	m := s.jobs
+	block := make(chan struct{})
+	boom := spec.Experiment{
+		Name: "boom",
+		Cells: func([]int) []spec.Cell {
+			<-block
+			panic("kaboom")
+		},
+		Render: func(spec.Result) string { return "" },
+	}
+	p := runParams{exp: boom, seed: 1, key: "boom||1|"}
+
+	st1, herr := m.submit(p)
+	if herr != nil {
+		t.Fatal(herr)
+	}
+	st2, herr := m.submit(p)
+	if herr != nil {
+		t.Fatal(herr)
+	}
+	m.mu.Lock()
+	j1, j2 := m.jobs[st1.ID], m.jobs[st2.ID]
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { m.safeRun(j1); close(done) }() // leads, blocks in Cells
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m.mu.Lock()
+		_, registered := m.flights[p.key]
+		m.mu.Unlock()
+		if registered {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leader never registered its flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.safeRun(j2) // coalesces as waiter, returns immediately
+	close(block)  // leader panics
+	<-done
+
+	for _, id := range []string{st1.ID, st2.ID} {
+		fin, ok := m.status(id)
+		if !ok || fin.State != JobFailed || !strings.Contains(fin.Error, "panic") {
+			t.Errorf("job %s after panic: %+v (ok=%v)", id, fin, ok)
+		}
+	}
+	m.mu.Lock()
+	flights, live := len(m.flights), m.live
+	m.mu.Unlock()
+	if flights != 0 || live != 0 {
+		t.Errorf("panic leaked state: %d flights, %d live jobs", flights, live)
+	}
+}
+
+func TestOversizedBodyRejected(t *testing.T) {
+	s := newTestServer(t)
+	big := fmt.Sprintf(`{"experiment":"fig1","model":"%s"}`, strings.Repeat("x", 1<<17))
+	w := do(t, s, "POST", "/v1/runs", big)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: code %d, want 413", w.Code)
+	}
+}

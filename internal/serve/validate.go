@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"lowcontend/internal/exp"
+	"lowcontend/internal/exp/spec"
+	"lowcontend/internal/machine"
+)
+
+// Limits bound what one run request may ask of the daemon. Every
+// submitted size expands into simulated shared-memory arrays, so an
+// unchecked sizes value is a remote allocation primitive; the defaults
+// comfortably cover the paper's sizes (max 1<<16) while keeping a
+// hostile request from OOMing the process.
+type Limits struct {
+	// MaxSizes caps the number of entries in a request's sizes sweep.
+	MaxSizes int
+	// MaxSize caps each individual size (problem size or L value).
+	MaxSize int
+	// MaxParallel caps the per-job cell parallelism a request may ask
+	// for.
+	MaxParallel int
+	// MaxBody caps the request body in bytes.
+	MaxBody int64
+}
+
+// DefaultLimits returns the daemon's stock request bounds.
+func DefaultLimits() Limits {
+	return Limits{MaxSizes: 16, MaxSize: 1 << 20, MaxParallel: 32, MaxBody: 1 << 16}
+}
+
+// withDefaults fills zero fields with the stock bounds, so a partially
+// populated Limits still bounds every dimension.
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxSizes <= 0 {
+		l.MaxSizes = d.MaxSizes
+	}
+	if l.MaxSize <= 0 {
+		l.MaxSize = d.MaxSize
+	}
+	if l.MaxParallel <= 0 {
+		l.MaxParallel = d.MaxParallel
+	}
+	if l.MaxBody <= 0 {
+		l.MaxBody = d.MaxBody
+	}
+	return l
+}
+
+// RunRequest is the body of POST /v1/runs. Sizes nil (or empty) means
+// the experiment's default sizes; Seed nil means seed 1 (the CLI
+// default); Model is reserved for a future per-model rerun facility
+// and currently refused when non-empty (registry experiments pin their
+// own models); Parallel 0 means the daemon's per-job default.
+type RunRequest struct {
+	Experiment string  `json:"experiment"`
+	Sizes      []int   `json:"sizes,omitempty"`
+	Seed       *uint64 `json:"seed,omitempty"`
+	Model      string  `json:"model,omitempty"`
+	Parallel   int     `json:"parallel,omitempty"`
+}
+
+// httpError is a handler-layer error: an HTTP status code plus a
+// message rendered as {"error": msg}.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errf(code int, format string, args ...any) *httpError {
+	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// runParams is a validated, normalized run request: the resolved
+// experiment, concrete sizes/seed/parallel, and the artifact cache key.
+type runParams struct {
+	exp      spec.Experiment
+	sizes    []int
+	seed     uint64
+	model    string // canonical model name, or ""
+	parallel int    // 0 = daemon default
+	key      string
+}
+
+// validate checks a run request against the registry and the limits and
+// normalizes it. Unknown experiments are 404; everything else invalid
+// is 400.
+func validate(req RunRequest, lim Limits) (runParams, *httpError) {
+	var p runParams
+	e, ok := exp.Find(req.Experiment)
+	if !ok {
+		return p, errf(http.StatusNotFound, "unknown experiment %q (see GET /v1/experiments)", req.Experiment)
+	}
+	p.exp = e
+	if len(req.Sizes) > 0 && e.DefaultSizes == nil {
+		// Size-free experiments (fig1) ignore sizes entirely; accepting
+		// them would echo parameters that had no effect and fragment
+		// the cache key across identical runs — refuse honestly, like
+		// the reserved model field below.
+		return p, errf(http.StatusBadRequest, "experiment %q is not size-parameterized; omit sizes", e.Name)
+	}
+	p.sizes = req.Sizes
+	if len(p.sizes) == 0 {
+		// nil and explicit [] both mean the experiment's defaults — a
+		// zero-cell run would otherwise complete "done" with a
+		// header-only artifact and poison the cache for its key. The
+		// defaults still honor the operator's size cap: oversized
+		// entries are dropped rather than bounced back as a 400 naming
+		// sizes the client never sent.
+		for _, n := range e.DefaultSizes {
+			if n <= lim.MaxSize {
+				p.sizes = append(p.sizes, n)
+			}
+		}
+		if len(p.sizes) == 0 && len(e.DefaultSizes) > 0 {
+			return p, errf(http.StatusBadRequest,
+				"every default size of %q exceeds this server's size limit %d; pass explicit sizes", e.Name, lim.MaxSize)
+		}
+	} else {
+		if len(p.sizes) > lim.MaxSizes {
+			return p, errf(http.StatusBadRequest, "too many sizes: %d (limit %d)", len(p.sizes), lim.MaxSizes)
+		}
+		for _, n := range p.sizes {
+			if n < 1 || n > lim.MaxSize {
+				return p, errf(http.StatusBadRequest, "size %d out of range [1, %d]", n, lim.MaxSize)
+			}
+		}
+	}
+	p.seed = 1
+	if req.Seed != nil {
+		p.seed = *req.Seed
+	}
+	if req.Model != "" {
+		// The field is reserved for a future per-model rerun facility.
+		// Registry cells pin their own models today, so accepting a
+		// model here would return stats labeled with a model that was
+		// never simulated — refuse honestly instead.
+		if _, ok := machine.ParseModel(req.Model); !ok {
+			return p, errf(http.StatusBadRequest, "unknown model %q", req.Model)
+		}
+		return p, errf(http.StatusBadRequest,
+			"model override is reserved and not yet supported: registry experiments pin their own models (see DESIGN.md)")
+	}
+	if req.Parallel < 0 || req.Parallel > lim.MaxParallel {
+		return p, errf(http.StatusBadRequest, "parallel %d out of range [0, %d]", req.Parallel, lim.MaxParallel)
+	}
+	p.parallel = req.Parallel
+	p.key = cacheKey(p)
+	return p, nil
+}
+
+// cacheKey canonicalizes the determinism-relevant request parameters:
+// charged stats and rendered artifacts are a pure function of
+// (experiment, sizes, seed) — parallelism never changes them — so jobs
+// sharing a key produce byte-identical artifacts and the cache may
+// serve any of them from the first completed run. The reserved model
+// field is keyed too so a future model override cannot alias.
+func cacheKey(p runParams) string {
+	var b strings.Builder
+	b.WriteString(p.exp.Name)
+	b.WriteByte('|')
+	for i, n := range p.sizes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(n))
+	}
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(p.seed, 10))
+	b.WriteByte('|')
+	b.WriteString(p.model)
+	return b.String()
+}

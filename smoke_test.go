@@ -1,11 +1,18 @@
 package lowcontend
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 // Smoke tests for the command and example binaries: build each one and
@@ -74,6 +81,154 @@ func TestSmokeParallelRegenerationIsDeterministic(t *testing.T) {
 	}
 	if !strings.Contains(seq, "Table I") || !strings.Contains(seq, "Linear compaction") {
 		t.Errorf("regeneration output incomplete:\n%s", seq)
+	}
+}
+
+// TestSmokeCmdLowcontendd boots the daemon on an ephemeral port, waits
+// for /healthz, submits one small run, fetches its artifact, and shuts
+// it down cleanly with an interrupt.
+func TestSmokeCmdLowcontendd(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "lowcontendd")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/lowcontendd").CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/lowcontendd: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	// The first line announces the bound address; keep draining the
+	// rest in the background so the daemon never blocks on stdout.
+	// Bounded, like every other wait here: a daemon wedged before its
+	// banner must fail this test, not hang the package.
+	r := bufio.NewReader(stdout)
+	type banner struct {
+		line string
+		err  error
+	}
+	bannerCh := make(chan banner, 1)
+	go func() {
+		l, err := r.ReadString('\n')
+		bannerCh <- banner{l, err}
+	}()
+	var line string
+	select {
+	case b := <-bannerCh:
+		if b.err != nil {
+			t.Fatalf("reading listen line: %v", b.err)
+		}
+		line = b.line
+	case <-time.After(20 * time.Second):
+		t.Fatal("daemon never printed its listen banner")
+	}
+	const prefix = "lowcontendd listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected first line %q", line)
+	}
+	base := "http://" + strings.TrimSpace(strings.TrimPrefix(line, prefix))
+	var rest bytes.Buffer
+	drained := make(chan struct{})
+	go func() { io.Copy(&rest, r); close(drained) }()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return 0, err.Error()
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if code, _ := get("/healthz"); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy at %s", base)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Fresh deadline: slow startup must not starve the run poll below.
+	deadline = time.Now().Add(20 * time.Second)
+
+	resp, err := http.Post(base+"/v1/runs", "application/json",
+		strings.NewReader(`{"experiment":"table2","sizes":[128],"seed":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit: status %d, id %q, err %v", resp.StatusCode, st.ID, err)
+	}
+
+	for {
+		code, body := get("/v1/runs/" + st.ID)
+		if code != http.StatusOK {
+			t.Fatalf("status poll: %d %s", code, body)
+		}
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" || st.State == "failed" {
+			if st.State != "done" {
+				t.Fatalf("run failed: %s", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run never finished: %s", body)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if code, body := get("/v1/runs/" + st.ID + "/artifact"); code != http.StatusOK || !strings.Contains(body, "Table II") {
+		t.Fatalf("artifact: %d\n%s", code, body)
+	}
+
+	if runtime.GOOS == "windows" {
+		return // no Interrupt support; the deferred Kill cleans up
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	// Drain to EOF before Wait: Wait closes the pipe and would race
+	// the copy goroutine out of the daemon's shutdown lines. Bounded,
+	// so a wedged drain fails this test instead of hanging the whole
+	// package into go test's global timeout (the deferred Kill reaps).
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit within 30s of interrupt")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited uncleanly: %v", err)
+	}
+	killed = true
+	if !strings.Contains(rest.String(), "lowcontendd stopped") {
+		t.Errorf("shutdown output missing %q:\n%s", "lowcontendd stopped", rest.String())
 	}
 }
 
