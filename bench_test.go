@@ -248,6 +248,39 @@ func BenchmarkSort_IntegerCRQW(b *testing.B) {
 	report(b, st)
 }
 
+// --- Tracing/profiling overhead ---------------------------------------
+
+// BenchmarkTraceOverhead quantifies what the profiling layer costs at
+// each level — untraced (the production default, which must stay the
+// zero-overhead baseline), traced, and traced with hot-cell
+// attribution — on a fixed dart-throwing workload whose charged stats
+// are identical across the variants.
+func BenchmarkTraceOverhead(b *testing.B) {
+	const n = 1 << 12
+	variants := []struct {
+		name string
+		opts []machine.Option
+	}{
+		{"untraced", nil},
+		{"traced", []machine.Option{machine.WithTrace()}},
+		{"hotcells", []machine.Option{machine.WithHotCells(8)}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var st machine.Stats
+			for i := 0; i < b.N; i++ {
+				m := machine.New(machine.QRQW, 1<<18, append([]machine.Option{machine.WithSeed(uint64(i) + 1)}, v.opts...)...)
+				if _, err := perm.Random(m, n); err != nil {
+					b.Fatal(err)
+				}
+				st = m.Stats()
+				m.Free()
+			}
+			report(b, st)
+		})
+	}
+}
+
 // --- Native wall-clock counterparts ([BGMZ95] shape) ------------------
 
 func BenchmarkNative_DartPermutation(b *testing.B) {

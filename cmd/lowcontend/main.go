@@ -6,6 +6,7 @@
 //
 //	lowcontend [flags] list
 //	lowcontend [flags] run <experiment> [run <experiment> ...]
+//	lowcontend [flags] profile <experiment> [profile <experiment> ...]
 //	lowcontend [flags] table1|table2|fig1|lowerbound|compaction|selftest|all
 //
 // Flags:
@@ -21,8 +22,11 @@
 // Experiments are declared in the internal/exp registry and executed by
 // a concurrent runner over a pool of reusable sessions; charged stats
 // and rendered artifacts are bit-identical at any -parallel value.
-// selftest exercises every core.Session entry point at size -n and
-// prints the charged costs.
+// profile runs an experiment with per-step tracing and renders each
+// cell's contention profile — per-phase cost attribution, a kappa
+// histogram, and hot cells — instead of the artifact (with -json, the
+// profiles attach to each cell's result). selftest exercises every
+// core.Session entry point at size -n and prints the charged costs.
 package main
 
 import (
@@ -73,6 +77,7 @@ func run() int {
 	}
 	defer pool.Close()
 	runner := &spec.Runner{Parallel: par, Pool: pool}
+	profRunner := &spec.Runner{Parallel: par, Pool: pool, Profile: true}
 
 	// Resolve the argument list into an ordered action plan first, so
 	// argument errors abort before any work runs, then execute the plan
@@ -81,14 +86,18 @@ func run() int {
 	if len(cmds) == 0 {
 		cmds = []string{"all"}
 	}
-	var actions []string // registry names, or the pseudo-actions "list"/"selftest"
+	type action struct {
+		name     string // registry name, or the pseudo-action "list"/"selftest"
+		profiled bool   // render the contention profile instead of the artifact
+	}
+	var actions []action
 	for i := 0; i < len(cmds); i++ {
 		switch cmd := cmds[i]; cmd {
 		case "list", "selftest":
-			actions = append(actions, cmd)
-		case "run":
+			actions = append(actions, action{name: cmd})
+		case "run", "profile":
 			if i+1 >= len(cmds) {
-				fmt.Fprintln(os.Stderr, "lowcontend: run requires an experiment name (see lowcontend list)")
+				fmt.Fprintf(os.Stderr, "lowcontend: %s requires an experiment name (see lowcontend list)\n", cmd)
 				return 2
 			}
 			i++
@@ -96,12 +105,12 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "lowcontend: unknown experiment %q (see lowcontend list)\n", cmds[i])
 				return 2
 			}
-			actions = append(actions, cmds[i])
+			actions = append(actions, action{name: cmds[i], profiled: cmd == "profile"})
 		case "table1", "table2", "fig1", "lowerbound", "compaction":
-			actions = append(actions, cmd)
+			actions = append(actions, action{name: cmd})
 		case "all":
 			for _, e := range exp.Registry() {
-				actions = append(actions, e.Name)
+				actions = append(actions, action{name: e.Name})
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", cmd)
@@ -111,8 +120,8 @@ func run() int {
 
 	exit := 0
 	var results []spec.Result
-	for _, name := range actions {
-		switch name {
+	for _, a := range actions {
+		switch a.name {
 		case "list":
 			printList()
 			continue
@@ -123,21 +132,28 @@ func run() int {
 			}
 			continue
 		}
-		e, _ := exp.Find(name)
+		e, _ := exp.Find(a.name)
 		sz := sizes
 		if sz == nil {
 			sz = e.DefaultSizes
 		}
-		res := runner.Run(e, sz, *seed)
+		r := runner
+		if a.profiled {
+			r = profRunner
+		}
+		res := r.Run(e, sz, *seed)
 		for _, c := range res.Cells {
 			if c.Err != nil {
 				fmt.Fprintf(os.Stderr, "lowcontend: %s/%s: %v\n", res.Experiment, c.Cell, c.Err)
 				exit = 1
 			}
 		}
-		if *jsonOut {
+		switch {
+		case *jsonOut:
 			results = append(results, res)
-		} else {
+		case a.profiled:
+			fmt.Println(spec.RenderProfiles(res))
+		default:
 			fmt.Println(e.Render(res))
 		}
 		if *check && e.Check != nil {
@@ -166,7 +182,7 @@ func run() int {
 }
 
 func printList() {
-	fmt.Println("Experiments (lowcontend run <name>):")
+	fmt.Println("Experiments (lowcontend run <name>; lowcontend profile <name> for contention profiles):")
 	for _, e := range exp.Registry() {
 		sizes := ""
 		if e.DefaultSizes != nil {

@@ -15,8 +15,10 @@
 //	-max-size N      largest accepted problem size per request (default 1<<20)
 //	-drain D         graceful-shutdown drain timeout (default 30s)
 //
-// Endpoints: GET /v1/experiments, POST /v1/runs, GET /v1/runs/{id},
-// GET /v1/runs/{id}/artifact, GET /healthz, GET /metrics. Identical
+// Endpoints: GET /v1/experiments, GET /v1/runs (listing, ?state=
+// filter), POST /v1/runs (with optional "profile": true),
+// GET /v1/runs/{id}, GET /v1/runs/{id}/artifact,
+// GET /v1/runs/{id}/profile, GET /healthz, GET /metrics. Identical
 // (experiment, sizes, seed) submissions are served from the artifact
 // cache — determinism makes cached artifacts byte-exact — and SIGINT or
 // SIGTERM drains running jobs before exiting.

@@ -80,6 +80,18 @@ func (p *SessionPool) Acquire(model machine.Model, memWords int, seed uint64) *S
 	return NewSession(model, memWords, opts...)
 }
 
+// AcquireProfiled is Acquire returning a session with per-step tracing
+// and top-hotK hot-cell attribution enabled. Profiling never changes
+// charged stats, and Release disables it again (Reset restores the
+// machine's construction-time settings), so profiled and unprofiled
+// leases can share one pool freely — the property the experiment runner
+// and the daemon rely on to profile individual runs over a shared pool.
+func (p *SessionPool) AcquireProfiled(model machine.Model, memWords int, seed uint64, hotK int) *Session {
+	s := p.Acquire(model, memWords, seed)
+	s.EnableProfiling(hotK)
+	return s
+}
+
 // Release resets s and returns it to the pool for reuse. The caller must
 // not touch s (or any DeviceSlice bound to it) afterwards.
 func (p *SessionPool) Release(s *Session) {

@@ -58,6 +58,57 @@ func TestSessionPoolReuseIsBitIdentical(t *testing.T) {
 	}
 }
 
+// TestAcquireProfiledLeavesNoResidue: a profiled lease must behave
+// identically to an unprofiled one (same charged stats, same results)
+// and release clean — the next lease of the same shape is unprofiled,
+// carries no trace, and replays fresh behavior bit-for-bit.
+func TestAcquireProfiledLeavesNoResidue(t *testing.T) {
+	fresh := NewSession(QRQW, 1<<13, WithSeed(42))
+	want, err := fresh.RandomPermutation(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStats := fresh.Stats()
+
+	p := NewSessionPool()
+	s := p.AcquireProfiled(QRQW, 1<<13, 42, 4)
+	got, err := s.RandomPermutation(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st != wantStats {
+		t.Fatalf("profiled stats %v, want unprofiled %v — profiling must only observe", st, wantStats)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("profiled session produced a different permutation")
+		}
+	}
+	if tr := s.StepTraces(); len(tr) == 0 {
+		t.Fatal("profiled session recorded no trace")
+	} else if len(tr[0].HotCells) == 0 && len(tr[len(tr)-1].HotCells) == 0 {
+		t.Error("profiled trace carries no hot cells")
+	}
+	p.Release(s)
+
+	s2 := p.Acquire(QRQW, 1<<13, 42)
+	if s2 != s {
+		t.Fatal("same-shape Acquire did not reuse the profiled session")
+	}
+	if tr := s2.StepTraces(); len(tr) != 0 {
+		t.Errorf("reused session leaked %d trace entries from the profiled lease", len(tr))
+	}
+	if _, err := s2.RandomPermutation(300); err != nil {
+		t.Fatal(err)
+	}
+	if tr := s2.StepTraces(); len(tr) != 0 {
+		t.Errorf("reused session still traces: %d entries", len(tr))
+	}
+	if st := s2.Stats(); st != wantStats {
+		t.Fatalf("post-profiling reuse stats %v, want %v", st, wantStats)
+	}
+}
+
 func TestSessionPoolConcurrent(t *testing.T) {
 	// Many goroutines hammering one pool (run under -race in CI): every
 	// run's charged stats must equal a sequential fresh-session reference

@@ -51,6 +51,22 @@ func (s *Session) Reset() { s.m.Reset() }
 // constructed WithSeed(seed).
 func (s *Session) Reseed(seed uint64) { s.m.Reseed(seed) }
 
+// EnableProfiling turns on per-step tracing with top-hotK hot-cell
+// attribution for the session's subsequent steps. Profiling observes a
+// run without changing it: charged stats are identical with it on or
+// off. Reset (and therefore SessionPool.Release) restores the
+// machine's construction-time settings, so a profiled pooled session
+// never leaks tracing cost — or a previous run's trace — into its next
+// lease.
+func (s *Session) EnableProfiling(hotK int) { s.m.EnableProfiling(hotK) }
+
+// DisableProfiling restores the construction-time tracing settings.
+func (s *Session) DisableProfiling() { s.m.DisableProfiling() }
+
+// StepTraces returns a copy of the machine's per-step trace (populated
+// while profiling or construction-time tracing is enabled).
+func (s *Session) StepTraces() []machine.StepTrace { return s.m.StepTraces() }
+
 // Close releases the machine's backing stores (shared memory, contention
 // scratch, pooled step workers). The session remains usable; the next
 // upload reallocates on demand.

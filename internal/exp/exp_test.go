@@ -187,6 +187,47 @@ func TestExpectedShapeChecks(t *testing.T) {
 	}
 }
 
+// TestProfiledTable2ChargeAttribution is the acceptance criterion of
+// the profiling subsystem at the registry level: profiling table2
+// yields, for every cell, per-phase rows whose charged-time column sums
+// to the cell's total Stats.Time, a kappa histogram covering every
+// step, and hot cells — and the dart-throwing cells actually exhibit
+// contention (the paper's subject), so the histogram is non-trivial.
+func TestProfiledTable2ChargeAttribution(t *testing.T) {
+	e, _ := Find("table2")
+	res := (&spec.Runner{Parallel: 1, Profile: true}).Run(e, []int{1 << 10}, 1)
+	if err := res.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if len(c.Profiles) != 1 {
+			t.Fatalf("cell %q: %d profiles, want 1", c.Cell, len(c.Profiles))
+		}
+		p := c.Profiles[0]
+		var phaseTime, histSteps int64
+		for _, ph := range p.Phases {
+			phaseTime += ph.Time
+		}
+		for _, b := range p.Histogram {
+			histSteps += b.Steps
+		}
+		charged := c.Measurements[0].Stats.Time
+		if phaseTime != charged {
+			t.Errorf("cell %q: per-phase time %d != charged Stats.Time %d", c.Cell, phaseTime, charged)
+		}
+		if histSteps != p.Steps || p.Steps != c.Measurements[0].Stats.Steps {
+			t.Errorf("cell %q: histogram covers %d steps, profile %d, charged %d",
+				c.Cell, histSteps, p.Steps, c.Measurements[0].Stats.Steps)
+		}
+		if len(p.HotCells) == 0 {
+			t.Errorf("cell %q: no hot cells", c.Cell)
+		}
+		if strings.HasPrefix(c.Cell, "dart-throwing") && p.MaxKappa < 2 {
+			t.Errorf("cell %q: max kappa %d, want contention > 1", c.Cell, p.MaxKappa)
+		}
+	}
+}
+
 func TestRegistryLookup(t *testing.T) {
 	if len(Registry()) != 5 {
 		t.Errorf("Registry() = %d experiments, want 5", len(Registry()))

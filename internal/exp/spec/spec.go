@@ -18,10 +18,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"lowcontend/internal/core"
 	"lowcontend/internal/machine"
+	"lowcontend/internal/profile"
 )
 
 // Measurement is one charged observation recorded by a cell: a group
@@ -55,16 +57,22 @@ type Ctx struct {
 	Seed uint64
 
 	pool     *core.SessionPool
+	hotK     int // > 0: profile every acquired session at this top-K
 	sessions []*core.Session
 	meas     []Measurement
 }
 
 // Session acquires a pooled session with the given model, memory
-// capacity, and seed. It is released back to the pool when the cell
-// finishes; do not retain it (or any DeviceSlice bound to it) beyond
-// the cell's Run.
+// capacity, and seed — profiled when the runner is profiling. It is
+// released back to the pool when the cell finishes; do not retain it
+// (or any DeviceSlice bound to it) beyond the cell's Run.
 func (c *Ctx) Session(model machine.Model, memWords int, seed uint64) *core.Session {
-	s := c.pool.Acquire(model, memWords, seed)
+	var s *core.Session
+	if c.hotK > 0 {
+		s = c.pool.AcquireProfiled(model, memWords, seed, c.hotK)
+	} else {
+		s = c.pool.Acquire(model, memWords, seed)
+	}
 	c.sessions = append(c.sessions, s)
 	return s
 }
@@ -79,11 +87,15 @@ func (c *Ctx) Note(format string, args ...any) {
 
 // CellResult is one cell's outcome: its measurements in recording
 // order, or the error that stopped it. Index is the cell's position in
-// the experiment's declaration order.
+// the experiment's declaration order. When the run was profiled,
+// Profiles holds one aggregated profile per session the cell acquired,
+// in acquisition order (failed cells keep their partial profiles for
+// inspection, but renderers skip them, mirroring Measurements).
 type CellResult struct {
 	Cell         string
 	Index        int
 	Measurements []Measurement
+	Profiles     []*profile.Profile
 	Err          error
 }
 
@@ -94,11 +106,12 @@ func (r CellResult) MarshalJSON() ([]byte, error) {
 		errText = r.Err.Error()
 	}
 	return json.Marshal(struct {
-		Cell         string        `json:"cell"`
-		Index        int           `json:"index"`
-		Measurements []Measurement `json:"measurements,omitempty"`
-		Error        string        `json:"error,omitempty"`
-	}{r.Cell, r.Index, r.Measurements, errText})
+		Cell         string             `json:"cell"`
+		Index        int                `json:"index"`
+		Measurements []Measurement      `json:"measurements,omitempty"`
+		Profiles     []*profile.Profile `json:"profiles,omitempty"`
+		Error        string             `json:"error,omitempty"`
+	}{r.Cell, r.Index, r.Measurements, r.Profiles, errText})
 }
 
 // Result is one experiment run: per-cell results in declaration order.
@@ -166,6 +179,17 @@ type Runner struct {
 	// run concurrently, so the hook must be safe for concurrent use.
 	// Servers use it to gauge in-flight cells; it must not block.
 	CellHook func(cell string, start bool)
+	// Profile enables per-session step tracing with hot-cell
+	// attribution: every session a cell acquires is profiled, and the
+	// aggregated profiles attach to the cell's result in acquisition
+	// order. Profiling only observes — charged stats, measurements, and
+	// rendered artifacts are identical with it on or off — and pooled
+	// sessions are un-profiled on release, so a shared pool serves
+	// profiled and unprofiled runs interchangeably.
+	Profile bool
+	// ProfileCells bounds both the engine's per-step hot-cell top-K and
+	// the per-profile hot-cell ranking (0 = profile.DefaultHotCells).
+	ProfileCells int
 }
 
 // Run executes every cell of e for the given size sweep and base seed
@@ -219,10 +243,23 @@ func (r *Runner) runCell(pool *core.SessionPool, c Cell, index int, seed uint64)
 		r.CellHook(c.Name, true)
 		defer r.CellHook(c.Name, false)
 	}
-	ctx := &Ctx{Seed: seed, pool: pool}
+	hotK := 0
+	if r.Profile {
+		hotK = r.ProfileCells
+		if hotK <= 0 {
+			hotK = profile.DefaultHotCells
+		}
+	}
+	ctx := &Ctx{Seed: seed, pool: pool, hotK: hotK}
 	out = CellResult{Cell: c.Name, Index: index}
 	defer func() {
 		for _, s := range ctx.sessions {
+			// Aggregate before Release: releasing resets the machine,
+			// which clears its trace and disables profiling.
+			if hotK > 0 {
+				out.Profiles = append(out.Profiles,
+					profile.FromTrace(s.Model().String(), s.StepTraces(), hotK))
+			}
 			pool.Release(s)
 		}
 		out.Measurements = ctx.meas
@@ -232,4 +269,26 @@ func (r *Runner) runCell(pool *core.SessionPool, c Cell, index int, seed uint64)
 	}()
 	out.Err = c.Run(ctx)
 	return out
+}
+
+// RenderProfiles renders a profiled run's per-cell profiles as one
+// deterministic text report. Cells render in declaration order, each
+// acquired session in acquisition order; failed cells are skipped
+// entirely (their partial profiles stay inspectable on Cells), exactly
+// as Measurements skips them for artifacts. The CLI's profile
+// subcommand and the daemon's /v1/runs/{id}/profile endpoint both serve
+// this function's bytes, which is what makes them byte-identical.
+func RenderProfiles(res Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Profile — %s\n", res.Experiment)
+	for _, c := range res.Cells {
+		if c.Err != nil {
+			continue
+		}
+		for i, p := range c.Profiles {
+			fmt.Fprintf(&b, "\n=== %s · session %d ===\n", c.Cell, i+1)
+			b.WriteString(p.Text())
+		}
+	}
+	return b.String()
 }

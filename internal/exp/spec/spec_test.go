@@ -116,6 +116,80 @@ func TestRunnerPerCellErrorAttribution(t *testing.T) {
 	}
 }
 
+// TestProfiledRunnerAttachesProfiles: a profiled run carries one
+// profile per acquired session, the per-phase time sums to the cell's
+// charged Stats.Time, and the unprofiled parts of the result (stats,
+// measurements) are identical with profiling on or off.
+func TestProfiledRunnerAttachesProfiles(t *testing.T) {
+	e := permExperiment()
+	plain := (&Runner{Parallel: 1}).Run(e, e.DefaultSizes, 5)
+	prof := (&Runner{Parallel: 1, Profile: true}).Run(e, e.DefaultSizes, 5)
+	if err := prof.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range prof.Cells {
+		if len(c.Profiles) != 1 {
+			t.Fatalf("cell %q: %d profiles, want 1", c.Cell, len(c.Profiles))
+		}
+		p := c.Profiles[0]
+		if p.Model != "QRQW" {
+			t.Errorf("cell %q profile model = %q", c.Cell, p.Model)
+		}
+		var phaseTime int64
+		for _, ph := range p.Phases {
+			phaseTime += ph.Time
+		}
+		want := c.Measurements[0].Stats.Time
+		if phaseTime != p.Time || p.Time != want {
+			t.Errorf("cell %q: phase time %d, profile time %d, charged time %d — must all agree",
+				c.Cell, phaseTime, p.Time, want)
+		}
+		if len(p.HotCells) == 0 {
+			t.Errorf("cell %q profile has no hot cells", c.Cell)
+		}
+		// Profiling observes without changing the run.
+		if !reflect.DeepEqual(c.Measurements, plain.Cells[i].Measurements) {
+			t.Errorf("cell %q measurements differ under profiling", c.Cell)
+		}
+	}
+}
+
+// TestProfilesDeterministicAcrossParallelismAndReuse locks the
+// determinism contract for the profiling artifact: RenderProfiles must
+// be byte-identical at any runner parallelism and across pooled-session
+// reuse.
+func TestProfilesDeterministicAcrossParallelismAndReuse(t *testing.T) {
+	e := permExperiment()
+	ref := RenderProfiles((&Runner{Parallel: 1, Profile: true}).Run(e, e.DefaultSizes, 11))
+	if !strings.Contains(ref, "=== perm/64 · session 1 ===") {
+		t.Fatalf("profile render missing cell header:\n%s", ref)
+	}
+	for _, par := range []int{2, 4} {
+		if got := RenderProfiles((&Runner{Parallel: par, Profile: true}).Run(e, e.DefaultSizes, 11)); got != ref {
+			t.Errorf("Parallel=%d profile render differs from sequential", par)
+		}
+	}
+	pool := core.NewSessionPool()
+	defer pool.Close()
+	r := &Runner{Parallel: 4, Pool: pool, Profile: true}
+	for range 3 { // repeated runs reuse sessions whose traces must have been cleared
+		if got := RenderProfiles(r.Run(e, e.DefaultSizes, 11)); got != ref {
+			t.Fatal("pooled-session reuse changed the rendered profile")
+		}
+	}
+	// Interleaved unprofiled runs on the same pool must stay unprofiled
+	// (no traces leak from the profiled leases) and unchanged.
+	plain := (&Runner{Parallel: 1, Pool: pool}).Run(e, e.DefaultSizes, 11)
+	for _, c := range plain.Cells {
+		if len(c.Profiles) != 0 {
+			t.Errorf("unprofiled run carries %d profiles on cell %q", len(c.Profiles), c.Cell)
+		}
+	}
+	if st := pool.Stats(); st.Reuses == 0 {
+		t.Error("pool never reused a session")
+	}
+}
+
 func TestResultJSON(t *testing.T) {
 	res := Result{
 		Experiment: "e",

@@ -42,7 +42,7 @@ func (m *Machine) FetchAddStep(ops []FAOp) ([]Word, error) {
 	m.stats.FetchAddSteps++
 	if m.tracing {
 		m.trace = append(m.trace, StepTrace{
-			Step: int64(m.stepIndex), Procs: len(ops), MaxOps: 1, Cost: 1, Label: "fetch&add",
+			Step: int64(m.stepIndex), Procs: len(ops), MaxOps: 1, Cost: 1, Ops: int64(len(ops)), Label: "fetch&add",
 		})
 	}
 	return out, nil

@@ -37,6 +37,7 @@ package machine
 import (
 	"fmt"
 	"runtime"
+	"slices"
 )
 
 // Word is the shared-memory cell type. The PRAM convention of O(lg n)-bit
@@ -63,7 +64,16 @@ type Machine struct {
 	stats     Stats
 	trace     []StepTrace
 	tracing   bool
+	hotK      int   // per-step hot-cell top-K (0 = no hot-cell attribution)
 	err       error // sticky first model violation
+
+	// traceOpt/hotKOpt remember the construction-time tracing settings;
+	// Reset restores them, so a pooled machine whose profiling was
+	// enabled at runtime (EnableProfiling) never leaks tracing cost or a
+	// previous run's trace into its next lease.
+	traceOpt bool
+	hotKOpt  int
+	hotMerge []HotCell // per-step hot-cell merge scratch, reused across steps
 
 	// noFastPath forces every step through the sharded atomic
 	// contention machinery, for testing that the fast path charges
@@ -91,7 +101,57 @@ func WithWorkers(n int) Option {
 
 // WithTrace enables per-step tracing (StepTraces accumulates one entry
 // per executed step).
-func WithTrace() Option { return func(m *Machine) { m.tracing = true } }
+func WithTrace() Option {
+	return func(m *Machine) {
+		m.tracing = true
+		m.traceOpt = true
+	}
+}
+
+// maxHotCells bounds the per-step hot-cell top-K: candidate insertion
+// scans a K-sized buffer per touched address, so K must stay small for
+// profiling cost to remain proportional to the operations performed.
+const maxHotCells = 64
+
+// WithHotCells enables per-step tracing with hot-cell attribution: each
+// StepTrace additionally records the step's k most-contended addresses
+// (clamped to an internal bound). Implies WithTrace.
+func WithHotCells(k int) Option {
+	return func(m *Machine) {
+		m.tracing = true
+		m.traceOpt = true
+		m.hotK = clampHotK(k)
+		m.hotKOpt = m.hotK
+	}
+}
+
+func clampHotK(k int) int {
+	if k < 0 {
+		return 0
+	}
+	return min(k, maxHotCells)
+}
+
+// EnableProfiling turns on per-step tracing with top-k hot-cell
+// attribution (k <= 0 traces without hot cells) for subsequent steps.
+// Unlike the construction options this is a runtime toggle: Reset — and
+// therefore core.SessionPool.Release — restores the construction-time
+// settings, so a pooled machine profiled for one run hands the next
+// lease an unprofiled machine with an empty trace.
+func (m *Machine) EnableProfiling(k int) {
+	m.tracing = true
+	m.hotK = clampHotK(k)
+}
+
+// DisableProfiling restores the construction-time tracing settings.
+func (m *Machine) DisableProfiling() {
+	m.tracing = m.traceOpt
+	m.hotK = m.hotKOpt
+}
+
+// Profiling reports whether per-step tracing is currently enabled and
+// the hot-cell top-K in effect.
+func (m *Machine) Profiling() (tracing bool, hotK int) { return m.tracing, m.hotK }
 
 // New constructs a machine with the given model and initial shared-memory
 // capacity in words. Memory grows automatically on Alloc.
@@ -131,8 +191,11 @@ func (m *Machine) Err() error { return m.err }
 // Stats returns a copy of the accumulated statistics.
 func (m *Machine) Stats() Stats { return m.stats }
 
-// StepTraces returns the per-step trace (only populated WithTrace).
-func (m *Machine) StepTraces() []StepTrace { return m.trace }
+// StepTraces returns a copy of the per-step trace (only populated when
+// tracing is enabled, via WithTrace/WithHotCells or EnableProfiling).
+// The copy stays valid across ResetStats/Reset/Free; the HotCells
+// slices inside it are shared with the recorded entries but immutable.
+func (m *Machine) StepTraces() []StepTrace { return slices.Clone(m.trace) }
 
 // MemWords returns the current shared-memory capacity.
 func (m *Machine) MemWords() int { return len(m.mem) }
@@ -245,13 +308,17 @@ func (m *Machine) ResetStats() {
 	m.stepIndex = 0
 }
 
-// Reset zeroes memory, releases all allocations, and clears statistics,
+// Reset zeroes memory, releases all allocations, clears statistics and
+// the trace, and restores the construction-time profiling settings,
 // keeping every backing array (mem, the contention scratch, and the
 // pooled step workers) at its current capacity. It is the cheap way to
-// reuse one Machine across algorithm runs without reallocating.
+// reuse one Machine across algorithm runs without reallocating, and the
+// reason pooled sessions can never leak a previous run's trace or
+// tracing cost.
 func (m *Machine) Reset() {
 	clear(m.mem)
 	m.brk = 0
+	m.DisableProfiling()
 	m.ResetStats()
 }
 
@@ -269,6 +336,8 @@ func (m *Machine) Free() {
 		putWorker(w)
 	}
 	m.pool = nil
+	m.hotMerge = nil
+	m.DisableProfiling()
 	m.ResetStats()
 }
 

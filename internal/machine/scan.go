@@ -76,7 +76,7 @@ func (m *Machine) ScanStep(kind ScanKind, src, dst, n int) error {
 	m.stats.ScanSteps++
 	if m.tracing {
 		m.trace = append(m.trace, StepTrace{
-			Step: int64(m.stepIndex), Procs: n, MaxOps: 1, Cost: 1, Label: "scan",
+			Step: int64(m.stepIndex), Procs: n, MaxOps: 1, Cost: 1, Ops: int64(n), Label: "scan",
 		})
 	}
 	return nil
@@ -108,6 +108,13 @@ func (m *Machine) GlobalOr(src, n int) (bool, error) {
 	m.stats.Ops += int64(n)
 	m.stats.PTWork += int64(n)
 	m.stats.ScanSteps++
+	// Traced like ScanStep: every Time-charging path must leave a trace
+	// entry, or per-phase profile time could not sum to Stats.Time.
+	if m.tracing {
+		m.trace = append(m.trace, StepTrace{
+			Step: int64(m.stepIndex), Procs: n, MaxOps: 1, Cost: 1, Ops: int64(n), Label: "globalor",
+		})
+	}
 	return any, nil
 }
 

@@ -91,10 +91,11 @@ func (s Stats) String() string {
 }
 
 // StepTrace records the accounting of one executed step (tracing must be
-// enabled with WithTrace). Like Stats, a trace is reproducible across
-// worker counts and settlement paths: contended cells always retain the
-// value written by the highest-indexed processor, so the post-step memory
-// a trace describes is unique.
+// enabled with WithTrace or at runtime via EnableProfiling). Like Stats,
+// a trace is reproducible across worker counts and settlement paths:
+// contended cells always retain the value written by the highest-indexed
+// processor, so the post-step memory a trace describes is unique, and
+// hot-cell rankings break every tie by address.
 type StepTrace struct {
 	Step      int64 // 1-based step index
 	Procs     int   // processors participating
@@ -102,8 +103,32 @@ type StepTrace struct {
 	ReadCont  int64 // kappa_read
 	WriteCont int64 // kappa_write
 	Cost      int64 // model-charged cost of the step
+	Ops       int64 // total charged operations (reads + writes + computes)
 	Label     string
+	// HotCells holds the step's most-contended cells — the top K by
+	// max(readers, writers), ties broken by ascending address — when
+	// hot-cell attribution is enabled (WithHotCells / EnableProfiling).
+	// Entries are immutable once recorded.
+	HotCells []HotCell
 }
+
+// Kappa returns the step's maximum per-cell contention, floored at 1
+// (the value the engine accumulates into Stats.SumContention).
+func (t StepTrace) Kappa() int64 {
+	return max(t.ReadCont, t.WriteCont, 1)
+}
+
+// HotCell is one contended shared-memory cell of a step: the number of
+// distinct processors that read and wrote it (Definition 2.1 counts).
+type HotCell struct {
+	Addr   int   `json:"addr"`
+	Reads  int64 `json:"reads,omitzero"`
+	Writes int64 `json:"writes,omitzero"`
+}
+
+// Cont returns the cell's contention: the larger of its reader and
+// writer counts.
+func (h HotCell) Cont() int64 { return max(h.Reads, h.Writes) }
 
 // ViolationError reports an access forbidden by the machine's model
 // (e.g. a concurrent read on an EREW machine). The first violation

@@ -1,8 +1,10 @@
 package machine
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -47,13 +49,38 @@ type worker struct {
 	maxWAddr  int
 	simdViol  bool
 	simdCount int64
+
+	// hotR/hotW hold this shard's hot-cell candidates — its top-K
+	// addresses by read and by write contention — when hot-cell
+	// attribution is enabled. Empty (and never touched) otherwise.
+	hotR []hotCand
+	hotW []hotCand
+
+	// ctx is the Ctx handed to every processor body this shard runs.
+	// Living inside the (pooled, heap-resident) worker rather than on
+	// the step loop's stack keeps ParDo allocation-free: a stack Ctx
+	// would escape through the unknown body function on every step.
+	ctx Ctx
+}
+
+// hotCand is one shard-local hot-cell candidate: a touched address with
+// its final per-cell contention counts, ranked by the count of the list
+// it lives in (reads for hotR, writes for hotW).
+type hotCand struct {
+	addr          int
+	reads, writes int64
+	rank          int64
 }
 
 // workerPool recycles worker buffers across machines.
 var workerPool = sync.Pool{New: func() any { return new(worker) }}
 
-func getWorker() *worker  { return workerPool.Get().(*worker) }
-func putWorker(w *worker) { workerPool.Put(w) }
+func getWorker() *worker { return workerPool.Get().(*worker) }
+
+func putWorker(w *worker) {
+	w.ctx = Ctx{} // drop the machine reference so the pool never pins freed memory
+	workerPool.Put(w)
+}
 
 func (w *worker) reset() {
 	w.readAddrs = w.readAddrs[:0]
@@ -65,6 +92,8 @@ func (w *worker) reset() {
 	w.maxRAddr, w.maxWAddr = -1, -1
 	w.simdViol = false
 	w.simdCount = 0
+	w.hotR = w.hotR[:0]
+	w.hotW = w.hotW[:0]
 }
 
 func (w *worker) touch(addr int) {
@@ -196,6 +225,23 @@ func (w *worker) afterProc(c *Ctx, simd bool) {
 	}
 }
 
+// runProcs resets the shard and executes the processor bodies of
+// [lo, hi) against the shard's own Ctx.
+func (w *worker) runProcs(m *Machine, lo, hi int, simd bool, body func(c *Ctx, i int)) {
+	w.reset()
+	c := &w.ctx
+	c.m, c.w, c.step = m, w, m.stepIndex
+	for i := lo; i < hi; i++ {
+		c.proc = i
+		c.r, c.wr, c.cp = 0, 0, 0
+		c.rStart = len(w.readAddrs)
+		c.wStart = len(w.writes)
+		c.rngOK = false
+		body(c, i)
+		w.afterProc(c, simd)
+	}
+}
+
 // ParDo executes one synchronous PRAM step with p virtual processors.
 // body is invoked once per processor with that processor's Ctx and index.
 // body must not retain the Ctx, must not touch the machine directly, and
@@ -232,26 +278,21 @@ func (m *Machine) parDoLabeled(p int, label string, body func(c *Ctx, i int)) er
 	chunk := (p + nw - 1) / nw
 
 	// Phase 0: run all processor bodies. Writes are buffered, so reads
-	// observe pre-step memory.
+	// observe pre-step memory. The single-worker case runs inline — no
+	// shard closure, no goroutines — so an untraced step allocates
+	// nothing.
 	simd := m.model.SIMD()
-	runShards(nw, func(s int) {
-		w := workers[s]
-		w.reset()
-		lo, hi := s*chunk, (s+1)*chunk
-		if hi > p {
-			hi = p
-		}
-		c := Ctx{m: m, w: w, step: m.stepIndex}
-		for i := lo; i < hi; i++ {
-			c.proc = i
-			c.r, c.wr, c.cp = 0, 0, 0
-			c.rStart = len(w.readAddrs)
-			c.wStart = len(w.writes)
-			c.rngOK = false
-			body(&c, i)
-			w.afterProc(&c, simd)
-		}
-	})
+	if nw == 1 {
+		workers[0].runProcs(m, 0, p, simd, body)
+	} else {
+		runShards(nw, func(s int) {
+			lo, hi := s*chunk, (s+1)*chunk
+			if hi > p {
+				hi = p
+			}
+			workers[s].runProcs(m, lo, hi, simd, body)
+		})
+	}
 
 	// Fast path: when the shards' touched-address intervals are pairwise
 	// disjoint (trivially so on a single worker), no cell is shared
@@ -260,7 +301,11 @@ func (m *Machine) parDoLabeled(p int, label string, body func(c *Ctx, i int)) er
 	// counting, applying, and resetting.
 	if !m.noFastPath && shardsDisjoint(workers) {
 		m.fastSteps++
-		runShards(nw, func(s int) { workers[s].settleLocal(m) })
+		if nw == 1 {
+			workers[0].settleLocal(m)
+		} else {
+			runShards(nw, func(s int) { workers[s].settleLocal(m) })
+		}
 	} else {
 		m.settleSharded(nw, workers)
 	}
@@ -326,6 +371,10 @@ func (m *Machine) parDoLabeled(p int, label string, body func(c *Ctx, i int)) er
 		m.stats.MaxProcs = int64(p)
 	}
 	if m.tracing {
+		var hot []HotCell
+		if m.hotK > 0 {
+			hot = m.mergeHotCells(workers)
+		}
 		m.trace = append(m.trace, StepTrace{
 			Step:      int64(m.stepIndex),
 			Procs:     p,
@@ -333,7 +382,9 @@ func (m *Machine) parDoLabeled(p int, label string, body func(c *Ctx, i int)) er
 			ReadCont:  maxR,
 			WriteCont: maxW,
 			Cost:      cost,
+			Ops:       reads + writes + computes,
 			Label:     label,
+			HotCells:  hot,
 		})
 	}
 	return nil
@@ -386,6 +437,9 @@ func (w *worker) settleLocal(m *Machine) {
 		}
 		m.mem[op.addr] = op.val
 	}
+	if m.hotK > 0 {
+		w.collectHot(m)
+	}
 	for _, a := range w.readAddrs {
 		m.countsR[a] = 0
 	}
@@ -432,6 +486,12 @@ func (m *Machine) settleSharded(nw int, workers []*worker) {
 			}
 		}
 		contended[s] = queued
+		// The counters still hold every cell's final count (they reset
+		// in phase C), so hot-cell candidates collected here carry
+		// global contention, exactly as on the fast path.
+		if m.hotK > 0 {
+			w.collectHot(m)
+		}
 	})
 
 	// Arbitrate contended writes serially. Shards cover increasing
@@ -460,6 +520,94 @@ func (m *Machine) settleSharded(nw int, workers []*worker) {
 			atomic.StoreInt32(&m.countsW[op.addr], 0)
 		}
 	})
+}
+
+// collectHot gathers this shard's top-K contended cells from the
+// populated contention counters. At the point it runs the counters hold
+// every touched cell's final count — on the fast path the shard owns its
+// cells outright; on the sharded path phase A has completed — so each
+// candidate carries the cell's global per-step contention.
+func (w *worker) collectHot(m *Machine) {
+	k := m.hotK
+	for _, a := range w.readAddrs {
+		c := hotCand{addr: a, reads: int64(m.countsR[a]), writes: int64(m.countsW[a])}
+		c.rank = c.reads
+		w.hotR = insertHot(w.hotR, k, c)
+	}
+	for _, op := range w.writes {
+		c := hotCand{addr: op.addr, reads: int64(m.countsR[op.addr]), writes: int64(m.countsW[op.addr])}
+		c.rank = c.writes
+		w.hotW = insertHot(w.hotW, k, c)
+	}
+}
+
+// insertHot maintains a top-k candidate list: dedupe by address (a
+// repeated address carries the same final counts), fill to k, then
+// replace the weakest entry when a stronger candidate arrives. The
+// retained set is exactly the top k by (rank desc, addr asc) and is
+// independent of insertion order, which keeps hot cells deterministic
+// across worker counts and settlement paths.
+func insertHot(s []hotCand, k int, c hotCand) []hotCand {
+	for i := range s {
+		if s[i].addr == c.addr {
+			return s
+		}
+	}
+	if len(s) < k {
+		return append(s, c)
+	}
+	weakest := 0
+	for i := 1; i < len(s); i++ {
+		if s[i].rank < s[weakest].rank ||
+			(s[i].rank == s[weakest].rank && s[i].addr > s[weakest].addr) {
+			weakest = i
+		}
+	}
+	if c.rank > s[weakest].rank ||
+		(c.rank == s[weakest].rank && c.addr < s[weakest].addr) {
+		s[weakest] = c
+	}
+	return s
+}
+
+// mergeHotCells merges the shards' candidate lists into the step's top-K
+// hot cells. Dedupe is by address (every shard that kept an address saw
+// its final counts); ranking is by contention — max(readers, writers) —
+// descending, address ascending as the tie-break. The union of shard
+// lists always contains the global top K: a cell evicted from a shard's
+// list lost to k cells that all outrank it globally. Truncating the
+// sorted merge to K therefore yields the same set whatever the shard
+// partition, so traces are identical across worker counts.
+func (m *Machine) mergeHotCells(workers []*worker) []HotCell {
+	sc := m.hotMerge[:0]
+	merge := func(c hotCand) {
+		for i := range sc {
+			if sc[i].Addr == c.addr {
+				return
+			}
+		}
+		sc = append(sc, HotCell{Addr: c.addr, Reads: c.reads, Writes: c.writes})
+	}
+	for _, w := range workers {
+		for _, c := range w.hotR {
+			merge(c)
+		}
+		for _, c := range w.hotW {
+			merge(c)
+		}
+	}
+	slices.SortFunc(sc, func(a, b HotCell) int {
+		if ca, cb := a.Cont(), b.Cont(); ca != cb {
+			return cmp.Compare(cb, ca)
+		}
+		return cmp.Compare(a.Addr, b.Addr)
+	})
+	if len(sc) > m.hotK {
+		sc = sc[:m.hotK]
+	}
+	out := slices.Clone(sc)
+	m.hotMerge = sc[:0] // keep the (possibly grown) scratch capacity
+	return out
 }
 
 // runShards executes f(0..n-1) on up to n goroutines and waits.

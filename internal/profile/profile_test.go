@@ -1,0 +1,140 @@
+package profile
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"lowcontend/internal/machine"
+)
+
+// sampleTrace is a hand-built trace exercising every aggregation
+// dimension: repeated labels, an unlabeled step, a collective, hot
+// cells recurring across steps, and kappa values spanning buckets.
+func sampleTrace() []machine.StepTrace {
+	return []machine.StepTrace{
+		{Step: 1, Procs: 8, MaxOps: 1, ReadCont: 1, WriteCont: 1, Cost: 1, Ops: 16, Label: "throw",
+			HotCells: []machine.HotCell{{Addr: 4, Reads: 1, Writes: 1}}},
+		{Step: 2, Procs: 8, MaxOps: 1, ReadCont: 6, WriteCont: 2, Cost: 6, Ops: 14, Label: "throw",
+			HotCells: []machine.HotCell{{Addr: 4, Reads: 6}, {Addr: 9, Writes: 2}}},
+		{Step: 3, Procs: 8, MaxOps: 2, ReadCont: 0, WriteCont: 3, Cost: 3, Ops: 12, Label: "verify",
+			HotCells: []machine.HotCell{{Addr: 9, Writes: 3}}},
+		{Step: 4, Procs: 4, MaxOps: 1, ReadCont: 0, WriteCont: 0, Cost: 1, Ops: 4, Label: ""},
+		{Step: 5, Procs: 16, MaxOps: 1, Cost: 1, Ops: 16, Label: "scan"},
+	}
+}
+
+func TestFromTraceAggregation(t *testing.T) {
+	p := FromTrace("QRQW", sampleTrace(), 8)
+	if p.Model != "QRQW" || p.Steps != 5 || p.Time != 12 || p.Ops != 62 {
+		t.Errorf("totals = %+v", p)
+	}
+	if p.MaxKappa != 6 || p.SumKappa != 6+3+1+1+1 {
+		t.Errorf("kappa totals: max=%d sum=%d", p.MaxKappa, p.SumKappa)
+	}
+
+	// Phases in first-occurrence order; time sums to the total.
+	labels := make([]string, len(p.Phases))
+	var sum int64
+	for i, ph := range p.Phases {
+		labels[i] = ph.Label
+		sum += ph.Time
+	}
+	if want := []string{"throw", "verify", "(unlabeled)", "scan"}; strings.Join(labels, ",") != strings.Join(want, ",") {
+		t.Errorf("phase order = %v, want %v", labels, want)
+	}
+	if sum != p.Time {
+		t.Errorf("phase time sums to %d, total is %d", sum, p.Time)
+	}
+	if th := p.Phases[0]; th.Steps != 2 || th.Time != 7 || th.Ops != 30 || th.MaxKappa != 6 || th.SumKappa != 7 {
+		t.Errorf("throw phase = %+v", th)
+	}
+
+	// Histogram: kappa values 1,6,3,1,1 → bucket k=1 holds 3 steps,
+	// k=3-4 holds 1, k=5-8 holds 1, k=2 is present (no gaps) but empty.
+	if len(p.Histogram) != 4 {
+		t.Fatalf("histogram = %+v", p.Histogram)
+	}
+	wantHist := []Bucket{{1, 1, 3}, {2, 2, 0}, {3, 4, 1}, {5, 8, 1}}
+	for i, b := range p.Histogram {
+		if b != wantHist[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, b, wantHist[i])
+		}
+	}
+
+	// Hot cells: addr 4 peaked at 6 readers in "throw" (seen twice),
+	// addr 9 peaked at 3 writers in "verify" (seen twice).
+	want := []HotCell{
+		{Addr: 4, Kappa: 6, Reads: 6, Writes: 0, Steps: 2, Label: "throw"},
+		{Addr: 9, Kappa: 3, Reads: 0, Writes: 3, Steps: 2, Label: "verify"},
+	}
+	if len(p.HotCells) != len(want) {
+		t.Fatalf("hot cells = %+v", p.HotCells)
+	}
+	for i, c := range p.HotCells {
+		if c != want[i] {
+			t.Errorf("hot cell %d = %+v, want %+v", i, c, want[i])
+		}
+	}
+}
+
+func TestFromTraceTopCellsBound(t *testing.T) {
+	p := FromTrace("QRQW", sampleTrace(), 1)
+	if len(p.HotCells) != 1 || p.HotCells[0].Addr != 4 {
+		t.Errorf("top-1 hot cells = %+v", p.HotCells)
+	}
+	if q := FromTrace("QRQW", nil, 0); q.Steps != 0 || len(q.Phases) != 0 {
+		t.Errorf("empty trace profile = %+v", q)
+	}
+}
+
+// TestTextGolden pins the rendered report byte-for-byte: the CLI and
+// the daemon both serve these bytes, so any drift is a wire-format
+// change and must be deliberate.
+func TestTextGolden(t *testing.T) {
+	got := FromTrace("QRQW", sampleTrace(), 8).Text()
+	want := "" +
+		"model=QRQW steps=5 time=12 ops=62 max-kappa=6\n" +
+		"\n" +
+		"phase                      steps       time   %time          ops   max-k     sum-k\n" +
+		"throw                          2          7   58.3%           30       6         7\n" +
+		"verify                         1          3   25.0%           12       3         3\n" +
+		"(unlabeled)                    1          1    8.3%            4       1         1\n" +
+		"scan                           1          1    8.3%           16       1         1\n" +
+		"(total)                        5         12  100.0%           62       6        12\n" +
+		"\n" +
+		"kappa histogram (per-step max contention)\n" +
+		"k=1                3 ################################\n" +
+		"k=2                0\n" +
+		"k=3-4              1 ##########\n" +
+		"k=5-8              1 ##########\n" +
+		"\n" +
+		"hot cells (top 2 by per-step contention)\n" +
+		"addr=4        k=6     (r=6 w=0) steps=2     phase=throw\n" +
+		"addr=9        k=3     (r=0 w=3) steps=2     phase=verify\n"
+	if got != want {
+		t.Errorf("Text() drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestTextEmpty(t *testing.T) {
+	got := FromTrace("EREW", nil, 0).Text()
+	if !strings.Contains(got, "(no traced steps)") {
+		t.Errorf("empty profile text = %q", got)
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	p := FromTrace("QRQW", sampleTrace(), 8)
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Profile
+	if err := json.Unmarshal(b, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Text() != p.Text() {
+		t.Error("profile did not survive a JSON round trip")
+	}
+}

@@ -6,13 +6,16 @@ import (
 	"lowcontend/internal/exp/spec"
 )
 
-// cacheEntry is one cached run outcome: the rendered artifact and the
-// full per-cell result. Only fully successful runs are cached, so the
-// entry never carries cell errors, and the determinism contract (stats
-// are a pure function of experiment+sizes+seed) makes a cached artifact
-// exact — byte-identical to what a fresh simulation would render.
+// cacheEntry is one cached run outcome: the rendered artifact, the
+// rendered contention profile (empty for unprofiled runs — profiled
+// runs live under their own cache key), and the full per-cell result.
+// Only fully successful runs are cached, so the entry never carries
+// cell errors, and the determinism contract (stats are a pure function
+// of experiment+sizes+seed) makes a cached artifact exact —
+// byte-identical to what a fresh simulation would render.
 type cacheEntry struct {
 	artifact string
+	profile  string
 	result   *spec.Result
 }
 

@@ -25,9 +25,11 @@ const (
 	JobFailed  JobState = "failed"
 )
 
-// JobStatus is the wire form of a job on GET /v1/runs/{id}: the
+// JobStatus is the wire form of a job on GET /v1/runs/{id} (and, with
+// Result omitted, one entry of the GET /v1/runs listing): the
 // normalized request, the lifecycle state, and — once finished — the
-// full per-cell result (charged PRAM stats, per-cell errors).
+// full per-cell result (charged PRAM stats, per-cell errors, and, for
+// profiled runs, per-cell contention profiles).
 type JobStatus struct {
 	ID         string       `json:"id"`
 	State      JobState     `json:"state"`
@@ -36,6 +38,7 @@ type JobStatus struct {
 	Seed       uint64       `json:"seed"`
 	Model      string       `json:"model,omitempty"`
 	Parallel   int          `json:"parallel,omitempty"`
+	Profile    bool         `json:"profile,omitempty"`
 	CacheHit   bool         `json:"cache_hit,omitempty"`
 	Error      string       `json:"error,omitempty"`
 	Created    time.Time    `json:"created"`
@@ -53,6 +56,7 @@ type job struct {
 	state    JobState
 	cacheHit bool
 	artifact string
+	profile  string // rendered contention profile (profiled runs only)
 	result   *spec.Result
 	errMsg   string
 	created  time.Time
@@ -156,9 +160,9 @@ func (m *manager) safeRun(j *job) {
 			delete(m.flights, j.params.key)
 		}
 		m.mu.Unlock()
-		m.finish(j, "", res, false)
+		m.finish(j, "", "", res, false)
 		for _, wj := range waiters {
-			m.finish(wj, "", res, false)
+			m.finish(wj, "", "", res, false)
 		}
 	}()
 	m.run(j)
@@ -207,6 +211,7 @@ func (m *manager) submit(p runParams) (JobStatus, *httpError) {
 			state:    JobDone,
 			cacheHit: true,
 			artifact: e.artifact,
+			profile:  e.profile,
 			result:   e.result,
 			created:  now,
 			started:  now,
@@ -294,7 +299,7 @@ func (m *manager) run(j *job) {
 
 	if e, ok := m.cache.get(p.key); ok {
 		m.met.cacheHits.Add(1)
-		m.finish(j, e.artifact, e.result, true)
+		m.finish(j, e.artifact, e.profile, e.result, true)
 		return
 	}
 
@@ -311,23 +316,23 @@ func (m *manager) run(j *job) {
 	m.flights[p.key] = &flight{leader: j}
 	m.mu.Unlock()
 
-	var artifact string
+	var artifact, profText string
 	var res *spec.Result
 	if e, ok := m.cache.get(p.key); ok {
 		// A previous leader finished — cache.put, flight deregistered —
 		// between our cache miss and registering; don't re-simulate.
 		m.met.cacheHits.Add(1)
-		artifact, res = e.artifact, e.result
-		m.finish(j, artifact, res, true)
+		artifact, profText, res = e.artifact, e.profile, e.result
+		m.finish(j, artifact, profText, res, true)
 	} else {
 		m.met.cacheMisses.Add(1)
-		artifact, res = m.simulate(p)
+		artifact, profText, res = m.simulate(p)
 		if res.FirstErr() == nil {
 			// Only fully successful runs are cached: a partial result
 			// must never be replayed as the canonical artifact.
-			m.cache.put(p.key, &cacheEntry{artifact: artifact, result: res})
+			m.cache.put(p.key, &cacheEntry{artifact: artifact, profile: profText, result: res})
 		}
-		m.finish(j, artifact, res, false)
+		m.finish(j, artifact, profText, res, false)
 	}
 
 	// Complete the coalesced waiters with the identical outcome. After
@@ -344,13 +349,14 @@ func (m *manager) run(j *job) {
 			// /metrics doesn't conflate the two zero-simulation paths.
 			m.met.jobsCoalesced.Add(1)
 		}
-		m.finish(wj, artifact, res, shared)
+		m.finish(wj, artifact, profText, res, shared)
 	}
 }
 
-// simulate runs the experiment and renders its artifact, gauging
-// in-flight cells as it goes.
-func (m *manager) simulate(p runParams) (string, *spec.Result) {
+// simulate runs the experiment and renders its artifact — plus, for
+// profiled requests, its contention profile — gauging in-flight cells
+// as it goes.
+func (m *manager) simulate(p runParams) (string, string, *spec.Result) {
 	par := p.parallel
 	if par == 0 {
 		par = m.parallel
@@ -358,6 +364,7 @@ func (m *manager) simulate(p runParams) (string, *spec.Result) {
 	runner := &spec.Runner{
 		Parallel: par,
 		Pool:     m.pool,
+		Profile:  p.profile,
 		CellHook: func(_ string, start bool) {
 			if start {
 				m.met.cellsInflight.Add(1)
@@ -368,7 +375,11 @@ func (m *manager) simulate(p runParams) (string, *spec.Result) {
 		},
 	}
 	res := runner.Run(p.exp, p.sizes, p.seed)
-	return renderArtifact(p.exp, res), &res
+	profText := ""
+	if p.profile {
+		profText = renderProfile(res)
+	}
+	return renderArtifact(p.exp, res), profText, &res
 }
 
 // renderArtifact renders a result exactly as `lowcontend run <exp>`
@@ -379,7 +390,14 @@ func renderArtifact(e spec.Experiment, res spec.Result) string {
 	return e.Render(res) + "\n"
 }
 
-func (m *manager) finish(j *job, artifact string, res *spec.Result, hit bool) {
+// renderProfile renders a profiled result exactly as `lowcontend
+// profile <exp>` prints it, the same byte-identity contract as
+// renderArtifact (CI diffs the profile endpoint against the CLI too).
+func renderProfile(res spec.Result) string {
+	return spec.RenderProfiles(res) + "\n"
+}
+
+func (m *manager) finish(j *job, artifact, profText string, res *spec.Result, hit bool) {
 	errMsg := ""
 	state := JobDone
 	if err := res.FirstErr(); err != nil {
@@ -395,6 +413,7 @@ func (m *manager) finish(j *job, artifact string, res *spec.Result, hit bool) {
 	}
 	j.state = state
 	j.artifact = artifact
+	j.profile = profText
 	j.result = res
 	j.cacheHit = hit
 	j.errMsg = errMsg
@@ -433,6 +452,7 @@ func (m *manager) statusLocked(j *job) JobStatus {
 		Seed:       j.params.seed,
 		Model:      j.params.model,
 		Parallel:   j.params.parallel,
+		Profile:    j.params.profile,
 		CacheHit:   j.cacheHit,
 		Error:      j.errMsg,
 		Created:    j.created,
@@ -471,6 +491,51 @@ func (m *manager) artifact(id string) (string, *spec.Result, *httpError) {
 		return "", nil, errf(http.StatusConflict, "run %s failed: %s", id, j.errMsg)
 	default:
 		return "", nil, errf(http.StatusConflict, "run %s is %s; poll GET /v1/runs/%s until done", id, j.state, id)
+	}
+}
+
+// list returns the wire form of every retained job in submission order,
+// optionally filtered by state (empty = all), with the bulky Result
+// stripped: listings are for enumeration, the status endpoint serves
+// the full record. The slice is never nil so the endpoint renders
+// "runs": [] rather than null when the table is empty.
+func (m *manager) list(state JobState) []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.order))
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if state != "" && j.state != state {
+			continue
+		}
+		st := m.statusLocked(j)
+		st.Result = nil
+		out = append(out, st)
+	}
+	return out
+}
+
+// profileText returns the rendered contention profile of a successfully
+// finished profiled job. The state gates mirror artifact's; a run that
+// completed without "profile": true yields 409 telling the client how
+// to get one, rather than a misleading 404.
+func (m *manager) profileText(id string) (string, *httpError) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return "", errf(http.StatusNotFound, "unknown run %q", id)
+	}
+	switch j.state {
+	case JobDone:
+		if !j.params.profile {
+			return "", errf(http.StatusConflict, "run %s was not profiled; resubmit with \"profile\": true", id)
+		}
+		return j.profile, nil
+	case JobFailed:
+		return "", errf(http.StatusConflict, "run %s failed: %s", id, j.errMsg)
+	default:
+		return "", errf(http.StatusConflict, "run %s is %s; poll GET /v1/runs/%s until done", id, j.state, id)
 	}
 }
 

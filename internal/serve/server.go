@@ -3,11 +3,14 @@
 // artifact regeneration into a multi-tenant workload:
 //
 //	GET  /v1/experiments        registry listing with cell counts
-//	POST /v1/runs               submit {experiment, sizes, seed, parallel?}; 202 + job id
-//	                            (a model field is reserved and refused until
-//	                            per-model reruns exist)
+//	GET  /v1/runs               list retained runs (?state=queued|running|done|failed)
+//	POST /v1/runs               submit {experiment, sizes, seed, parallel?, profile?};
+//	                            202 + job id (a model field is reserved and
+//	                            refused until per-model reruns exist)
 //	GET  /v1/runs/{id}          job status, per-cell errors, charged PRAM stats
 //	GET  /v1/runs/{id}/artifact rendered artifact (text/plain; ?format=json for the result)
+//	GET  /v1/runs/{id}/profile  rendered contention profile (profiled runs only;
+//	                            byte-identical to `lowcontend profile`)
 //	GET  /healthz               liveness
 //	GET  /metrics               expvar-style counters (jobs, cache, pool, in-flight cells)
 //
@@ -115,9 +118,11 @@ func New(cfg Config) *Server {
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/runs", s.handleList)
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/runs/{id}/artifact", s.handleArtifact)
+	s.mux.HandleFunc("GET /v1/runs/{id}/profile", s.handleProfile)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
@@ -200,6 +205,33 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	w.Write([]byte(artifact))
+}
+
+// handleList enumerates retained runs — id, state, and submit
+// parameters, without the per-cell results — so operators can find a
+// job without knowing its id. ?state= filters by lifecycle state.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	state := JobState(r.URL.Query().Get("state"))
+	switch state {
+	case "", JobQueued, JobRunning, JobDone, JobFailed:
+	default:
+		writeError(w, errf(http.StatusBadRequest,
+			"unknown state %q (want %s, %s, %s, or %s)", state, JobQueued, JobRunning, JobDone, JobFailed))
+		return
+	}
+	runs := s.jobs.list(state)
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(runs), "runs": runs})
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	profText, herr := s.jobs.profileText(r.PathValue("id"))
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(profText))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

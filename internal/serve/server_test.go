@@ -130,6 +130,10 @@ func TestEndpointTable(t *testing.T) {
 		{"artifact unknown run", nil, "GET", "/v1/runs/run-999/artifact", "", 404, "unknown run"},
 		{"artifact before completion", stalled, "GET", "/v1/runs/" + queued.ID + "/artifact", "", 409, "poll GET"},
 		{"artifact json before completion", stalled, "GET", "/v1/runs/" + queued.ID + "/artifact?format=json", "", 409, "poll GET"},
+		{"profile unknown run", nil, "GET", "/v1/runs/run-999/profile", "", 404, "unknown run"},
+		{"profile before completion", stalled, "GET", "/v1/runs/" + queued.ID + "/profile", "", 409, "poll GET"},
+		{"list queued", stalled, "GET", "/v1/runs?state=queued", "", 200, queued.ID},
+		{"list bad state", nil, "GET", "/v1/runs?state=bogus", "", 400, "unknown state"},
 	}
 	shared := newTestServer(t)
 	for _, c := range cases {
@@ -195,6 +199,124 @@ func TestSubmitRunAndFetchArtifact(t *testing.T) {
 	}
 }
 
+// TestProfiledRunServesProfile drives the profiling flow end to end:
+// submit with "profile": true, fetch /profile, and require the bytes to
+// be identical to what the CLI's `lowcontend profile` would print for
+// the same (experiment, sizes, seed) — the service determinism
+// contract, extended to profiles.
+func TestProfiledRunServesProfile(t *testing.T) {
+	s := newTestServer(t)
+	st := submit(t, s, `{"experiment":"table2","sizes":[256],"seed":7,"profile":true}`)
+	if !st.Profile {
+		t.Errorf("submit status does not echo profile: %+v", st)
+	}
+	fin := waitDone(t, s, st.ID)
+	if fin.State != JobDone {
+		t.Fatalf("job state = %q, error %q", fin.State, fin.Error)
+	}
+	w := do(t, s, "GET", "/v1/runs/"+st.ID+"/profile", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("profile: code %d, body %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("profile content type = %q", ct)
+	}
+	e, _ := exp.Find("table2")
+	res := (&spec.Runner{Parallel: 1, Profile: true}).Run(e, []int{256}, 7)
+	if want := spec.RenderProfiles(res) + "\n"; w.Body.String() != want {
+		t.Errorf("profile differs from CLI render:\n--- http ---\n%q\n--- cli ---\n%q", w.Body.String(), want)
+	}
+	// The artifact of a profiled run is still the ordinary artifact, and
+	// its JSON form carries the per-cell profiles.
+	wa := do(t, s, "GET", "/v1/runs/"+st.ID+"/artifact", "")
+	if wa.Code != http.StatusOK || !strings.Contains(wa.Body.String(), "Table II") {
+		t.Errorf("artifact of profiled run: code %d, body %s", wa.Code, wa.Body)
+	}
+	wj := do(t, s, "GET", "/v1/runs/"+st.ID+"/artifact?format=json", "")
+	if !strings.Contains(wj.Body.String(), `"phases"`) {
+		t.Errorf("json result of profiled run carries no profiles:\n%s", wj.Body)
+	}
+
+	// An unprofiled run of the same (experiment, sizes, seed) is keyed
+	// separately: it must not be served the profiled entry, and its
+	// /profile is refused with guidance.
+	st2 := submit(t, s, `{"experiment":"table2","sizes":[256],"seed":7}`)
+	if st2.ID == st.ID {
+		t.Fatalf("unprofiled submission reused the profiled run %s", st.ID)
+	}
+	fin2 := waitDone(t, s, st2.ID)
+	if fin2.State != JobDone || fin2.Profile {
+		t.Fatalf("unprofiled run: %+v", fin2)
+	}
+	w2 := do(t, s, "GET", "/v1/runs/"+st2.ID+"/profile", "")
+	if w2.Code != http.StatusConflict || !strings.Contains(w2.Body.String(), "was not profiled") {
+		t.Errorf("profile of unprofiled run: code %d, body %s", w2.Code, w2.Body)
+	}
+
+	// Resubmitting the profiled request is an idempotent cache hit that
+	// still serves the profile bytes.
+	st3 := submit(t, s, `{"experiment":"table2","sizes":[256],"seed":7,"profile":true}`)
+	if st3.ID != st.ID || !st3.CacheHit {
+		t.Errorf("profiled resubmission: id %s cacheHit %v, want idempotent reuse of %s", st3.ID, st3.CacheHit, st.ID)
+	}
+	w3 := do(t, s, "GET", "/v1/runs/"+st3.ID+"/profile", "")
+	if w3.Code != http.StatusOK || w3.Body.String() != w.Body.String() {
+		t.Errorf("cached profile differs from the original")
+	}
+}
+
+// TestListRuns: the listing enumerates retained runs in submission
+// order with submit parameters but without bulky results, and ?state=
+// filters.
+func TestListRuns(t *testing.T) {
+	s := newTestServer(t)
+	a := waitDone(t, s, submit(t, s, `{"experiment":"fig1","seed":3}`).ID)
+	b := waitDone(t, s, submit(t, s, `{"experiment":"table2","sizes":[256],"seed":7,"profile":true}`).ID)
+
+	w := do(t, s, "GET", "/v1/runs", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("list: code %d, body %s", w.Code, w.Body)
+	}
+	var listing struct {
+		Count int         `json:"count"`
+		Runs  []JobStatus `json:"runs"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &listing); err != nil {
+		t.Fatalf("list response: %v", err)
+	}
+	if listing.Count != 2 || len(listing.Runs) != 2 {
+		t.Fatalf("list = %+v, want 2 runs", listing)
+	}
+	if listing.Runs[0].ID != a.ID || listing.Runs[1].ID != b.ID {
+		t.Errorf("list order = %s, %s; want submission order %s, %s",
+			listing.Runs[0].ID, listing.Runs[1].ID, a.ID, b.ID)
+	}
+	if listing.Runs[1].Experiment != "table2" || !listing.Runs[1].Profile || listing.Runs[1].Seed != 7 {
+		t.Errorf("listing lost submit params: %+v", listing.Runs[1])
+	}
+	for _, r := range listing.Runs {
+		if r.Result != nil {
+			t.Errorf("listing entry %s carries a full result", r.ID)
+		}
+	}
+
+	// State filtering: both runs are done; no run is queued.
+	if w := do(t, s, "GET", "/v1/runs?state=done", ""); !strings.Contains(w.Body.String(), a.ID) {
+		t.Errorf("state=done filter dropped %s:\n%s", a.ID, w.Body)
+	}
+	var empty struct {
+		Count int         `json:"count"`
+		Runs  []JobStatus `json:"runs"`
+	}
+	w = do(t, s, "GET", "/v1/runs?state=queued", "")
+	if err := json.Unmarshal(w.Body.Bytes(), &empty); err != nil {
+		t.Fatalf("filtered list response: %v (body %s)", err, w.Body)
+	}
+	if empty.Count != 0 || empty.Runs == nil {
+		t.Errorf("state=queued = %+v, want empty non-null runs array", empty)
+	}
+}
+
 func TestCacheHitPath(t *testing.T) {
 	s := newTestServer(t)
 	const body = `{"experiment":"fig1","seed":3}`
@@ -254,7 +376,7 @@ func TestFailedJobSurfacesCellErrors(t *testing.T) {
 	m.mu.Lock()
 	j := m.jobs[st.ID]
 	m.mu.Unlock()
-	m.finish(j, "partial artifact\n", res, false)
+	m.finish(j, "partial artifact\n", "", res, false)
 
 	fin, ok := m.status(st.ID)
 	if !ok || fin.State != JobFailed {

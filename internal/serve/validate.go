@@ -56,13 +56,19 @@ func (l Limits) withDefaults() Limits {
 // the experiment's default sizes; Seed nil means seed 1 (the CLI
 // default); Model is reserved for a future per-model rerun facility
 // and currently refused when non-empty (registry experiments pin their
-// own models); Parallel 0 means the daemon's per-job default.
+// own models); Parallel 0 means the daemon's per-job default. Profile
+// additionally records per-step traces and attaches contention
+// profiles — per-phase cost attribution, a kappa histogram, hot
+// cells — to each cell's result, served by GET /v1/runs/{id}/profile;
+// the hot-cell top-K is fixed server-side (profile.DefaultHotCells),
+// so a profiled run's bytes match the CLI's `lowcontend profile`.
 type RunRequest struct {
 	Experiment string  `json:"experiment"`
 	Sizes      []int   `json:"sizes,omitempty"`
 	Seed       *uint64 `json:"seed,omitempty"`
 	Model      string  `json:"model,omitempty"`
 	Parallel   int     `json:"parallel,omitempty"`
+	Profile    bool    `json:"profile,omitempty"`
 }
 
 // httpError is a handler-layer error: an HTTP status code plus a
@@ -86,6 +92,7 @@ type runParams struct {
 	seed     uint64
 	model    string // canonical model name, or ""
 	parallel int    // 0 = daemon default
+	profile  bool
 	key      string
 }
 
@@ -152,6 +159,7 @@ func validate(req RunRequest, lim Limits) (runParams, *httpError) {
 		return p, errf(http.StatusBadRequest, "parallel %d out of range [0, %d]", req.Parallel, lim.MaxParallel)
 	}
 	p.parallel = req.Parallel
+	p.profile = req.Profile
 	p.key = cacheKey(p)
 	return p, nil
 }
@@ -161,7 +169,11 @@ func validate(req RunRequest, lim Limits) (runParams, *httpError) {
 // (experiment, sizes, seed) — parallelism never changes them — so jobs
 // sharing a key produce byte-identical artifacts and the cache may
 // serve any of them from the first completed run. The reserved model
-// field is keyed too so a future model override cannot alias.
+// field is keyed too so a future model override cannot alias. Profiled
+// runs are keyed separately: their artifact bytes are identical to the
+// unprofiled run's, but only they carry profiles, so serving one for
+// the other would either drop a requested profile or hand out one that
+// was never asked for.
 func cacheKey(p runParams) string {
 	var b strings.Builder
 	b.WriteString(p.exp.Name)
@@ -176,5 +188,8 @@ func cacheKey(p runParams) string {
 	b.WriteString(strconv.FormatUint(p.seed, 10))
 	b.WriteByte('|')
 	b.WriteString(p.model)
+	if p.profile {
+		b.WriteString("|profile")
+	}
 	return b.String()
 }

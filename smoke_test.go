@@ -54,6 +54,8 @@ func TestSmokeCmdLowcontendRegistry(t *testing.T) {
 		{"parallel", []string{"-sizes", "256", "-parallel", "4", "run", "table1"}, []string{"Table I", "load balancing"}},
 		{"json", []string{"-json", "-sizes", "128", "-parallel", "2", "run", "table2", "run", "fig1"}, []string{`"experiment": "table2"`, `"stats"`, `"time"`, `single cycle: true`}},
 		{"check", []string{"-check", "-sizes", "16", "run", "lowerbound"}, []string{"Theorem 3.2"}},
+		{"profile", []string{"-sizes", "256", "profile", "table2"}, []string{"Profile — table2", "kappa histogram", "hot cells", "(total)"}},
+		{"profile json", []string{"-json", "-sizes", "256", "profile", "table2"}, []string{`"profiles"`, `"phases"`, `"hot_cells"`}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
