@@ -7,17 +7,34 @@
 //	lowcontend [flags] list
 //	lowcontend [flags] run <experiment> [run <experiment> ...]
 //	lowcontend [flags] profile <experiment> [profile <experiment> ...]
+//	lowcontend [flags] sweep <experiment> [sweep flags]
 //	lowcontend [flags] table1|table2|fig1|lowerbound|compaction|selftest|all
 //
 // Flags:
 //
-//	-seed N      base random seed (default 1)
-//	-parallel N  concurrent experiment cells (0 = GOMAXPROCS)
-//	-sizes a,b   comma-separated sizes overriding each experiment's defaults
-//	-json        emit machine-readable JSON (results + charged stats, plus
-//	             session-pool hit/miss counters) instead of text
-//	-check       verify each experiment's expected paper shape after running
-//	-n N         problem size for selftest
+//	-seed N        base random seed (default 1)
+//	-parallel N    concurrent experiment cells (0 = GOMAXPROCS)
+//	-sizes a,b     comma-separated sizes overriding each experiment's defaults
+//	-model M       charge every cell under contention model M (e.g. crcw)
+//	               instead of the models the experiment pins
+//	-json          emit machine-readable JSON (results + charged stats, plus
+//	               session-pool hit/miss counters) instead of text
+//	-results-only  with -json, emit the results array alone — no pool
+//	               counters — so output is byte-comparable across -parallel
+//	-check         verify each experiment's expected paper shape after running
+//	-n N           problem size for selftest
+//
+// Sweep flags (after `sweep <experiment>`; global -sizes/-seed/-parallel/
+// -json provide the defaults):
+//
+//	-models a,b  comma-separated contention models; the first is the
+//	             ratio baseline (default qrqw,crcw,erew; a global -model
+//	             with no -models sweeps that single model)
+//	-sizes a,b   sizes of the sweep's size axis
+//	-seeds a,b   base seeds (the grid is models × sizes × seeds)
+//	-seed N      shorthand for a single-entry -seeds
+//	-parallel N  concurrent grid points (0 = GOMAXPROCS)
+//	-json        emit the sweep result as JSON instead of text
 //
 // Experiments are declared in the internal/exp registry and executed by
 // a concurrent runner over a pool of reusable sessions; charged stats
@@ -25,8 +42,13 @@
 // profile runs an experiment with per-step tracing and renders each
 // cell's contention profile — per-phase cost attribution, a kappa
 // histogram, and hot cells — instead of the artifact (with -json, the
-// profiles attach to each cell's result). selftest exercises every
-// core.Session entry point at size -n and prints the charged costs.
+// profiles attach to each cell's result). sweep reruns one experiment
+// across the cross-product of models × sizes × seeds and renders the
+// comparative artifact: a model×size charged-time matrix with ratios
+// against the baseline model, per-model kappa histograms, and the
+// violation marks of models whose rules the algorithm's access pattern
+// breaks. selftest exercises every core.Session entry point at size -n
+// and prints the charged costs.
 package main
 
 import (
@@ -41,7 +63,9 @@ import (
 	"lowcontend/internal/core"
 	"lowcontend/internal/exp"
 	"lowcontend/internal/exp/spec"
+	"lowcontend/internal/machine"
 	"lowcontend/internal/perm"
+	"lowcontend/internal/sweep"
 )
 
 func main() {
@@ -53,7 +77,9 @@ func run() int {
 	n := flag.Int("n", 512, "problem size for selftest")
 	parallel := flag.Int("parallel", 0, "concurrent experiment cells (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (with session-pool counters) instead of rendered tables")
+	resultsOnly := flag.Bool("results-only", false, "with -json, emit the results array alone (no pool counters); byte-comparable across -parallel")
 	sizesFlag := flag.String("sizes", "", "comma-separated sizes overriding each experiment's defaults")
+	modelFlag := flag.String("model", "", "charge every cell under this contention model instead of the experiment's pinned models")
 	check := flag.Bool("check", false, "verify each experiment's expected paper shape after running")
 	flag.Parse()
 
@@ -61,6 +87,15 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lowcontend: %v\n", err)
 		return 2
+	}
+	var modelOverride *machine.Model
+	if *modelFlag != "" {
+		m, ok := machine.ParseModel(*modelFlag)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lowcontend: unknown model %q\n", *modelFlag)
+			return 2
+		}
+		modelOverride = &m
 	}
 
 	// One session pool serves every experiment of the invocation. When
@@ -76,8 +111,8 @@ func run() int {
 		pool.Workers = 1
 	}
 	defer pool.Close()
-	runner := &spec.Runner{Parallel: par, Pool: pool}
-	profRunner := &spec.Runner{Parallel: par, Pool: pool, Profile: true}
+	runner := &spec.Runner{Parallel: par, Pool: pool, Model: modelOverride}
+	profRunner := &spec.Runner{Parallel: par, Pool: pool, Profile: true, Model: modelOverride}
 
 	// Resolve the argument list into an ordered action plan first, so
 	// argument errors abort before any work runs, then execute the plan
@@ -91,6 +126,7 @@ func run() int {
 		profiled bool   // render the contention profile instead of the artifact
 	}
 	var actions []action
+	var sweepInv *sweepInvocation // non-nil once a sweep subcommand consumed the tail
 	for i := 0; i < len(cmds); i++ {
 		switch cmd := cmds[i]; cmd {
 		case "list", "selftest":
@@ -106,6 +142,18 @@ func run() int {
 				return 2
 			}
 			actions = append(actions, action{name: cmds[i], profiled: cmd == "profile"})
+		case "sweep":
+			// Sweep owns the remainder of the command line: its own flags
+			// (-models, -seeds, ...) follow the experiment name, so it is
+			// necessarily the last subcommand of an invocation. Parsed —
+			// and its plan validated — here, so a bad sweep invocation
+			// aborts before any earlier action simulates.
+			inv, code := parseSweep(cmds[i+1:], sizes, *seed, *parallel, *jsonOut, modelOverride)
+			if code != 0 {
+				return code
+			}
+			sweepInv = &inv
+			i = len(cmds)
 		case "table1", "table2", "fig1", "lowerbound", "compaction":
 			actions = append(actions, action{name: cmd})
 		case "all":
@@ -166,23 +214,144 @@ func run() int {
 	if *jsonOut && results != nil {
 		// The pool counters ride along so session reuse is visible
 		// outside tests; they depend on -parallel (more concurrent
-		// cells need more fresh sessions), so determinism diffs
-		// compare the results field only.
-		out, err := json.MarshalIndent(struct {
+		// cells need more fresh sessions), so determinism diffs pass
+		// -results-only, which drops them and leaves output
+		// byte-comparable across -parallel values.
+		var doc any = struct {
 			Results []spec.Result  `json:"results"`
 			Pool    core.PoolStats `json:"pool"`
-		}{results, pool.Stats()}, "", "  ")
+		}{results, pool.Stats()}
+		if *resultsOnly {
+			doc = struct {
+				Results []spec.Result `json:"results"`
+			}{results}
+		}
+		out, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lowcontend: %v\n", err)
 			return 1
 		}
 		fmt.Println(string(out))
 	}
+	if sweepInv != nil {
+		if code := runSweep(pool, *sweepInv); code != 0 {
+			return code
+		}
+	}
 	return exit
 }
 
+// sweepInvocation is a fully validated sweep subcommand, ready to run.
+type sweepInvocation struct {
+	e       spec.Experiment
+	plan    sweep.Plan
+	jsonOut bool
+}
+
+// parseSweep resolves the sweep subcommand's tail — `<experiment>`
+// followed by its own flag set (global -sizes/-seed/-parallel/-json
+// supply the defaults; a global -model, with no -models, sweeps that
+// single model) — into a normalized plan. It runs during argument
+// planning, so every sweep error aborts before any action simulates.
+func parseSweep(args []string, defSizes []int, defSeed uint64, defParallel int, defJSON bool, defModel *machine.Model) (sweepInvocation, int) {
+	var inv sweepInvocation
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		fmt.Fprintf(os.Stderr, "lowcontend: sweep requires an experiment name (see lowcontend list)\n")
+		return inv, 2
+	}
+	e, ok := exp.Find(args[0])
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lowcontend: unknown experiment %q (see lowcontend list)\n", args[0])
+		return inv, 2
+	}
+	inv.e = e
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	models := fs.String("models", "", "comma-separated contention models; the first is the ratio baseline (default qrqw,crcw,erew)")
+	sizesFlag := fs.String("sizes", "", "comma-separated sizes of the sweep's size axis")
+	seedsFlag := fs.String("seeds", "", "comma-separated base seeds (grid = models x sizes x seeds)")
+	seedFlag := fs.Uint64("seed", defSeed, "single base seed (shorthand for -seeds)")
+	par := fs.Int("parallel", defParallel, "concurrent grid points (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", defJSON, "emit the sweep result as JSON instead of text")
+	if err := fs.Parse(args[1:]); err != nil {
+		return inv, 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "lowcontend: sweep: unexpected argument %q\n", fs.Arg(0))
+		return inv, 2
+	}
+	inv.jsonOut = *jsonOut
+
+	plan := sweep.Plan{Experiment: e.Name, Parallel: *par}
+	var err error
+	switch {
+	case *models != "":
+		if plan.Models, err = sweep.ParseModels(*models); err != nil {
+			fmt.Fprintf(os.Stderr, "lowcontend: sweep: %v\n", err)
+			return inv, 2
+		}
+		if defModel != nil {
+			fmt.Fprintf(os.Stderr, "lowcontend: sweep: pass either the global -model or sweep -models, not both\n")
+			return inv, 2
+		}
+	case defModel != nil:
+		// The global single-model override becomes a one-model sweep
+		// rather than being silently ignored.
+		plan.Models = []string{defModel.String()}
+	}
+	if *sizesFlag != "" {
+		if plan.Sizes, err = parseSizes(*sizesFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "lowcontend: sweep: %v\n", err)
+			return inv, 2
+		}
+	} else {
+		plan.Sizes = defSizes
+	}
+	if *seedsFlag != "" {
+		for _, part := range strings.Split(*seedsFlag, ",") {
+			s, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lowcontend: sweep: bad -seeds entry %q\n", part)
+				return inv, 2
+			}
+			plan.Seeds = append(plan.Seeds, s)
+		}
+	} else {
+		plan.Seeds = []uint64{*seedFlag}
+	}
+	if inv.plan, err = sweep.Normalize(e, plan); err != nil {
+		fmt.Fprintf(os.Stderr, "lowcontend: sweep: %v\n", err)
+		return inv, 2
+	}
+	return inv, 0
+}
+
+// runSweep executes a parsed sweep over the invocation's shared session
+// pool, so machines warmed by earlier actions are recycled by the grid.
+// Model violations are comparative data — they render as violation
+// marks in the artifact — so a completed sweep exits 0 even when some
+// grid cells violated their model.
+func runSweep(pool *core.SessionPool, inv sweepInvocation) int {
+	// Concurrent grid points must not multiply step-level workers; the
+	// shared pool is only un-bounded when the global -parallel was 1.
+	if par := inv.plan.Parallel; (par > 1 || par <= 0 && runtime.GOMAXPROCS(0) > 1) && pool.Workers == 0 {
+		pool.Workers = 1
+	}
+	res := (&sweep.Runner{Pool: pool}).Run(inv.e, inv.plan)
+	if inv.jsonOut {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lowcontend: %v\n", err)
+			return 1
+		}
+		fmt.Println(string(out))
+		return 0
+	}
+	fmt.Println(sweep.RenderText(res))
+	return 0
+}
+
 func printList() {
-	fmt.Println("Experiments (lowcontend run <name>; lowcontend profile <name> for contention profiles):")
+	fmt.Println("Experiments (lowcontend run <name>; profile <name> for contention profiles; sweep <name> for cross-model grids):")
 	for _, e := range exp.Registry() {
 		sizes := ""
 		if e.DefaultSizes != nil {

@@ -7,21 +7,25 @@
 //
 // Flags:
 //
-//	-addr host:port  listen address (default from LOWCONTEND_ADDR, then
-//	                 PORT, then :8080)
-//	-workers N       job worker goroutines (default 2)
-//	-queue N         bounded job queue depth (default 32)
-//	-parallel N      per-job cell parallelism when a request omits it (default 1)
-//	-max-size N      largest accepted problem size per request (default 1<<20)
-//	-drain D         graceful-shutdown drain timeout (default 30s)
+//	-addr host:port   listen address (default from LOWCONTEND_ADDR, then
+//	                  PORT, then :8080)
+//	-workers N        run worker goroutines (default 2)
+//	-sweep-workers N  sweep worker goroutines (default 1; a sweep is a
+//	                  whole grid of runs)
+//	-queue N          bounded job queue depth, per queue (default 32)
+//	-parallel N       per-job cell/grid parallelism when a request omits it (default 1)
+//	-max-size N       largest accepted problem size per request (default 1<<20)
+//	-drain D          graceful-shutdown drain timeout (default 30s)
 //
 // Endpoints: GET /v1/experiments, GET /v1/runs (listing, ?state=
-// filter), POST /v1/runs (with optional "profile": true),
-// GET /v1/runs/{id}, GET /v1/runs/{id}/artifact,
-// GET /v1/runs/{id}/profile, GET /healthz, GET /metrics. Identical
-// (experiment, sizes, seed) submissions are served from the artifact
-// cache — determinism makes cached artifacts byte-exact — and SIGINT or
-// SIGTERM drains running jobs before exiting.
+// filter), POST /v1/runs (with optional "model" override and
+// "profile": true), GET /v1/runs/{id}, GET /v1/runs/{id}/artifact,
+// GET /v1/runs/{id}/profile, GET /v1/sweeps (listing),
+// POST /v1/sweeps ({experiment, models?, sizes?, seeds?} cross-model
+// scenario grids), GET /v1/sweeps/{id}, GET /v1/sweeps/{id}/artifact,
+// GET /healthz, GET /metrics. Identical submissions are served from
+// the artifact cache — determinism makes cached artifacts byte-exact —
+// and SIGINT or SIGTERM drains running jobs before exiting.
 package main
 
 import (
@@ -44,9 +48,10 @@ func main() {
 
 func run() int {
 	addr := flag.String("addr", defaultAddr(), "listen address (env LOWCONTEND_ADDR or PORT override the default)")
-	workers := flag.Int("workers", 2, "job worker goroutines")
-	queue := flag.Int("queue", 32, "bounded job queue depth")
-	parallel := flag.Int("parallel", 1, "per-job cell parallelism when a request omits it")
+	workers := flag.Int("workers", 2, "run worker goroutines")
+	sweepWorkers := flag.Int("sweep-workers", 1, "sweep worker goroutines")
+	queue := flag.Int("queue", 32, "bounded job queue depth, per queue")
+	parallel := flag.Int("parallel", 1, "per-job cell/grid parallelism when a request omits it")
 	maxSize := flag.Int("max-size", serve.DefaultLimits().MaxSize, "largest accepted problem size per request")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
@@ -54,16 +59,17 @@ func run() int {
 	// serve.Config gives negative Workers a tests-only meaning (zero
 	// workers: jobs queue forever), so an operator typo must not reach
 	// it — refuse non-positive tuning values outright.
-	if *workers < 1 || *queue < 1 || *parallel < 1 || *maxSize < 1 || *drain <= 0 {
-		fmt.Fprintf(os.Stderr, "lowcontendd: -workers, -queue, -parallel, -max-size must be >= 1 and -drain positive\n")
+	if *workers < 1 || *sweepWorkers < 1 || *queue < 1 || *parallel < 1 || *maxSize < 1 || *drain <= 0 {
+		fmt.Fprintf(os.Stderr, "lowcontendd: -workers, -sweep-workers, -queue, -parallel, -max-size must be >= 1 and -drain positive\n")
 		return 2
 	}
 
 	srv := serve.New(serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		Parallel:   *parallel,
-		Limits:     serve.Limits{MaxSize: *maxSize},
+		Workers:      *workers,
+		SweepWorkers: *sweepWorkers,
+		QueueDepth:   *queue,
+		Parallel:     *parallel,
+		Limits:       serve.Limits{MaxSize: *maxSize},
 	})
 
 	// Listen explicitly (rather than ListenAndServe) so -addr :0 binds

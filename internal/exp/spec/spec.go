@@ -57,24 +57,43 @@ type Ctx struct {
 	Seed uint64
 
 	pool     *core.SessionPool
-	hotK     int // > 0: profile every acquired session at this top-K
+	model    *machine.Model // non-nil: override every requested model
+	profiled bool           // profile every acquired session
+	hotK     int            // hot-cell top-K when profiling (0 = none)
 	sessions []*core.Session
 	meas     []Measurement
 }
 
 // Session acquires a pooled session with the given model, memory
-// capacity, and seed — profiled when the runner is profiling. It is
-// released back to the pool when the cell finishes; do not retain it
-// (or any DeviceSlice bound to it) beyond the cell's Run.
+// capacity, and seed — profiled when the runner is profiling, and with
+// the model replaced when the runner carries a model override (the
+// sweep layer's mechanism for charging the same cells under a different
+// contention rule). It is released back to the pool when the cell
+// finishes; do not retain it (or any DeviceSlice bound to it) beyond
+// the cell's Run.
 func (c *Ctx) Session(model machine.Model, memWords int, seed uint64) *core.Session {
+	if c.model != nil {
+		model = *c.model
+	}
 	var s *core.Session
-	if c.hotK > 0 {
+	if c.profiled {
 		s = c.pool.AcquireProfiled(model, memWords, seed, c.hotK)
 	} else {
 		s = c.pool.Acquire(model, memWords, seed)
 	}
 	c.sessions = append(c.sessions, s)
 	return s
+}
+
+// Model resolves the model a Session call would actually use: the
+// runner's override when one is set, the cell's own choice otherwise.
+// Cells that branch on the model (e.g. to pick a scan-aware algorithm)
+// must consult it instead of their pinned constant.
+func (c *Ctx) Model(def machine.Model) machine.Model {
+	if c.model != nil {
+		return *c.model
+	}
+	return def
 }
 
 // Record appends a measurement to the cell's results.
@@ -189,7 +208,20 @@ type Runner struct {
 	Profile bool
 	// ProfileCells bounds both the engine's per-step hot-cell top-K and
 	// the per-profile hot-cell ranking (0 = profile.DefaultHotCells).
+	// Negative disables hot-cell attribution entirely: sessions are
+	// traced — phases and kappa histograms still aggregate — without
+	// paying the per-access candidate scans (the sweep layer profiles
+	// every grid point this way).
 	ProfileCells int
+	// Model, when non-nil, overrides the contention model of every
+	// session cells acquire through Ctx.Session: the experiment's cells
+	// run unchanged but are charged (and policed) under this model's
+	// Definition 2.3 rules instead of the models they pin. Cells whose
+	// access patterns the override forbids fail with the machine's
+	// ViolationError, attributed per cell like any other error — which
+	// is itself measurement: the sweep layer renders those cells as
+	// violation marks in its comparative artifacts.
+	Model *machine.Model
 }
 
 // Run executes every cell of e for the given size sweep and base seed
@@ -245,20 +277,22 @@ func (r *Runner) runCell(pool *core.SessionPool, c Cell, index int, seed uint64)
 	}
 	hotK := 0
 	if r.Profile {
-		hotK = r.ProfileCells
-		if hotK <= 0 {
+		switch {
+		case r.ProfileCells == 0:
 			hotK = profile.DefaultHotCells
+		case r.ProfileCells > 0:
+			hotK = r.ProfileCells
 		}
 	}
-	ctx := &Ctx{Seed: seed, pool: pool, hotK: hotK}
+	ctx := &Ctx{Seed: seed, pool: pool, model: r.Model, profiled: r.Profile, hotK: hotK}
 	out = CellResult{Cell: c.Name, Index: index}
 	defer func() {
 		for _, s := range ctx.sessions {
 			// Aggregate before Release: releasing resets the machine,
 			// which clears its trace and disables profiling.
-			if hotK > 0 {
+			if r.Profile {
 				out.Profiles = append(out.Profiles,
-					profile.FromTrace(s.Model().String(), s.StepTraces(), hotK))
+					profile.FromTrace(s.Model().String(), s.StepTraces(), max(hotK, 1)))
 			}
 			pool.Release(s)
 		}

@@ -190,6 +190,74 @@ func TestProfilesDeterministicAcrossParallelismAndReuse(t *testing.T) {
 	}
 }
 
+// TestRunnerModelOverride: a runner carrying a model override reruns
+// the same cells under that model — sessions report the override, stats
+// are charged under its cost rules, and a model whose rules the cells'
+// access pattern violates fails the cell with a ViolationError instead
+// of silently charging the pinned model.
+func TestRunnerModelOverride(t *testing.T) {
+	e := permExperiment() // cells pin core.QRQW and dart-throw (contended writes)
+	base := (&Runner{Parallel: 1}).Run(e, []int{256}, 9)
+	if err := base.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	crcw := machine.CRCW
+	over := (&Runner{Parallel: 1, Model: &crcw, Profile: true}).Run(e, []int{256}, 9)
+	if err := over.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	if got := over.Cells[0].Profiles[0].Model; got != "CRCW" {
+		t.Errorf("override run profile model = %q, want CRCW", got)
+	}
+	// CRCW charges m where QRQW charges max(m, kappa): the same cells
+	// must get strictly cheaper when the dart throws are contended.
+	bt := base.Cells[0].Measurements[0].Stats.Time
+	ot := over.Cells[0].Measurements[0].Stats.Time
+	if ot >= bt {
+		t.Errorf("CRCW override time %d, want < QRQW time %d", ot, bt)
+	}
+
+	erew := machine.EREW
+	viol := (&Runner{Parallel: 1, Model: &erew}).Run(e, []int{256}, 9)
+	err := viol.Cells[0].Err
+	var ve *machine.ViolationError
+	if err == nil || !errors.As(err, &ve) {
+		t.Fatalf("EREW override error = %v, want a ViolationError", err)
+	}
+
+	// Determinism holds under an override too.
+	for _, par := range []int{2, 4} {
+		got := (&Runner{Parallel: par, Model: &crcw, Profile: true}).Run(e, []int{256}, 9)
+		if !reflect.DeepEqual(over, got) {
+			t.Errorf("Parallel=%d override result differs from sequential", par)
+		}
+	}
+}
+
+// TestProfileCellsNegativeTracesWithoutHotCells: ProfileCells < 0 still
+// attaches profiles (phases, histogram, charged-time invariant) but
+// skips hot-cell attribution — the cheap tracing mode the sweep layer
+// runs every grid point in.
+func TestProfileCellsNegativeTracesWithoutHotCells(t *testing.T) {
+	e := permExperiment()
+	full := (&Runner{Parallel: 1, Profile: true}).Run(e, []int{128}, 5)
+	slim := (&Runner{Parallel: 1, Profile: true, ProfileCells: -1}).Run(e, []int{128}, 5)
+	if err := slim.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	fp, sp := full.Cells[0].Profiles[0], slim.Cells[0].Profiles[0]
+	if len(fp.HotCells) == 0 {
+		t.Fatal("full profile has no hot cells — the comparison is vacuous")
+	}
+	if len(sp.HotCells) != 0 {
+		t.Errorf("ProfileCells=-1 profile still carries %d hot cells", len(sp.HotCells))
+	}
+	if sp.Time != fp.Time || sp.Steps != fp.Steps || !reflect.DeepEqual(sp.Histogram, fp.Histogram) {
+		t.Errorf("slim profile aggregates differ from full:\n%+v\nvs\n%+v", sp, fp)
+	}
+}
+
 func TestResultJSON(t *testing.T) {
 	res := Result{
 		Experiment: "e",

@@ -2,26 +2,23 @@ package serve
 
 import (
 	"sync"
-
-	"lowcontend/internal/exp/spec"
 )
 
-// cacheEntry is one cached run outcome: the rendered artifact, the
-// rendered contention profile (empty for unprofiled runs — profiled
-// runs live under their own cache key), and the full per-cell result.
-// Only fully successful runs are cached, so the entry never carries
-// cell errors, and the determinism contract (stats are a pure function
-// of experiment+sizes+seed) makes a cached artifact exact —
+// cacheEntry is one cached outcome: the rendered artifact, the
+// rendered contention profile (profiled runs only — they live under
+// their own cache key), and the kind-specific result. Only fully
+// successful outcomes are cached, so the entry never carries an error,
+// and the determinism contract (results are a pure function of the
+// cache key's parameters) makes a cached artifact exact —
 // byte-identical to what a fresh simulation would render.
 type cacheEntry struct {
-	artifact string
-	profile  string
-	result   *spec.Result
+	out outcome
 }
 
-// artifactCache is a bounded FIFO cache of completed runs keyed by the
-// canonical (experiment, sizes, seed, model) string. Entries are
-// immutable once inserted; eviction drops the oldest insertion.
+// artifactCache is a bounded FIFO cache of completed outcomes keyed by
+// the canonical request string (runs: experiment|sizes|seed|model;
+// sweeps: the "sweep|"-prefixed plan). Entries are immutable once
+// inserted; eviction drops the oldest insertion.
 type artifactCache struct {
 	mu      sync.Mutex
 	max     int

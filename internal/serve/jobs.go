@@ -9,15 +9,19 @@ import (
 
 	"lowcontend/internal/core"
 	"lowcontend/internal/exp/spec"
+	"lowcontend/internal/machine"
+	"lowcontend/internal/sweep"
 )
 
 // JobState is a job's position in its lifecycle.
 type JobState string
 
-// The job lifecycle: queued → running → done | failed. A job is failed
-// when at least one cell errored; its per-cell errors remain
+// The job lifecycle: queued → running → done | failed. A run job is
+// failed when at least one cell errored; its per-cell errors remain
 // inspectable on the status result, mirroring the CLI's per-cell error
-// attribution.
+// attribution. A sweep job fails only on internal errors: model
+// violations inside the grid are comparative data, rendered in the
+// artifact, not failures.
 const (
 	JobQueued  JobState = "queued"
 	JobRunning JobState = "running"
@@ -25,54 +29,73 @@ const (
 	JobFailed  JobState = "failed"
 )
 
-// JobStatus is the wire form of a job on GET /v1/runs/{id} (and, with
-// Result omitted, one entry of the GET /v1/runs listing): the
-// normalized request, the lifecycle state, and — once finished — the
-// full per-cell result (charged PRAM stats, per-cell errors, and, for
-// profiled runs, per-cell contention profiles).
+// JobStatus is the wire form of a job on GET /v1/runs/{id} and
+// GET /v1/sweeps/{id} (and, with the result omitted, one entry of the
+// corresponding listings): the normalized request, the lifecycle
+// state, and — once finished — the full result (per-cell charged PRAM
+// stats for runs, the reduced grid for sweeps).
 type JobStatus struct {
-	ID         string       `json:"id"`
-	State      JobState     `json:"state"`
-	Experiment string       `json:"experiment"`
-	Sizes      []int        `json:"sizes,omitempty"`
-	Seed       uint64       `json:"seed"`
-	Model      string       `json:"model,omitempty"`
-	Parallel   int          `json:"parallel,omitempty"`
-	Profile    bool         `json:"profile,omitempty"`
-	CacheHit   bool         `json:"cache_hit,omitempty"`
-	Error      string       `json:"error,omitempty"`
-	Created    time.Time    `json:"created"`
-	Started    *time.Time   `json:"started,omitempty"`
-	Finished   *time.Time   `json:"finished,omitempty"`
-	Result     *spec.Result `json:"result,omitempty"`
+	ID         string   `json:"id"`
+	State      JobState `json:"state"`
+	Experiment string   `json:"experiment"`
+	Sizes      []int    `json:"sizes,omitempty"`
+	// Seed is set for runs (always on the wire, even an explicit
+	// seed 0); sweeps carry Seeds instead and omit it.
+	Seed     *uint64       `json:"seed,omitempty"`
+	Model    string        `json:"model,omitempty"`
+	Models   []string      `json:"models,omitempty"`
+	Seeds    []uint64      `json:"seeds,omitempty"`
+	Parallel int           `json:"parallel,omitempty"`
+	Profile  bool          `json:"profile,omitempty"`
+	CacheHit bool          `json:"cache_hit,omitempty"`
+	Error    string        `json:"error,omitempty"`
+	Created  time.Time     `json:"created"`
+	Started  *time.Time    `json:"started,omitempty"`
+	Finished *time.Time    `json:"finished,omitempty"`
+	Result   *spec.Result  `json:"result,omitempty"`
+	Sweep    *sweep.Result `json:"sweep,omitempty"`
 }
 
-// job is the manager's record of one submitted run. All mutable fields
-// are guarded by the manager's mutex; workers copy what they need out
-// under the lock and publish results back under it.
+// outcome is what executing (or cache-serving) a job yields: the
+// rendered text artifact, the rendered contention profile (profiled
+// runs only), the kind-specific result, and the error that decides the
+// done/failed transition.
+type outcome struct {
+	artifact string
+	profText string
+	result   *spec.Result  // run jobs
+	sweepRes *sweep.Result // sweep jobs
+	err      error
+}
+
+// job is the manager's record of one submitted run or sweep. All
+// mutable fields are guarded by the manager's mutex; workers copy what
+// they need out under the lock and publish results back under it.
 type job struct {
 	id       string
-	params   runParams
+	params   jobParams
 	state    JobState
 	cacheHit bool
-	artifact string
-	profile  string // rendered contention profile (profiled runs only)
-	result   *spec.Result
+	out      outcome
 	errMsg   string
 	created  time.Time
 	started  time.Time
 	finished time.Time
 }
 
-// manager owns the bounded job queue, the worker pool that drains it,
-// and the job table. Workers share one core.SessionPool across every
-// request, so machines allocated for one job are recycled by the next.
+// manager owns one bounded job queue, the worker pool that drains it,
+// and its job table. The server runs two managers — runs and sweeps —
+// with separate queues and counters but one shared core.SessionPool
+// and one shared artifact cache (keys are namespaced per kind), so
+// machines allocated for any request are recycled by every other.
 type manager struct {
 	pool     *core.SessionPool
 	cache    *artifactCache
-	met      *metrics
-	parallel int // per-job cell parallelism when the request says 0
-	maxJobs  int // retained job records (finished jobs beyond this are evicted)
+	met      *metrics    // shared cache/cell counters
+	ctr      *counterSet // this queue's own accounting
+	idPrefix string      // job id namespace ("run", "sweep")
+	parallel int         // per-job parallelism when the request says 0
+	maxJobs  int         // retained job records (finished jobs beyond this are evicted)
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -89,23 +112,25 @@ type manager struct {
 	drained chan struct{} // closed once every worker has exited
 }
 
-// flight coalesces concurrent identical runs: the first job to miss
-// the cache becomes the leader and simulates; followers register as
-// waiters — releasing their worker immediately instead of parking on
+// flight coalesces concurrent identical submissions: the first job to
+// miss the cache becomes the leader and simulates; followers register
+// as waiters — releasing their worker immediately instead of parking on
 // it — and the leader completes them with its own outcome. Determinism
-// makes that exact: an identical (experiment, sizes, seed) run would
-// reproduce the leader's artifact, stats, and even its failure
-// bit-for-bit.
+// makes that exact: an identical submission would reproduce the
+// leader's artifact, stats, and even its failure bit-for-bit.
 type flight struct {
 	leader  *job
 	waiters []*job
 }
 
-func newManager(pool *core.SessionPool, cache *artifactCache, met *metrics, workers, queueDepth, parallel, maxJobs int) *manager {
+func newManager(pool *core.SessionPool, cache *artifactCache, met *metrics, ctr *counterSet,
+	idPrefix string, workers, queueDepth, parallel, maxJobs int) *manager {
 	m := &manager{
 		pool:     pool,
 		cache:    cache,
 		met:      met,
+		ctr:      ctr,
+		idPrefix: idPrefix,
 		parallel: parallel,
 		maxJobs:  maxJobs,
 		jobs:     make(map[string]*job),
@@ -149,10 +174,7 @@ func (m *manager) safeRun(j *job) {
 		if p == nil {
 			return
 		}
-		res := &spec.Result{Experiment: j.params.exp.Name, Cells: []spec.CellResult{{
-			Cell: "(job execution)",
-			Err:  fmt.Errorf("internal error: panic: %v", p),
-		}}}
+		out := outcome{err: fmt.Errorf("internal error: panic: %v", p)}
 		m.mu.Lock()
 		var waiters []*job
 		if f, ok := m.flights[j.params.key]; ok && f.leader == j {
@@ -160,26 +182,26 @@ func (m *manager) safeRun(j *job) {
 			delete(m.flights, j.params.key)
 		}
 		m.mu.Unlock()
-		m.finish(j, "", "", res, false)
+		m.finish(j, out, false)
 		for _, wj := range waiters {
-			m.finish(wj, "", "", res, false)
+			m.finish(wj, out, false)
 		}
 	}()
 	m.run(j)
 }
 
-// submit enqueues a validated run. It refuses with 503 when the daemon
-// is draining or the queue is full — the queue is the backpressure
-// boundary; nothing upstream of it blocks.
-func (m *manager) submit(p runParams) (JobStatus, *httpError) {
+// submit enqueues a validated submission. It refuses with 503 when the
+// daemon is draining or the queue is full — the queue is the
+// backpressure boundary; nothing upstream of it blocks.
+func (m *manager) submit(p jobParams) (JobStatus, *httpError) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		m.met.jobsRejected.Add(1)
+		m.ctr.rejected.Add(1)
 		return JobStatus{}, errf(http.StatusServiceUnavailable, "server is shutting down")
 	}
-	// A cached run completes inline: it costs zero simulation, so it
-	// must not consume a queue slot (or be 503-rejected when slow
+	// A cached submission completes inline: it costs zero simulation,
+	// so it must not consume a queue slot (or be 503-rejected when slow
 	// simulations saturate the queue), and the client skips a poll
 	// round-trip. Resubmissions are idempotent — when a completed
 	// record for the key is still retained, the client gets that run's
@@ -187,9 +209,9 @@ func (m *manager) submit(p runParams) (JobStatus, *httpError) {
 	// the job table or evict other clients' unfetched runs. Lock order
 	// is always m.mu → cache.mu, never inverse.
 	if e, ok := m.cache.get(p.key); ok {
-		m.met.jobsSubmitted.Add(1)
+		m.ctr.submitted.Add(1)
 		m.met.cacheHits.Add(1)
-		m.met.jobsDone.Add(1)
+		m.ctr.done.Add(1)
 		if id, ok := m.byKey[p.key]; ok {
 			if prev, ok := m.jobs[id]; ok {
 				st := m.statusLocked(prev)
@@ -206,13 +228,11 @@ func (m *manager) submit(p runParams) (JobStatus, *httpError) {
 		now := time.Now().UTC()
 		m.nextID++
 		j := &job{
-			id:       fmt.Sprintf("run-%d", m.nextID),
+			id:       fmt.Sprintf("%s-%d", m.idPrefix, m.nextID),
 			params:   p,
 			state:    JobDone,
 			cacheHit: true,
-			artifact: e.artifact,
-			profile:  e.profile,
-			result:   e.result,
+			out:      e.out,
 			created:  now,
 			started:  now,
 			finished: now,
@@ -227,21 +247,21 @@ func (m *manager) submit(p runParams) (JobStatus, *httpError) {
 	}
 	m.nextID++
 	j := &job{
-		id:      fmt.Sprintf("run-%d", m.nextID),
+		id:      fmt.Sprintf("%s-%d", m.idPrefix, m.nextID),
 		params:  p,
 		state:   JobQueued,
 		created: time.Now().UTC(),
 	}
 	if m.live >= m.maxLive {
 		m.mu.Unlock()
-		m.met.jobsRejected.Add(1)
+		m.ctr.rejected.Add(1)
 		return JobStatus{}, errf(http.StatusServiceUnavailable, "too many in-flight runs (limit %d); retry later", m.maxLive)
 	}
 	select {
 	case m.queue <- j:
 	default:
 		m.mu.Unlock()
-		m.met.jobsRejected.Add(1)
+		m.ctr.rejected.Add(1)
 		return JobStatus{}, errf(http.StatusServiceUnavailable, "job queue is full (depth %d)", cap(m.queue))
 	}
 	m.live++
@@ -250,10 +270,10 @@ func (m *manager) submit(p runParams) (JobStatus, *httpError) {
 	m.evictLocked()
 	st := m.statusLocked(j)
 	// Counters move inside the lock: a worker's dequeue blocks on this
-	// mutex before it decrements jobs_queued, so the gauge can never be
+	// mutex before it decrements the queued gauge, so it can never be
 	// observed negative.
-	m.met.jobsSubmitted.Add(1)
-	m.met.jobsQueued.Add(1)
+	m.ctr.submitted.Add(1)
+	m.ctr.queued.Add(1)
 	m.mu.Unlock()
 	return st, nil
 }
@@ -282,9 +302,8 @@ func (m *manager) evictLocked() {
 }
 
 // run executes one job on a worker: serve it from the artifact cache
-// when an identical (experiment, sizes, seed, model) run already
-// completed — determinism makes the cached bytes exact — and simulate
-// otherwise.
+// when an identical submission already completed — determinism makes
+// the cached bytes exact — and simulate otherwise.
 func (m *manager) run(j *job) {
 	m.mu.Lock()
 	j.state = JobRunning
@@ -293,20 +312,20 @@ func (m *manager) run(j *job) {
 	// Gauges move with the state they mirror, inside the same critical
 	// section, so a client that just observed a state via the status
 	// endpoint (also under this lock) can never catch /metrics lagging.
-	m.met.jobsQueued.Add(-1)
-	m.met.jobsRunning.Add(1)
+	m.ctr.queued.Add(-1)
+	m.ctr.running.Add(1)
 	m.mu.Unlock()
 
 	if e, ok := m.cache.get(p.key); ok {
 		m.met.cacheHits.Add(1)
-		m.finish(j, e.artifact, e.profile, e.result, true)
+		m.finish(j, e.out, true)
 		return
 	}
 
-	// Coalesce concurrent identical runs: the first worker to miss the
-	// cache for a key leads and simulates; later duplicates register as
-	// waiters and free their worker, so one slow run's duplicates can
-	// never occupy the whole pool.
+	// Coalesce concurrent identical submissions: the first worker to
+	// miss the cache for a key leads and simulates; later duplicates
+	// register as waiters and free their worker, so one slow run's
+	// duplicates can never occupy the whole pool.
 	m.mu.Lock()
 	if f, ok := m.flights[p.key]; ok {
 		f.waiters = append(f.waiters, j)
@@ -316,23 +335,22 @@ func (m *manager) run(j *job) {
 	m.flights[p.key] = &flight{leader: j}
 	m.mu.Unlock()
 
-	var artifact, profText string
-	var res *spec.Result
+	var out outcome
 	if e, ok := m.cache.get(p.key); ok {
 		// A previous leader finished — cache.put, flight deregistered —
 		// between our cache miss and registering; don't re-simulate.
 		m.met.cacheHits.Add(1)
-		artifact, profText, res = e.artifact, e.profile, e.result
-		m.finish(j, artifact, profText, res, true)
+		out = e.out
+		m.finish(j, out, true)
 	} else {
 		m.met.cacheMisses.Add(1)
-		artifact, profText, res = m.simulate(p)
-		if res.FirstErr() == nil {
-			// Only fully successful runs are cached: a partial result
-			// must never be replayed as the canonical artifact.
-			m.cache.put(p.key, &cacheEntry{artifact: artifact, profile: profText, result: res})
+		out = m.simulate(p)
+		if out.err == nil {
+			// Only fully successful outcomes are cached: a partial
+			// result must never be replayed as the canonical artifact.
+			m.cache.put(p.key, &cacheEntry{out: out})
 		}
-		m.finish(j, artifact, profText, res, false)
+		m.finish(j, out, false)
 	}
 
 	// Complete the coalesced waiters with the identical outcome. After
@@ -342,50 +360,69 @@ func (m *manager) run(j *job) {
 	waiters := m.flights[p.key].waiters
 	delete(m.flights, p.key)
 	m.mu.Unlock()
-	shared := res.FirstErr() == nil
+	shared := out.err == nil
 	for _, wj := range waiters {
 		if shared {
 			// Coalescing, not a cache lookup — counted separately so
 			// /metrics doesn't conflate the two zero-simulation paths.
-			m.met.jobsCoalesced.Add(1)
+			m.ctr.coalesced.Add(1)
 		}
-		m.finish(wj, artifact, profText, res, shared)
+		m.finish(wj, out, shared)
 	}
 }
 
-// simulate runs the experiment and renders its artifact — plus, for
-// profiled requests, its contention profile — gauging in-flight cells
-// as it goes.
-func (m *manager) simulate(p runParams) (string, string, *spec.Result) {
+// cellHook gauges in-flight experiment cells for /metrics; both job
+// kinds thread it through their runners.
+func (m *manager) cellHook(_ string, start bool) {
+	if start {
+		m.met.cellsInflight.Add(1)
+		m.met.cellsRun.Add(1)
+	} else {
+		m.met.cellsInflight.Add(-1)
+	}
+}
+
+// simulate executes one submission and renders its artifact(s).
+func (m *manager) simulate(p jobParams) outcome {
 	par := p.parallel
 	if par == 0 {
 		par = m.parallel
 	}
-	runner := &spec.Runner{
-		Parallel: par,
-		Pool:     m.pool,
-		Profile:  p.profile,
-		CellHook: func(_ string, start bool) {
-			if start {
-				m.met.cellsInflight.Add(1)
-				m.met.cellsRun.Add(1)
-			} else {
-				m.met.cellsInflight.Add(-1)
-			}
-		},
+	switch p.kind {
+	case sweepJob:
+		runner := &sweep.Runner{Parallel: par, Pool: m.pool, CellHook: m.cellHook}
+		plan := p.plan
+		plan.Parallel = par
+		res := runner.Run(p.exp, plan)
+		// Violating grid cells are the sweep's comparative payload, so
+		// they never fail the job; the artifact renders them.
+		return outcome{artifact: sweep.RenderText(res) + "\n", sweepRes: &res}
+	default:
+		runner := &spec.Runner{
+			Parallel: par,
+			Pool:     m.pool,
+			Profile:  p.profile,
+			CellHook: m.cellHook,
+		}
+		if p.model != "" {
+			// Validation canonicalized the name, so it always parses.
+			model, _ := machine.ParseModel(p.model)
+			runner.Model = &model
+		}
+		res := runner.Run(p.exp, p.sizes, p.seed)
+		out := outcome{artifact: renderArtifact(p.exp, res), result: &res, err: res.FirstErr()}
+		if p.profile {
+			out.profText = renderProfile(res)
+		}
+		return out
 	}
-	res := runner.Run(p.exp, p.sizes, p.seed)
-	profText := ""
-	if p.profile {
-		profText = renderProfile(res)
-	}
-	return renderArtifact(p.exp, res), profText, &res
 }
 
 // renderArtifact renders a result exactly as `lowcontend run <exp>`
 // prints it — Render plus the trailing newline fmt.Println appends — so
 // the artifact endpoint is byte-identical to the CLI's stdout (CI
-// diffs the two).
+// diffs the two; the sweep artifact in simulate follows the same
+// convention against `lowcontend sweep`).
 func renderArtifact(e spec.Experiment, res spec.Result) string {
 	return e.Render(res) + "\n"
 }
@@ -397,12 +434,12 @@ func renderProfile(res spec.Result) string {
 	return spec.RenderProfiles(res) + "\n"
 }
 
-func (m *manager) finish(j *job, artifact, profText string, res *spec.Result, hit bool) {
+func (m *manager) finish(j *job, out outcome, hit bool) {
 	errMsg := ""
 	state := JobDone
-	if err := res.FirstErr(); err != nil {
+	if out.err != nil {
 		state = JobFailed
-		errMsg = err.Error()
+		errMsg = out.err.Error()
 	}
 	m.mu.Lock()
 	if j.state == JobDone || j.state == JobFailed {
@@ -412,21 +449,19 @@ func (m *manager) finish(j *job, artifact, profText string, res *spec.Result, hi
 		return
 	}
 	j.state = state
-	j.artifact = artifact
-	j.profile = profText
-	j.result = res
+	j.out = out
 	j.cacheHit = hit
 	j.errMsg = errMsg
 	j.finished = time.Now().UTC()
-	// Counters settle with the state transition (see run): jobs_running
-	// covers coalesced waiters too — they stay JobRunning without
+	// Counters settle with the state transition (see run): the running
+	// gauge covers coalesced waiters too — they stay JobRunning without
 	// occupying a worker until their leader completes them here.
 	m.live--
-	m.met.jobsRunning.Add(-1)
+	m.ctr.running.Add(-1)
 	if state == JobFailed {
-		m.met.jobsFailed.Add(1)
+		m.ctr.failed.Add(1)
 	} else {
-		m.met.jobsDone.Add(1)
+		m.ctr.done.Add(1)
 		m.byKey[j.params.key] = j.id
 	}
 	m.mu.Unlock()
@@ -449,13 +484,20 @@ func (m *manager) statusLocked(j *job) JobStatus {
 		State:      j.state,
 		Experiment: j.params.exp.Name,
 		Sizes:      j.params.sizes,
-		Seed:       j.params.seed,
-		Model:      j.params.model,
 		Parallel:   j.params.parallel,
-		Profile:    j.params.profile,
 		CacheHit:   j.cacheHit,
 		Error:      j.errMsg,
 		Created:    j.created,
+	}
+	switch j.params.kind {
+	case sweepJob:
+		st.Models = j.params.plan.Models
+		st.Seeds = j.params.plan.Seeds
+	default:
+		seed := j.params.seed
+		st.Seed = &seed
+		st.Model = j.params.model
+		st.Profile = j.params.profile
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -466,36 +508,40 @@ func (m *manager) statusLocked(j *job) JobStatus {
 		st.Finished = &t
 	}
 	if j.state == JobDone || j.state == JobFailed {
-		st.Result = j.result
+		st.Result = j.out.result
+		st.Sweep = j.out.sweepRes
 	}
 	return st
 }
 
-// artifact returns the rendered artifact and result of a successfully
-// finished job — the single state gate for both artifact forms. A job
-// that has not completed yields 409 carrying the state so clients can
-// poll and retry; a failed job yields 409 with its error (its partial
-// result stays inspectable on the status endpoint, never as an
-// artifact).
-func (m *manager) artifact(id string) (string, *spec.Result, *httpError) {
+// artifact returns the rendered artifact and kind-specific result of a
+// successfully finished job — the single state gate for both artifact
+// forms. A job that has not completed yields 409 carrying the state so
+// clients can poll and retry; a failed job yields 409 with its error
+// (its partial result stays inspectable on the status endpoint, never
+// as an artifact).
+func (m *manager) artifact(id string) (string, any, *httpError) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	if !ok {
-		return "", nil, errf(http.StatusNotFound, "unknown run %q", id)
+		return "", nil, errf(http.StatusNotFound, "unknown %s %q", m.idPrefix, id)
 	}
 	switch j.state {
 	case JobDone:
-		return j.artifact, j.result, nil
+		if j.params.kind == sweepJob {
+			return j.out.artifact, j.out.sweepRes, nil
+		}
+		return j.out.artifact, j.out.result, nil
 	case JobFailed:
-		return "", nil, errf(http.StatusConflict, "run %s failed: %s", id, j.errMsg)
+		return "", nil, errf(http.StatusConflict, "%s %s failed: %s", m.idPrefix, id, j.errMsg)
 	default:
-		return "", nil, errf(http.StatusConflict, "run %s is %s; poll GET /v1/runs/%s until done", id, j.state, id)
+		return "", nil, errf(http.StatusConflict, "%s %s is %s; poll GET /v1/%ss/%s until done", m.idPrefix, id, j.state, m.idPrefix, id)
 	}
 }
 
 // list returns the wire form of every retained job in submission order,
-// optionally filtered by state (empty = all), with the bulky Result
+// optionally filtered by state (empty = all), with the bulky results
 // stripped: listings are for enumeration, the status endpoint serves
 // the full record. The slice is never nil so the endpoint renders
 // "runs": [] rather than null when the table is empty.
@@ -510,6 +556,7 @@ func (m *manager) list(state JobState) []JobStatus {
 		}
 		st := m.statusLocked(j)
 		st.Result = nil
+		st.Sweep = nil
 		out = append(out, st)
 	}
 	return out
@@ -531,7 +578,7 @@ func (m *manager) profileText(id string) (string, *httpError) {
 		if !j.params.profile {
 			return "", errf(http.StatusConflict, "run %s was not profiled; resubmit with \"profile\": true", id)
 		}
-		return j.profile, nil
+		return j.out.profText, nil
 	case JobFailed:
 		return "", errf(http.StatusConflict, "run %s failed: %s", id, j.errMsg)
 	default:

@@ -33,7 +33,7 @@ func TestLoadConcurrentIdenticalRequests(t *testing.T) {
 	const clients = 12
 	const body = `{"experiment":"table2","sizes":[256],"seed":7}`
 
-	outcomes := make([]outcome, clients)
+	outcomes := make([]clientOutcome, clients)
 	var wg sync.WaitGroup
 	for i := range clients {
 		wg.Add(1)
@@ -135,8 +135,8 @@ func TestConcurrentMixedSubmits(t *testing.T) {
 	wg.Wait()
 }
 
-// outcome is what one load-test client observed for its run.
-type outcome struct {
+// clientOutcome is what one load-test client observed for its run.
+type clientOutcome struct {
 	artifact []byte
 	result   []byte // canonical JSON of the per-cell result
 	cacheHit bool
@@ -145,7 +145,7 @@ type outcome struct {
 
 // fetchRun submits a run over the wire, polls it to completion, and
 // fetches the artifact.
-func fetchRun(base, body string) (o outcome) {
+func fetchRun(base, body string) (o clientOutcome) {
 	post, err := http.Post(base+"/v1/runs", "application/json", bytes.NewReader([]byte(body)))
 	if err != nil {
 		o.err = err
@@ -192,7 +192,7 @@ func fetchRun(base, body string) (o outcome) {
 	return fetchArtifact(base, st.ID, o)
 }
 
-func fetchArtifact(base, id string, o outcome) outcome {
+func fetchArtifact(base, id string, o clientOutcome) clientOutcome {
 	resp, err := http.Get(base + "/v1/runs/" + id + "/artifact")
 	if err != nil {
 		o.err = err

@@ -6,39 +6,55 @@ import (
 	"lowcontend/internal/core"
 )
 
-// metrics is the daemon's expvar-style counter set: monotonic counters
-// for job and cache traffic plus gauges for queue occupancy and
-// in-flight cells. It is rendered as the flat JSON object served by
+// counterSet is the per-queue half of the daemon's counters: one set
+// for the run manager, one for the sweep manager, so each queue's
+// traffic and occupancy is accounted separately (a saturated sweep
+// queue must be visible without being masked by healthy run traffic).
+type counterSet struct {
+	submitted atomic.Int64 // accepted submissions
+	rejected  atomic.Int64 // refused with 503 (queue full / draining)
+	queued    atomic.Int64 // gauge: waiting in the queue
+	running   atomic.Int64 // gauge: in the running state (includes coalesced waiters)
+	done      atomic.Int64 // completed successfully (cache-served resubmissions included)
+	failed    atomic.Int64 // finished failed
+	coalesced atomic.Int64 // duplicates completed by flight coalescing (no lookup, no simulation)
+}
+
+func (c *counterSet) fill(into map[string]int64, prefix string) {
+	into[prefix+"_submitted"] = c.submitted.Load()
+	into[prefix+"_rejected"] = c.rejected.Load()
+	into[prefix+"_queued"] = c.queued.Load()
+	into[prefix+"_running"] = c.running.Load()
+	into[prefix+"_done"] = c.done.Load()
+	into[prefix+"_failed"] = c.failed.Load()
+	into[prefix+"_coalesced"] = c.coalesced.Load()
+}
+
+// metrics is the daemon's expvar-style counter set: per-queue
+// counterSets for runs and sweeps plus the shared artifact-cache and
+// in-flight-cell counters (both queues drain into one cache and one
+// session pool). It is rendered as the flat JSON object served by
 // GET /metrics (keys sorted by encoding/json's map ordering, so the
 // document is stable for scrapers and tests).
 type metrics struct {
-	jobsSubmitted atomic.Int64 // accepted POST /v1/runs
-	jobsRejected  atomic.Int64 // refused with 503 (queue full / draining)
-	jobsQueued    atomic.Int64 // gauge: waiting in the queue
-	jobsRunning   atomic.Int64 // gauge: in the running state (includes coalesced waiters)
-	jobsDone      atomic.Int64 // submissions completed successfully (cache-served resubmissions included)
-	jobsFailed    atomic.Int64 // finished with at least one cell error
-	cacheHits     atomic.Int64 // runs served from the artifact cache
-	cacheMisses   atomic.Int64 // runs that had to simulate
-	jobsCoalesced atomic.Int64 // duplicate runs completed by flight coalescing (no lookup, no simulation)
+	runs   counterSet
+	sweeps counterSet
+
+	cacheHits     atomic.Int64 // submissions served from the artifact cache
+	cacheMisses   atomic.Int64 // submissions that had to simulate
 	cellsInflight atomic.Int64 // gauge: experiment cells executing now
 	cellsRun      atomic.Int64 // cells started since boot
 }
 
 // snapshot renders the counters, the artifact-cache occupancy, and the
 // shared session pool's traffic (hit/miss/idle) as one flat document.
+// Run-queue counters keep their historical jobs_* keys; the sweep queue
+// reports under sweeps_*.
 func (m *metrics) snapshot(pool *core.SessionPool, cacheEntries int) map[string]int64 {
 	ps := pool.Stats()
-	return map[string]int64{
-		"jobs_submitted": m.jobsSubmitted.Load(),
-		"jobs_rejected":  m.jobsRejected.Load(),
-		"jobs_queued":    m.jobsQueued.Load(),
-		"jobs_running":   m.jobsRunning.Load(),
-		"jobs_done":      m.jobsDone.Load(),
-		"jobs_failed":    m.jobsFailed.Load(),
+	out := map[string]int64{
 		"cache_hits":     m.cacheHits.Load(),
 		"cache_misses":   m.cacheMisses.Load(),
-		"jobs_coalesced": m.jobsCoalesced.Load(),
 		"cache_entries":  int64(cacheEntries),
 		"cells_inflight": m.cellsInflight.Load(),
 		"cells_run":      m.cellsRun.Load(),
@@ -47,4 +63,7 @@ func (m *metrics) snapshot(pool *core.SessionPool, cacheEntries int) map[string]
 		"pool_news":      ps.News,
 		"pool_idle":      int64(pool.Idle()),
 	}
+	m.runs.fill(out, "jobs")
+	m.sweeps.fill(out, "sweeps")
+	return out
 }

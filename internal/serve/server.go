@@ -2,27 +2,35 @@
 // HTTP service — the daemon behind cmd/lowcontendd. It turns one-shot
 // artifact regeneration into a multi-tenant workload:
 //
-//	GET  /v1/experiments        registry listing with cell counts
-//	GET  /v1/runs               list retained runs (?state=queued|running|done|failed)
-//	POST /v1/runs               submit {experiment, sizes, seed, parallel?, profile?};
-//	                            202 + job id (a model field is reserved and
-//	                            refused until per-model reruns exist)
-//	GET  /v1/runs/{id}          job status, per-cell errors, charged PRAM stats
-//	GET  /v1/runs/{id}/artifact rendered artifact (text/plain; ?format=json for the result)
-//	GET  /v1/runs/{id}/profile  rendered contention profile (profiled runs only;
-//	                            byte-identical to `lowcontend profile`)
-//	GET  /healthz               liveness
-//	GET  /metrics               expvar-style counters (jobs, cache, pool, in-flight cells)
+//	GET  /v1/experiments          registry listing with cell counts
+//	GET  /v1/runs                 list retained runs (?state=queued|running|done|failed)
+//	POST /v1/runs                 submit {experiment, sizes, seed, model?, parallel?, profile?};
+//	                              202 + job id (model charges every cell under
+//	                              that contention model instead of the pinned ones)
+//	GET  /v1/runs/{id}            job status, per-cell errors, charged PRAM stats
+//	GET  /v1/runs/{id}/artifact   rendered artifact (text/plain; ?format=json for the result)
+//	GET  /v1/runs/{id}/profile    rendered contention profile (profiled runs only;
+//	                              byte-identical to `lowcontend profile`)
+//	GET  /v1/sweeps               list retained sweeps (?state= filter)
+//	POST /v1/sweeps               submit {experiment, models?, sizes?, seeds?, parallel?}:
+//	                              the cross-model scenario grid, executed as one job
+//	GET  /v1/sweeps/{id}          sweep status and, once finished, the reduced grid
+//	GET  /v1/sweeps/{id}/artifact rendered comparative artifact (text/plain,
+//	                              byte-identical to `lowcontend sweep`; ?format=json)
+//	GET  /healthz                 liveness
+//	GET  /metrics                 expvar-style counters (runs, sweeps, cache, pool, cells)
 //
-// Submissions land on a bounded queue drained by a worker pool that
-// shares one core.SessionPool, so simulated machines are recycled
-// across requests. Because a run's charged stats and rendered artifact
-// are a pure function of (experiment, sizes, seed) — the determinism
-// contract of internal/exp/spec — completed artifacts are cached by
-// that key and identical requests are served from the cache at zero
-// simulation cost, bit-for-bit exact. Request validation bounds sizes
-// so a hostile value cannot OOM the daemon, and Shutdown drains
-// running cells instead of interrupting them.
+// Submissions land on bounded queues — one for runs, one for sweeps,
+// each drained by its own worker pool with its own accounting — that
+// share one core.SessionPool, so simulated machines are recycled
+// across requests of both kinds. Because a job's charged stats and
+// rendered artifact are a pure function of its determinism-relevant
+// parameters (the contract of internal/exp/spec and internal/sweep),
+// completed artifacts are cached by a canonical key and identical
+// requests are served from the cache at zero simulation cost,
+// bit-for-bit exact. Request validation bounds sizes so a hostile
+// value cannot OOM the daemon, and Shutdown drains running cells
+// instead of interrupting them.
 package serve
 
 import (
@@ -38,21 +46,26 @@ import (
 
 // Config tunes a Server. The zero value serves with sensible defaults.
 type Config struct {
-	// Workers is the number of job-executing goroutines (default 2).
+	// Workers is the number of run-executing goroutines (default 2).
 	// Negative means zero workers — submissions queue but never
 	// execute — which only tests and diagnostics want.
 	Workers int
-	// QueueDepth bounds the number of jobs waiting to run; submissions
-	// beyond it are refused with 503 (default 32).
+	// SweepWorkers is the number of sweep-executing goroutines
+	// (default 1: a sweep is a whole grid of experiment runs, so one at
+	// a time keeps the daemon responsive for runs). Negative means
+	// zero, as with Workers.
+	SweepWorkers int
+	// QueueDepth bounds the number of jobs waiting to run per queue;
+	// submissions beyond it are refused with 503 (default 32).
 	QueueDepth int
-	// MaxJobs bounds the retained job table; the oldest finished jobs
+	// MaxJobs bounds each retained job table; the oldest finished jobs
 	// are evicted past it (default 256).
 	MaxJobs int
 	// CacheEntries bounds the artifact cache (default 128).
 	CacheEntries int
-	// Parallel is the per-job cell parallelism used when a request
-	// does not ask for one (default 1: concurrency comes from the
-	// worker pool, not from within a job).
+	// Parallel is the per-job cell (or grid-point) parallelism used
+	// when a request does not ask for one (default 1: concurrency
+	// comes from the worker pools, not from within a job).
 	Parallel int
 	// Limits bound request validation; zero fields take DefaultLimits.
 	Limits Limits
@@ -70,19 +83,26 @@ type Server struct {
 	ownPool bool
 	cache   *artifactCache
 	met     *metrics
-	jobs    *manager
+	jobs    *manager // run queue
+	sweeps  *manager // sweep queue
 	mux     *http.ServeMux
 	limits  Limits
 	started time.Time
 }
 
-// New constructs a Server and starts its worker pool.
+// New constructs a Server and starts its worker pools.
 func New(cfg Config) *Server {
 	if cfg.Workers == 0 {
 		cfg.Workers = 2
 	}
 	if cfg.Workers < 0 {
 		cfg.Workers = 0
+	}
+	if cfg.SweepWorkers == 0 {
+		cfg.SweepWorkers = 1
+	}
+	if cfg.SweepWorkers < 0 {
+		cfg.SweepWorkers = 0
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 32
@@ -108,7 +128,10 @@ func New(cfg Config) *Server {
 		s.pool.Workers = 1
 		s.ownPool = true
 	}
-	s.jobs = newManager(s.pool, s.cache, s.met, cfg.Workers, cfg.QueueDepth, cfg.Parallel, cfg.MaxJobs)
+	s.jobs = newManager(s.pool, s.cache, s.met, &s.met.runs,
+		"run", cfg.Workers, cfg.QueueDepth, cfg.Parallel, cfg.MaxJobs)
+	s.sweeps = newManager(s.pool, s.cache, s.met, &s.met.sweeps,
+		"sweep", cfg.SweepWorkers, cfg.QueueDepth, cfg.Parallel, cfg.MaxJobs)
 	s.routes()
 	return s
 }
@@ -118,11 +141,15 @@ func New(cfg Config) *Server {
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
-	s.mux.HandleFunc("GET /v1/runs", s.handleList)
+	s.mux.HandleFunc("GET /v1/runs", s.handleList(s.jobs))
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/runs/{id}/artifact", s.handleArtifact)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus(s.jobs))
+	s.mux.HandleFunc("GET /v1/runs/{id}/artifact", s.handleArtifact(s.jobs))
 	s.mux.HandleFunc("GET /v1/runs/{id}/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleList(s.sweeps))
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus(s.sweeps))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/artifact", s.handleArtifact(s.sweeps))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
@@ -131,11 +158,15 @@ func (s *Server) routes() {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Shutdown drains the server: new submissions are refused with 503,
-// queued and running jobs finish (cells are never interrupted), and the
-// owned session pool (if any) is released. Callers stop the HTTP
-// listener first (http.Server.Shutdown), then drain jobs here.
+// queued and running jobs of both queues finish (cells are never
+// interrupted), and the owned session pool (if any) is released.
+// Callers stop the HTTP listener first (http.Server.Shutdown), then
+// drain jobs here.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.jobs.shutdown(ctx)
+	if serr := s.sweeps.shutdown(ctx); err == nil {
+		err = serr
+	}
 	if err == nil && s.ownPool {
 		s.pool.Close()
 	}
@@ -148,24 +179,31 @@ func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"experiments": exp.Describe()})
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req RunRequest
+// decodeBody decodes one JSON request body into req, bounded by the
+// server's body limit and refusing unknown fields and trailing data
+// (silently running only the first of two concatenated objects would
+// drop the second).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, req any) *httpError {
 	body := http.MaxBytesReader(w, r.Body, s.limits.MaxBody)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, errf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit))
-			return
+			return errf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
 		}
-		writeError(w, errf(http.StatusBadRequest, "bad request body: %v", err))
-		return
+		return errf(http.StatusBadRequest, "bad request body: %v", err)
 	}
 	if dec.More() {
-		// One request per body: silently running only the first of two
-		// concatenated objects would drop the second.
-		writeError(w, errf(http.StatusBadRequest, "bad request body: trailing data after the run request"))
+		return errf(http.StatusBadRequest, "bad request body: trailing data after the request")
+	}
+	return nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if herr := s.decodeBody(w, r, &req); herr != nil {
+		writeError(w, herr)
 		return
 	}
 	p, herr := validate(req, s.limits)
@@ -182,45 +220,74 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, st)
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	st, ok := s.jobs.status(id)
-	if !ok {
-		writeError(w, errf(http.StatusNotFound, "unknown run %q", id))
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if herr := s.decodeBody(w, r, &req); herr != nil {
+		writeError(w, herr)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
-}
-
-func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
-	artifact, result, herr := s.jobs.artifact(r.PathValue("id"))
+	p, herr := validateSweep(req, s.limits)
 	if herr != nil {
 		writeError(w, herr)
 		return
 	}
-	if r.URL.Query().Get("format") == "json" {
-		writeJSON(w, http.StatusOK, result)
+	st, herr := s.sweeps.submit(p)
+	if herr != nil {
+		writeError(w, herr)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	w.Write([]byte(artifact))
+	w.Header().Set("Location", "/v1/sweeps/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
 }
 
-// handleList enumerates retained runs — id, state, and submit
-// parameters, without the per-cell results — so operators can find a
-// job without knowing its id. ?state= filters by lifecycle state.
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	state := JobState(r.URL.Query().Get("state"))
-	switch state {
-	case "", JobQueued, JobRunning, JobDone, JobFailed:
-	default:
-		writeError(w, errf(http.StatusBadRequest,
-			"unknown state %q (want %s, %s, %s, or %s)", state, JobQueued, JobRunning, JobDone, JobFailed))
-		return
+func (s *Server) handleStatus(m *manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		st, ok := m.status(id)
+		if !ok {
+			writeError(w, errf(http.StatusNotFound, "unknown %s %q", m.idPrefix, id))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
 	}
-	runs := s.jobs.list(state)
-	writeJSON(w, http.StatusOK, map[string]any{"count": len(runs), "runs": runs})
+}
+
+func (s *Server) handleArtifact(m *manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		artifact, result, herr := m.artifact(r.PathValue("id"))
+		if herr != nil {
+			writeError(w, herr)
+			return
+		}
+		if r.URL.Query().Get("format") == "json" {
+			writeJSON(w, http.StatusOK, result)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(artifact))
+	}
+}
+
+// handleList enumerates one queue's retained jobs — id, state, and
+// submit parameters, without the per-cell results — so operators can
+// find a job without knowing its id. ?state= filters by lifecycle
+// state.
+func (s *Server) handleList(m *manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		state := JobState(r.URL.Query().Get("state"))
+		switch state {
+		case "", JobQueued, JobRunning, JobDone, JobFailed:
+		default:
+			writeError(w, errf(http.StatusBadRequest,
+				"unknown state %q (want %s, %s, %s, or %s)", state, JobQueued, JobRunning, JobDone, JobFailed))
+			return
+		}
+		jobs := m.list(state)
+		// The collection key matches the endpoint: "runs" under
+		// /v1/runs, "sweeps" under /v1/sweeps.
+		writeJSON(w, http.StatusOK, map[string]any{"count": len(jobs), m.idPrefix + "s": jobs})
+	}
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"lowcontend/internal/exp"
 	"lowcontend/internal/exp/spec"
+	"lowcontend/internal/sweep"
 )
 
 func testContext(t *testing.T) (context.Context, context.CancelFunc) {
@@ -124,8 +126,18 @@ func TestEndpointTable(t *testing.T) {
 			`{"experiment":"table2","sizes":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17]}`, 400, "too many sizes"},
 		{"submit sizes to size-free experiment", nil, "POST", "/v1/runs", `{"experiment":"fig1","sizes":[64]}`, 400, "not size-parameterized"},
 		{"submit bad model", nil, "POST", "/v1/runs", `{"experiment":"table2","model":"PRAM-9000"}`, 400, "unknown model"},
-		{"submit reserved model", nil, "POST", "/v1/runs", `{"experiment":"table2","model":"EREW"}`, 400, "reserved"},
 		{"submit bad parallel", nil, "POST", "/v1/runs", `{"experiment":"table2","parallel":-1}`, 400, "parallel"},
+		{"sweep unknown experiment", nil, "POST", "/v1/sweeps", `{"experiment":"table9"}`, 404, "unknown experiment"},
+		{"sweep size-free experiment", nil, "POST", "/v1/sweeps", `{"experiment":"fig1"}`, 400, "not size-parameterized"},
+		{"sweep bad model", nil, "POST", "/v1/sweeps", `{"experiment":"table2","models":["qrqw","PRAM-9000"]}`, 400, "unknown model"},
+		{"sweep duplicate model", nil, "POST", "/v1/sweeps", `{"experiment":"table2","models":["qrqw","QRQW"]}`, 400, "duplicate model"},
+		{"sweep seed and seeds", nil, "POST", "/v1/sweeps", `{"experiment":"table2","seed":1,"seeds":[2]}`, 400, "not both"},
+		{"sweep bad size", nil, "POST", "/v1/sweeps", `{"experiment":"table2","sizes":[0]}`, 400, "out of range"},
+		{"sweep bad parallel", nil, "POST", "/v1/sweeps", `{"experiment":"table2","parallel":-1}`, 400, "parallel"},
+		{"sweep unknown field", nil, "POST", "/v1/sweeps", `{"experiment":"table2","profile":true}`, 400, "bad request body"},
+		{"sweep status unknown", nil, "GET", "/v1/sweeps/sweep-999", "", 404, "unknown sweep"},
+		{"sweep artifact unknown", nil, "GET", "/v1/sweeps/sweep-999/artifact", "", 404, "unknown sweep"},
+		{"sweep listing key", nil, "GET", "/v1/sweeps", "", 200, `"sweeps"`},
 		{"status unknown run", nil, "GET", "/v1/runs/run-999", "", 404, "unknown run"},
 		{"artifact unknown run", nil, "GET", "/v1/runs/run-999/artifact", "", 404, "unknown run"},
 		{"artifact before completion", stalled, "GET", "/v1/runs/" + queued.ID + "/artifact", "", 409, "poll GET"},
@@ -159,7 +171,7 @@ func TestSubmitRunAndFetchArtifact(t *testing.T) {
 	if st.State != JobQueued && st.State != JobRunning {
 		t.Errorf("fresh job state = %q", st.State)
 	}
-	if st.Seed != 7 || st.Experiment != "table2" {
+	if st.Seed == nil || *st.Seed != 7 || st.Experiment != "table2" {
 		t.Errorf("normalized request mangled: %+v", st)
 	}
 	fin := waitDone(t, s, st.ID)
@@ -291,7 +303,8 @@ func TestListRuns(t *testing.T) {
 		t.Errorf("list order = %s, %s; want submission order %s, %s",
 			listing.Runs[0].ID, listing.Runs[1].ID, a.ID, b.ID)
 	}
-	if listing.Runs[1].Experiment != "table2" || !listing.Runs[1].Profile || listing.Runs[1].Seed != 7 {
+	if listing.Runs[1].Experiment != "table2" || !listing.Runs[1].Profile ||
+		listing.Runs[1].Seed == nil || *listing.Runs[1].Seed != 7 {
 		t.Errorf("listing lost submit params: %+v", listing.Runs[1])
 	}
 	for _, r := range listing.Runs {
@@ -376,7 +389,7 @@ func TestFailedJobSurfacesCellErrors(t *testing.T) {
 	m.mu.Lock()
 	j := m.jobs[st.ID]
 	m.mu.Unlock()
-	m.finish(j, "partial artifact\n", "", res, false)
+	m.finish(j, outcome{artifact: "partial artifact\n", result: res, err: res.FirstErr()}, false)
 
 	fin, ok := m.status(st.ID)
 	if !ok || fin.State != JobFailed {
@@ -400,7 +413,7 @@ func TestFailedJobSurfacesCellErrors(t *testing.T) {
 	if s.cache.len() != 0 {
 		t.Errorf("failed run was cached")
 	}
-	if got := s.met.jobsFailed.Load(); got != 1 {
+	if got := s.met.runs.failed.Load(); got != 1 {
 		t.Errorf("jobs_failed = %d, want 1", got)
 	}
 }
@@ -476,12 +489,19 @@ func TestValidateNormalization(t *testing.T) {
 		}
 	}
 
-	// model is reserved: a known model name is refused with a message
-	// saying so (case-insensitively recognized), an unknown name with
-	// the sharper "unknown model".
-	if _, herr := validate(RunRequest{Experiment: "fig1", Model: "qrqw"}, lim); herr == nil ||
-		herr.code != http.StatusBadRequest || !strings.Contains(herr.msg, "reserved") {
-		t.Errorf("known model name should be refused as reserved, got %v", herr)
+	// Model names normalize case-insensitively to their canonical form,
+	// so "crcw" and "CRCW" share one cache key; unknown names are 400.
+	p1, herr := validate(RunRequest{Experiment: "fig1", Model: "crcw"}, lim)
+	if herr != nil || p1.model != "CRCW" {
+		t.Errorf("validate(model=crcw) = (%+v, %v), want canonical CRCW", p1, herr)
+	}
+	p2, _ := validate(RunRequest{Experiment: "fig1", Model: "CRCW"}, lim)
+	if p1.key != p2.key {
+		t.Errorf("case variants keyed differently: %q vs %q", p1.key, p2.key)
+	}
+	if _, herr := validate(RunRequest{Experiment: "fig1", Model: "PRAM-9000"}, lim); herr == nil ||
+		herr.code != http.StatusBadRequest {
+		t.Errorf("unknown model accepted: %v", herr)
 	}
 
 	// A lowered size cap filters substituted defaults instead of
@@ -536,7 +556,7 @@ func TestWorkerPanicContainment(t *testing.T) {
 		},
 		Render: func(spec.Result) string { return "" },
 	}
-	p := runParams{exp: boom, seed: 1, key: "boom||1|"}
+	p := jobParams{exp: boom, seed: 1, key: "boom||1|"}
 
 	st1, herr := m.submit(p)
 	if herr != nil {
@@ -580,6 +600,186 @@ func TestWorkerPanicContainment(t *testing.T) {
 	m.mu.Unlock()
 	if flights != 0 || live != 0 {
 		t.Errorf("panic leaked state: %d flights, %d live jobs", flights, live)
+	}
+}
+
+// submitSweep POSTs a sweep request and returns the accepted status.
+func submitSweep(t *testing.T, s *Server, body string) JobStatus {
+	t.Helper()
+	w := do(t, s, http.MethodPost, "/v1/sweeps", body)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit sweep %s: code %d, body %s", body, w.Code, w.Body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatalf("sweep submit response: %v", err)
+	}
+	return st
+}
+
+// waitDoneSweep polls a sweep's status until it leaves the queue.
+func waitDoneSweep(t *testing.T, s *Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		w := do(t, s, http.MethodGet, "/v1/sweeps/"+id, "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("sweep status %s: code %d, body %s", id, w.Code, w.Body)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+			t.Fatalf("sweep status response: %v", err)
+		}
+		if st.State == JobDone || st.State == JobFailed {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("sweep %s did not finish", id)
+	return JobStatus{}
+}
+
+// TestModelOverrideRuns drives the model field of POST /v1/runs end to
+// end: an accepted override completes, echoes its canonical name, and
+// is cache-keyed apart from the registry-pinned run of the same
+// (experiment, sizes, seed).
+func TestModelOverrideRuns(t *testing.T) {
+	s := newTestServer(t)
+	cases := []struct {
+		name      string
+		body      string
+		wantModel string
+	}{
+		{"pinned", `{"experiment":"table2","sizes":[128],"seed":7}`, ""},
+		{"crcw lower", `{"experiment":"table2","sizes":[128],"seed":7,"model":"crcw"}`, "CRCW"},
+		{"crcw canonical", `{"experiment":"table2","sizes":[128],"seed":7,"model":"CRCW"}`, "CRCW"},
+		{"scan-qrqw", `{"experiment":"table2","sizes":[128],"seed":7,"model":"scan-qrqw"}`, "scan-QRQW"},
+	}
+	ids := map[string]string{}
+	arts := map[string]string{}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			st := submit(t, s, c.body)
+			fin := waitDone(t, s, st.ID)
+			if fin.State != JobDone {
+				t.Fatalf("state %q, error %q", fin.State, fin.Error)
+			}
+			if fin.Model != c.wantModel {
+				t.Errorf("status model = %q, want %q", fin.Model, c.wantModel)
+			}
+			w := do(t, s, "GET", "/v1/runs/"+st.ID+"/artifact", "")
+			if w.Code != http.StatusOK {
+				t.Fatalf("artifact: %d %s", w.Code, w.Body)
+			}
+			ids[c.name] = fin.ID
+			arts[c.name] = w.Body.String()
+		})
+	}
+	// Case variants of one model are the same cached run; the pinned
+	// run and the override are distinct runs with different charged
+	// artifacts (CRCW charges m where QRQW charges max(m, kappa)).
+	if ids["crcw lower"] != ids["crcw canonical"] {
+		t.Errorf("case variants minted distinct runs %s / %s", ids["crcw lower"], ids["crcw canonical"])
+	}
+	if ids["pinned"] == ids["crcw lower"] {
+		t.Error("model override shared the pinned run's cache entry")
+	}
+	if arts["pinned"] == arts["crcw lower"] {
+		t.Error("override artifact identical to pinned artifact — override not applied")
+	}
+}
+
+// TestSweepEndToEnd drives POST /v1/sweeps through its lifecycle: the
+// artifact is byte-identical to what the sweep package renders for the
+// same plan (the `lowcontend sweep` bytes), violations inside the grid
+// do not fail the job, resubmission is an idempotent cache hit, and the
+// sweep queue accounts separately from the run queue.
+func TestSweepEndToEnd(t *testing.T) {
+	s := newTestServer(t)
+	const body = `{"experiment":"table2","models":["qrqw","crcw","erew"],"sizes":[128],"seeds":[7]}`
+	st := submitSweep(t, s, body)
+	if !reflect.DeepEqual(st.Models, []string{"QRQW", "CRCW", "EREW"}) {
+		t.Errorf("sweep status models = %v", st.Models)
+	}
+	fin := waitDoneSweep(t, s, st.ID)
+	if fin.State != JobDone {
+		t.Fatalf("sweep state %q, error %q", fin.State, fin.Error)
+	}
+	if fin.Sweep == nil || len(fin.Sweep.Points) != 3 {
+		t.Fatalf("sweep result missing or wrong grid: %+v", fin.Sweep)
+	}
+	var viol int
+	for _, pt := range fin.Sweep.Points {
+		viol += pt.Violations
+	}
+	if viol == 0 {
+		t.Error("EREW grid points recorded no violations — the job should carry them as data")
+	}
+
+	w := do(t, s, "GET", "/v1/sweeps/"+st.ID+"/artifact", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("sweep artifact: %d %s", w.Code, w.Body)
+	}
+	e, _ := exp.Find("table2")
+	plan, err := sweep.Normalize(e, sweep.Plan{Models: []string{"qrqw", "crcw", "erew"}, Sizes: []int{128}, Seeds: []uint64{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := (&sweep.Runner{Parallel: 1}).Run(e, plan)
+	if want := sweep.RenderText(res) + "\n"; w.Body.String() != want {
+		t.Errorf("sweep artifact differs from CLI render:\n--- http ---\n%q\n--- cli ---\n%q", w.Body.String(), want)
+	}
+	wj := do(t, s, "GET", "/v1/sweeps/"+st.ID+"/artifact?format=json", "")
+	if wj.Code != http.StatusOK || !strings.Contains(wj.Body.String(), `"baseline": "QRQW"`) {
+		t.Errorf("sweep json artifact: %d %s", wj.Code, wj.Body)
+	}
+
+	// Idempotent resubmission via the sweep cache key.
+	st2 := submitSweep(t, s, body)
+	if st2.ID != st.ID || !st2.CacheHit {
+		t.Errorf("sweep resubmission minted %s (cacheHit=%v), want reuse of %s", st2.ID, st2.CacheHit, st.ID)
+	}
+	// A different plan (extra model) is a different key.
+	st3 := submitSweep(t, s, `{"experiment":"table2","models":["qrqw","crcw","erew","crqw"],"sizes":[128],"seeds":[7]}`)
+	if st3.ID == st.ID {
+		t.Error("distinct plan shared the sweep cache entry")
+	}
+	waitDoneSweep(t, s, st3.ID)
+
+	// The sweep listing enumerates sweeps under its own collection key;
+	// the run listing stays empty (separate queues, separate tables).
+	var sweepListing struct {
+		Count  int         `json:"count"`
+		Sweeps []JobStatus `json:"sweeps"`
+	}
+	if err := json.Unmarshal(do(t, s, "GET", "/v1/sweeps?state=done", "").Body.Bytes(), &sweepListing); err != nil {
+		t.Fatal(err)
+	}
+	if sweepListing.Count != 2 || len(sweepListing.Sweeps) != 2 {
+		t.Errorf("sweep listing = %+v, want 2 sweeps", sweepListing)
+	}
+	var runListing struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(do(t, s, "GET", "/v1/runs", "").Body.Bytes(), &runListing); err != nil {
+		t.Fatal(err)
+	}
+	if runListing.Count != 0 {
+		t.Errorf("run listing count = %d, want 0 (sweeps must not leak into it)", runListing.Count)
+	}
+
+	var m map[string]int64
+	if err := json.Unmarshal(do(t, s, "GET", "/metrics", "").Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["sweeps_submitted"] != 3 || m["sweeps_done"] != 3 || m["sweeps_failed"] != 0 {
+		t.Errorf("sweep counters: %v", m)
+	}
+	if m["jobs_submitted"] != 0 {
+		t.Errorf("run counters absorbed sweep traffic: %v", m)
+	}
+	if m["sweeps_running"] != 0 || m["sweeps_queued"] != 0 {
+		t.Errorf("sweep gauges did not settle: %v", m)
 	}
 }
 

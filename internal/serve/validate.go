@@ -9,20 +9,22 @@ import (
 	"lowcontend/internal/exp"
 	"lowcontend/internal/exp/spec"
 	"lowcontend/internal/machine"
+	"lowcontend/internal/sweep"
 )
 
-// Limits bound what one run request may ask of the daemon. Every
-// submitted size expands into simulated shared-memory arrays, so an
-// unchecked sizes value is a remote allocation primitive; the defaults
+// Limits bound what one request may ask of the daemon. Every submitted
+// size expands into simulated shared-memory arrays, so an unchecked
+// sizes value is a remote allocation primitive; the defaults
 // comfortably cover the paper's sizes (max 1<<16) while keeping a
 // hostile request from OOMing the process.
 type Limits struct {
-	// MaxSizes caps the number of entries in a request's sizes sweep.
+	// MaxSizes caps the number of entries in a request's sizes sweep
+	// (and, for sweep plans, in its seeds list).
 	MaxSizes int
 	// MaxSize caps each individual size (problem size or L value).
 	MaxSize int
-	// MaxParallel caps the per-job cell parallelism a request may ask
-	// for.
+	// MaxParallel caps the per-job cell (or grid-point) parallelism a
+	// request may ask for.
 	MaxParallel int
 	// MaxBody caps the request body in bytes.
 	MaxBody int64
@@ -54,14 +56,15 @@ func (l Limits) withDefaults() Limits {
 
 // RunRequest is the body of POST /v1/runs. Sizes nil (or empty) means
 // the experiment's default sizes; Seed nil means seed 1 (the CLI
-// default); Model is reserved for a future per-model rerun facility
-// and currently refused when non-empty (registry experiments pin their
-// own models); Parallel 0 means the daemon's per-job default. Profile
-// additionally records per-step traces and attaches contention
-// profiles — per-phase cost attribution, a kappa histogram, hot
-// cells — to each cell's result, served by GET /v1/runs/{id}/profile;
-// the hot-cell top-K is fixed server-side (profile.DefaultHotCells),
-// so a profiled run's bytes match the CLI's `lowcontend profile`.
+// default); Model, when non-empty, charges every cell under that
+// contention model instead of the models the experiment pins (the
+// CLI's -model flag; names match case-insensitively); Parallel 0 means
+// the daemon's per-job default. Profile additionally records per-step
+// traces and attaches contention profiles — per-phase cost
+// attribution, a kappa histogram, hot cells — to each cell's result,
+// served by GET /v1/runs/{id}/profile; the hot-cell top-K is fixed
+// server-side (profile.DefaultHotCells), so a profiled run's bytes
+// match the CLI's `lowcontend profile`.
 type RunRequest struct {
 	Experiment string  `json:"experiment"`
 	Sizes      []int   `json:"sizes,omitempty"`
@@ -69,6 +72,22 @@ type RunRequest struct {
 	Model      string  `json:"model,omitempty"`
 	Parallel   int     `json:"parallel,omitempty"`
 	Profile    bool    `json:"profile,omitempty"`
+}
+
+// SweepRequest is the body of POST /v1/sweeps: the declarative sweep
+// plan. Models empty means the default comparison (qrqw, crcw, erew;
+// the first model is the ratio baseline), Sizes empty the experiment's
+// defaults, Seeds empty the single seed 1 (or Seed when set). The grid
+// is the full cross-product models × sizes × seeds; Parallel bounds
+// concurrently executing grid points (0 = the daemon's per-job
+// default) and never affects the artifact.
+type SweepRequest struct {
+	Experiment string   `json:"experiment"`
+	Models     []string `json:"models,omitempty"`
+	Sizes      []int    `json:"sizes,omitempty"`
+	Seeds      []uint64 `json:"seeds,omitempty"`
+	Seed       *uint64  `json:"seed,omitempty"`
+	Parallel   int      `json:"parallel,omitempty"`
 }
 
 // httpError is a handler-layer error: an HTTP status code plus a
@@ -84,23 +103,34 @@ func errf(code int, format string, args ...any) *httpError {
 	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
 }
 
-// runParams is a validated, normalized run request: the resolved
-// experiment, concrete sizes/seed/parallel, and the artifact cache key.
-type runParams struct {
+// jobKind separates the two submission shapes one manager can execute.
+type jobKind uint8
+
+const (
+	runJob jobKind = iota
+	sweepJob
+)
+
+// jobParams is a validated, normalized submission: a single experiment
+// run (runJob) or a cross-model sweep (sweepJob), plus the artifact
+// cache key both kinds are cached and coalesced by.
+type jobParams struct {
+	kind     jobKind
 	exp      spec.Experiment
 	sizes    []int
 	seed     uint64
-	model    string // canonical model name, or ""
+	model    string // canonical model-override name, or ""
 	parallel int    // 0 = daemon default
 	profile  bool
+	plan     sweep.Plan // normalized plan (sweepJob only)
 	key      string
 }
 
 // validate checks a run request against the registry and the limits and
 // normalizes it. Unknown experiments are 404; everything else invalid
 // is 400.
-func validate(req RunRequest, lim Limits) (runParams, *httpError) {
-	var p runParams
+func validate(req RunRequest, lim Limits) (jobParams, *httpError) {
+	p := jobParams{kind: runJob}
 	e, ok := exp.Find(req.Experiment)
 	if !ok {
 		return p, errf(http.StatusNotFound, "unknown experiment %q (see GET /v1/experiments)", req.Experiment)
@@ -109,51 +139,25 @@ func validate(req RunRequest, lim Limits) (runParams, *httpError) {
 	if len(req.Sizes) > 0 && e.DefaultSizes == nil {
 		// Size-free experiments (fig1) ignore sizes entirely; accepting
 		// them would echo parameters that had no effect and fragment
-		// the cache key across identical runs — refuse honestly, like
-		// the reserved model field below.
+		// the cache key across identical runs — refuse honestly.
 		return p, errf(http.StatusBadRequest, "experiment %q is not size-parameterized; omit sizes", e.Name)
 	}
-	p.sizes = req.Sizes
-	if len(p.sizes) == 0 {
-		// nil and explicit [] both mean the experiment's defaults — a
-		// zero-cell run would otherwise complete "done" with a
-		// header-only artifact and poison the cache for its key. The
-		// defaults still honor the operator's size cap: oversized
-		// entries are dropped rather than bounced back as a 400 naming
-		// sizes the client never sent.
-		for _, n := range e.DefaultSizes {
-			if n <= lim.MaxSize {
-				p.sizes = append(p.sizes, n)
-			}
-		}
-		if len(p.sizes) == 0 && len(e.DefaultSizes) > 0 {
-			return p, errf(http.StatusBadRequest,
-				"every default size of %q exceeds this server's size limit %d; pass explicit sizes", e.Name, lim.MaxSize)
-		}
-	} else {
-		if len(p.sizes) > lim.MaxSizes {
-			return p, errf(http.StatusBadRequest, "too many sizes: %d (limit %d)", len(p.sizes), lim.MaxSizes)
-		}
-		for _, n := range p.sizes {
-			if n < 1 || n > lim.MaxSize {
-				return p, errf(http.StatusBadRequest, "size %d out of range [1, %d]", n, lim.MaxSize)
-			}
-		}
+	var herr *httpError
+	if p.sizes, herr = normalizeSizes(e, req.Sizes, lim); herr != nil {
+		return p, herr
 	}
 	p.seed = 1
 	if req.Seed != nil {
 		p.seed = *req.Seed
 	}
 	if req.Model != "" {
-		// The field is reserved for a future per-model rerun facility.
-		// Registry cells pin their own models today, so accepting a
-		// model here would return stats labeled with a model that was
-		// never simulated — refuse honestly instead.
-		if _, ok := machine.ParseModel(req.Model); !ok {
+		m, ok := machine.ParseModel(req.Model)
+		if !ok {
 			return p, errf(http.StatusBadRequest, "unknown model %q", req.Model)
 		}
-		return p, errf(http.StatusBadRequest,
-			"model override is reserved and not yet supported: registry experiments pin their own models (see DESIGN.md)")
+		// Canonicalize so that "crcw" and "CRCW" share one cache key
+		// and the status echo matches machine.Model.String.
+		p.model = m.String()
 	}
 	if req.Parallel < 0 || req.Parallel > lim.MaxParallel {
 		return p, errf(http.StatusBadRequest, "parallel %d out of range [0, %d]", req.Parallel, lim.MaxParallel)
@@ -164,17 +168,92 @@ func validate(req RunRequest, lim Limits) (runParams, *httpError) {
 	return p, nil
 }
 
-// cacheKey canonicalizes the determinism-relevant request parameters:
+// validateSweep checks a sweep request and normalizes it into a
+// sweepJob. Plan-shape validation (model names, size axis, defaults)
+// is shared with the CLI via sweep.Normalize, so daemon and CLI refuse
+// exactly the same plans; the daemon adds its resource limits on top.
+func validateSweep(req SweepRequest, lim Limits) (jobParams, *httpError) {
+	p := jobParams{kind: sweepJob}
+	e, ok := exp.Find(req.Experiment)
+	if !ok {
+		return p, errf(http.StatusNotFound, "unknown experiment %q (see GET /v1/experiments)", req.Experiment)
+	}
+	p.exp = e
+	if req.Parallel < 0 || req.Parallel > lim.MaxParallel {
+		return p, errf(http.StatusBadRequest, "parallel %d out of range [0, %d]", req.Parallel, lim.MaxParallel)
+	}
+	seeds := req.Seeds
+	if len(seeds) == 0 && req.Seed != nil {
+		seeds = []uint64{*req.Seed}
+	} else if len(seeds) > 0 && req.Seed != nil {
+		return p, errf(http.StatusBadRequest, "pass seed or seeds, not both")
+	}
+	if len(seeds) > lim.MaxSizes {
+		return p, errf(http.StatusBadRequest, "too many seeds: %d (limit %d)", len(seeds), lim.MaxSizes)
+	}
+	sizes, herr := normalizeSizes(e, req.Sizes, lim)
+	if herr != nil {
+		return p, herr
+	}
+	plan, err := sweep.Normalize(e, sweep.Plan{
+		Experiment: e.Name,
+		Models:     req.Models,
+		Sizes:      sizes,
+		Seeds:      seeds,
+		Parallel:   req.Parallel,
+	})
+	if err != nil {
+		return p, errf(http.StatusBadRequest, "%v", err)
+	}
+	p.plan = plan
+	p.sizes = plan.Sizes
+	p.parallel = plan.Parallel
+	p.key = sweepCacheKey(plan)
+	return p, nil
+}
+
+// normalizeSizes applies the shared sizes rules: empty means the
+// experiment's defaults filtered to the operator's size cap (oversized
+// defaults are dropped rather than bounced back as a 400 naming sizes
+// the client never sent — erroring only when nothing remains runnable),
+// explicit lists are bounded in count and per-entry range. A zero-cell
+// run would otherwise complete "done" with a header-only artifact and
+// poison the cache for its key.
+func normalizeSizes(e spec.Experiment, sizes []int, lim Limits) ([]int, *httpError) {
+	if len(sizes) == 0 {
+		var out []int
+		for _, n := range e.DefaultSizes {
+			if n <= lim.MaxSize {
+				out = append(out, n)
+			}
+		}
+		if len(out) == 0 && len(e.DefaultSizes) > 0 {
+			return nil, errf(http.StatusBadRequest,
+				"every default size of %q exceeds this server's size limit %d; pass explicit sizes", e.Name, lim.MaxSize)
+		}
+		return out, nil
+	}
+	if len(sizes) > lim.MaxSizes {
+		return nil, errf(http.StatusBadRequest, "too many sizes: %d (limit %d)", len(sizes), lim.MaxSizes)
+	}
+	for _, n := range sizes {
+		if n < 1 || n > lim.MaxSize {
+			return nil, errf(http.StatusBadRequest, "size %d out of range [1, %d]", n, lim.MaxSize)
+		}
+	}
+	return sizes, nil
+}
+
+// cacheKey canonicalizes the determinism-relevant run parameters:
 // charged stats and rendered artifacts are a pure function of
-// (experiment, sizes, seed) — parallelism never changes them — so jobs
-// sharing a key produce byte-identical artifacts and the cache may
-// serve any of them from the first completed run. The reserved model
-// field is keyed too so a future model override cannot alias. Profiled
-// runs are keyed separately: their artifact bytes are identical to the
+// (experiment, sizes, seed, model) — parallelism never changes them —
+// so jobs sharing a key produce byte-identical artifacts and the cache
+// may serve any of them from the first completed run. Profiled runs are
+// keyed separately: their artifact bytes are identical to the
 // unprofiled run's, but only they carry profiles, so serving one for
 // the other would either drop a requested profile or hand out one that
 // was never asked for.
-func cacheKey(p runParams) string {
+func cacheKey(p jobParams) string {
 	var b strings.Builder
 	b.WriteString(p.exp.Name)
 	b.WriteByte('|')
@@ -190,6 +269,33 @@ func cacheKey(p runParams) string {
 	b.WriteString(p.model)
 	if p.profile {
 		b.WriteString("|profile")
+	}
+	return b.String()
+}
+
+// sweepCacheKey canonicalizes a normalized plan's determinism-relevant
+// parameters (everything but Parallel). The "sweep|" prefix keeps the
+// namespace disjoint from run keys, which start with a registry
+// experiment name.
+func sweepCacheKey(p sweep.Plan) string {
+	var b strings.Builder
+	b.WriteString("sweep|")
+	b.WriteString(p.Experiment)
+	b.WriteByte('|')
+	b.WriteString(strings.Join(p.Models, ","))
+	b.WriteByte('|')
+	for i, n := range p.Sizes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(n))
+	}
+	b.WriteByte('|')
+	for i, s := range p.Seeds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(s, 10))
 	}
 	return b.String()
 }

@@ -1,0 +1,207 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lowcontend/internal/profile"
+)
+
+// RenderText renders a sweep result as one deterministic text artifact:
+// the model×size charged-time matrix with ratios against the baseline
+// model, the per-model kappa histogram columns, a per-model summary,
+// and the deterministic descriptions of every failed cell. Equal
+// results render byte-identically, which is what lets the daemon's
+// sweep artifact endpoint serve the CLI's exact bytes.
+func RenderText(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sweep — %s across %s\n", r.Experiment, strings.Join(r.Models, ", "))
+	fmt.Fprintf(&b, "sizes: %s  seeds: %s  baseline: %s  grid: %d points\n",
+		joinInts(r.Sizes), joinUints(r.Seeds), r.Baseline, len(r.Points))
+
+	renderMatrix(&b, r)
+	renderHistograms(&b, r)
+	renderSummary(&b, r)
+	renderFailures(&b, r)
+	return b.String()
+}
+
+// cellAgg is the (model, size) aggregation behind one matrix cell:
+// charged time and failed-cell counts summed over the plan's seeds.
+type cellAgg struct {
+	time  int64
+	fails int
+}
+
+func (r Result) matrix() map[string]map[int]cellAgg {
+	m := make(map[string]map[int]cellAgg, len(r.Models))
+	for _, model := range r.Models {
+		m[model] = make(map[int]cellAgg, len(r.Sizes))
+	}
+	for _, pt := range r.Points {
+		a := m[pt.Model][pt.Size]
+		a.time += pt.Time
+		a.fails += pt.Violations + pt.Errors
+		m[pt.Model][pt.Size] = a
+	}
+	return m
+}
+
+// renderMatrix writes the speedup matrix: one row per size, one column
+// group per model — charged time plus, for non-baseline models, the
+// ratio against the baseline's time at that size.
+func renderMatrix(b *strings.Builder, r Result) {
+	agg := r.matrix()
+	b.WriteString("\ncharged time by model (summed over cells and seeds; !k marks k failed cells; ratio vs ")
+	b.WriteString(r.Baseline)
+	b.WriteString(")\n")
+	fmt.Fprintf(b, "%10s", "n")
+	for i, model := range r.Models {
+		fmt.Fprintf(b, " %16s", model)
+		if i > 0 {
+			fmt.Fprintf(b, " %7s", "ratio")
+		}
+	}
+	b.WriteString("\n")
+	for _, n := range r.Sizes {
+		fmt.Fprintf(b, "%10d", n)
+		base := agg[r.Baseline][n]
+		for i, model := range r.Models {
+			a := agg[model][n]
+			cell := strconv.FormatInt(a.time, 10)
+			if a.fails > 0 {
+				cell += " !" + strconv.Itoa(a.fails)
+			}
+			fmt.Fprintf(b, " %16s", cell)
+			if i > 0 {
+				if base.time > 0 {
+					fmt.Fprintf(b, " %7.2f", float64(a.time)/float64(base.time))
+				} else {
+					fmt.Fprintf(b, " %7s", "-")
+				}
+			}
+		}
+		b.WriteString("\n")
+	}
+}
+
+// renderHistograms writes the per-model kappa histogram columns: the
+// bucketed per-step maximum contention counts, merged over every grid
+// point of each model. A column of zeros beyond k=1 is the signature of
+// a contention-free (EREW-style) execution; heavy high-kappa buckets
+// are what the queued models charge for.
+func renderHistograms(b *strings.Builder, r Result) {
+	hists := make(map[string][]profile.Bucket, len(r.Models))
+	for _, pt := range r.Points {
+		hists[pt.Model] = mergeHistogram(hists[pt.Model], pt.Histogram)
+	}
+	rows := 0
+	for _, h := range hists {
+		if len(h) > rows {
+			rows = len(h)
+		}
+	}
+	if rows == 0 {
+		return
+	}
+	// Bucket ranges are positional and identical across profiles, so
+	// any model's bucket i labels row i; take each row's label from the
+	// first model that has it.
+	b.WriteString("\nkappa histogram (traced steps per per-step max contention bucket, all grid points)\n")
+	fmt.Fprintf(b, "%-12s", "bucket")
+	for _, model := range r.Models {
+		fmt.Fprintf(b, " %14s", model)
+	}
+	b.WriteString("\n")
+	for i := 0; i < rows; i++ {
+		label := ""
+		for _, model := range r.Models {
+			if h := hists[model]; i < len(h) {
+				label = fmt.Sprintf("k=%d", h[i].Lo)
+				if h[i].Hi > h[i].Lo {
+					label = fmt.Sprintf("k=%d-%d", h[i].Lo, h[i].Hi)
+				}
+				break
+			}
+		}
+		fmt.Fprintf(b, "%-12s", label)
+		for _, model := range r.Models {
+			var steps int64
+			if h := hists[model]; i < len(h) {
+				steps = h[i].Steps
+			}
+			fmt.Fprintf(b, " %14d", steps)
+		}
+		b.WriteString("\n")
+	}
+}
+
+// renderSummary writes one row per model: how many cells succeeded and
+// failed across the whole grid, and the aggregate charged cost of the
+// successful ones.
+func renderSummary(b *strings.Builder, r Result) {
+	b.WriteString("\nmodel summary (aggregates over successful cells)\n")
+	fmt.Fprintf(b, "%-16s %6s %6s %6s %12s %14s %14s %7s\n",
+		"model", "cells", "viol", "err", "steps", "time", "ops", "max-k")
+	for _, model := range r.Models {
+		var cells, viol, errs int
+		var steps, time, ops, maxK int64
+		for _, pt := range r.Points {
+			if pt.Model != model {
+				continue
+			}
+			viol += pt.Violations
+			errs += pt.Errors
+			steps += pt.Steps
+			time += pt.Time
+			ops += pt.Ops
+			if pt.MaxKappa > maxK {
+				maxK = pt.MaxKappa
+			}
+			for _, c := range pt.Cells {
+				if c.Err == "" {
+					cells++
+				}
+			}
+		}
+		fmt.Fprintf(b, "%-16s %6d %6d %6d %12d %14d %14d %7d\n",
+			model, cells, viol, errs, steps, time, ops, maxK)
+	}
+}
+
+// renderFailures lists every failed cell in plan order with its
+// deterministic description — violations are the comparative payload
+// here (a model that forbids the algorithm's access pattern), other
+// errors the debugging breadcrumbs.
+func renderFailures(b *strings.Builder, r Result) {
+	any := false
+	for _, pt := range r.Points {
+		for _, c := range pt.Cells {
+			if c.Err == "" {
+				continue
+			}
+			if !any {
+				b.WriteString("\ncell failures\n")
+				any = true
+			}
+			fmt.Fprintf(b, "  %s n=%d seed=%d %s: %s\n", pt.Model, pt.Size, pt.Seed, c.Cell, c.Err)
+		}
+	}
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+func joinUints(xs []uint64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.FormatUint(x, 10)
+	}
+	return strings.Join(parts, ",")
+}

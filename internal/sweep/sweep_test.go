@@ -1,0 +1,274 @@
+package sweep
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lowcontend/internal/core"
+	"lowcontend/internal/exp/spec"
+	"lowcontend/internal/profile"
+)
+
+// dartExperiment is a miniature registry-style experiment: one
+// random-permutation cell per size, pinning QRQW like the real
+// registry cells do. Dart throwing writes contended cells, so EREW
+// overrides violate and queued-vs-free models charge differently — the
+// exact comparative surface sweeps exist to expose.
+func dartExperiment() spec.Experiment {
+	return spec.Experiment{
+		Name:         "dart",
+		DefaultSizes: []int{64, 128},
+		Cells: func(sizes []int) []spec.Cell {
+			var cells []spec.Cell
+			for _, n := range sizes {
+				cells = append(cells, spec.Cell{
+					Name: fmt.Sprintf("dart/%d", n),
+					Run: func(c *spec.Ctx) error {
+						s := c.Session(core.QRQW, 1<<12, c.Seed+uint64(n))
+						if _, err := s.RandomPermutation(n); err != nil {
+							return err
+						}
+						c.Record(spec.Measurement{Group: "dart", N: n, Stats: s.Stats()})
+						return nil
+					},
+				})
+			}
+			return cells
+		},
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	e := dartExperiment()
+
+	p, err := Normalize(e, Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Experiment != "dart" || !reflect.DeepEqual(p.Models, DefaultModels) ||
+		!reflect.DeepEqual(p.Sizes, []int{64, 128}) || !reflect.DeepEqual(p.Seeds, []uint64{1}) {
+		t.Errorf("defaults not filled: %+v", p)
+	}
+	if p.Points() != len(DefaultModels)*2 {
+		t.Errorf("Points() = %d", p.Points())
+	}
+
+	// Model names canonicalize case-insensitively and keep order (the
+	// first model is the baseline).
+	p, err = Normalize(e, Plan{Models: []string{"crcw", "qrqw"}, Sizes: []int{32}, Seeds: []uint64{9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Models, []string{"CRCW", "QRQW"}) {
+		t.Errorf("models = %v", p.Models)
+	}
+
+	for name, bad := range map[string]Plan{
+		"unknown model":   {Models: []string{"PRAM-9000"}},
+		"duplicate model": {Models: []string{"qrqw", "QRQW"}},
+		"zero size":       {Sizes: []int{0}},
+		"wrong exp":       {Experiment: "other"},
+	} {
+		if _, err := Normalize(e, bad); err == nil {
+			t.Errorf("Normalize(%s) accepted %+v", name, bad)
+		}
+	}
+
+	// Size-free experiments have no size axis to sweep.
+	free := spec.Experiment{Name: "free", Cells: func([]int) []spec.Cell { return nil }}
+	if _, err := Normalize(free, Plan{}); err == nil ||
+		!strings.Contains(err.Error(), "not size-parameterized") {
+		t.Errorf("size-free experiment accepted: %v", err)
+	}
+}
+
+func TestParseModels(t *testing.T) {
+	got, err := ParseModels("qrqw, crcw ,erew")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"QRQW", "CRCW", "EREW"}) {
+		t.Errorf("ParseModels = %v", got)
+	}
+	for _, bad := range []string{"", "qrqw,", "qrqw,bogus", "qrqw,qrqw"} {
+		if _, err := ParseModels(bad); err == nil {
+			t.Errorf("ParseModels(%q) accepted", bad)
+		}
+	}
+}
+
+func mustPlan(t *testing.T, e spec.Experiment, p Plan) Plan {
+	t.Helper()
+	np, err := Normalize(e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return np
+}
+
+// TestSweepComparativeShape pins the comparative semantics: CRCW
+// (free concurrent access) charges strictly less than QRQW (queued) on
+// a contended workload, and an EREW override records violations rather
+// than silently charging — with the surviving artifact still rendering.
+func TestSweepComparativeShape(t *testing.T) {
+	e := dartExperiment()
+	p := mustPlan(t, e, Plan{Seeds: []uint64{7}})
+	res := (&Runner{Parallel: 1}).Run(e, p)
+	if len(res.Points) != p.Points() {
+		t.Fatalf("points = %d, want %d", len(res.Points), p.Points())
+	}
+	byCoord := map[string]Point{}
+	for _, pt := range res.Points {
+		byCoord[fmt.Sprintf("%s/%d", pt.Model, pt.Size)] = pt
+	}
+	for _, n := range p.Sizes {
+		q := byCoord[fmt.Sprintf("QRQW/%d", n)]
+		c := byCoord[fmt.Sprintf("CRCW/%d", n)]
+		ew := byCoord[fmt.Sprintf("EREW/%d", n)]
+		if q.Violations+q.Errors != 0 || c.Violations+c.Errors != 0 {
+			t.Errorf("n=%d: QRQW/CRCW runs failed: %+v %+v", n, q, c)
+		}
+		if !(c.Time < q.Time) {
+			t.Errorf("n=%d: CRCW time %d, want < QRQW time %d", n, c.Time, q.Time)
+		}
+		if ew.Violations == 0 {
+			t.Errorf("n=%d: EREW run recorded no violations: %+v", n, ew)
+		}
+		if q.Steps == 0 || q.Ops == 0 || len(q.Histogram) == 0 {
+			t.Errorf("n=%d: QRQW point missing aggregates: %+v", n, q)
+		}
+		if q.MaxKappa < 2 {
+			t.Errorf("n=%d: QRQW point max kappa %d, want contention", n, q.MaxKappa)
+		}
+	}
+
+	text := RenderText(res)
+	for _, want := range []string{
+		"Sweep — dart across QRQW, CRCW, EREW",
+		"baseline: QRQW",
+		"ratio",
+		"kappa histogram",
+		"model summary",
+		"cell failures",
+		"concurrent-write violation at step",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered sweep missing %q:\n%s", want, text)
+		}
+	}
+	// The sanitized violation text never leaks the shard-dependent cell
+	// address.
+	if strings.Contains(text, "accessed cell") {
+		t.Errorf("violation text leaks the contended address:\n%s", text)
+	}
+}
+
+// TestSweepDeterministicAcrossParallelism locks the sweep determinism
+// contract: results are bit-identical and rendered artifacts
+// byte-identical at any grid parallelism, including parallelism crossed
+// with multiple seeds.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	e := dartExperiment()
+	p := mustPlan(t, e, Plan{Sizes: []int{64, 128}, Seeds: []uint64{7, 11}})
+	ref := (&Runner{Parallel: 1}).Run(e, p)
+	refText := RenderText(ref)
+	for _, par := range []int{2, 8} {
+		got := (&Runner{Parallel: par}).Run(e, p)
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("Parallel=%d sweep result differs from sequential", par)
+		}
+		if RenderText(got) != refText {
+			t.Errorf("Parallel=%d rendered sweep differs from sequential", par)
+		}
+	}
+	// plan.Parallel wins over the runner's: same bytes either way.
+	pp := p
+	pp.Parallel = 8
+	if got := (&Runner{Parallel: 1}).Run(e, pp); RenderText(got) != refText {
+		t.Error("plan-level parallelism changed the artifact")
+	}
+}
+
+// TestSweepDeterministicAcrossStepWorkers pins the subtler half of the
+// byte-identity promise: the engine's step-level worker count shards
+// contention counting differently (and the address reported in a
+// ViolationError is shard-dependent), yet the sweep's sanitized
+// failure descriptions — and everything else — must not move. n is
+// large enough that multi-worker machines actually shard their steps.
+func TestSweepDeterministicAcrossStepWorkers(t *testing.T) {
+	e := dartExperiment()
+	p := mustPlan(t, e, Plan{Models: []string{"qrqw", "erew"}, Sizes: []int{4096}, Seeds: []uint64{7}})
+	texts := make([]string, 0, 2)
+	for _, workers := range []int{1, 4} {
+		pool := core.NewSessionPool()
+		pool.Workers = workers
+		res := (&Runner{Parallel: 1, Pool: pool}).Run(e, p)
+		texts = append(texts, RenderText(res))
+		pool.Close()
+	}
+	if texts[0] != texts[1] {
+		t.Errorf("step-worker count changed the sweep artifact:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+			texts[0], texts[1])
+	}
+}
+
+// TestSweepPooledReuseAcrossModels: repeated sweeps over one shared
+// pool reuse sessions (across grid points of every model) without any
+// stat leakage — run three times, bit-identical every time.
+func TestSweepPooledReuseAcrossModels(t *testing.T) {
+	e := dartExperiment()
+	p := mustPlan(t, e, Plan{Sizes: []int{64}, Seeds: []uint64{3}})
+	pool := core.NewSessionPool()
+	defer pool.Close()
+	r := &Runner{Parallel: 2, Pool: pool}
+	ref := r.Run(e, p)
+	for range 2 {
+		if got := r.Run(e, p); !reflect.DeepEqual(ref, got) {
+			t.Fatal("pooled-session reuse changed a sweep result")
+		}
+	}
+	if st := pool.Stats(); st.Reuses == 0 {
+		t.Error("shared pool never reused a session across sweep runs")
+	}
+	// A model's sessions only ever serve that model: the pool keys on
+	// (model, memWords), so the three models' machines never alias.
+	if got := pool.Idle(); got < 2 {
+		t.Errorf("pool idle = %d, want one parked session per swept model", got)
+	}
+}
+
+// TestSweepCellHook: the hook fires balanced start/stop pairs for every
+// cell of every grid point (the daemon's in-flight gauge contract).
+func TestSweepCellHook(t *testing.T) {
+	e := dartExperiment()
+	p := mustPlan(t, e, Plan{Models: []string{"qrqw"}, Sizes: []int{64, 128}, Seeds: []uint64{1, 2}})
+	evs := make(chan bool, 64)
+	r := &Runner{Parallel: 2, CellHook: func(_ string, start bool) { evs <- start }}
+	r.Run(e, p)
+	close(evs)
+	starts, stops := 0, 0
+	for start := range evs {
+		if start {
+			starts++
+		} else {
+			stops++
+		}
+	}
+	want := p.Points() * 1 // one cell per point at a single size
+	if starts != want || stops != want {
+		t.Errorf("cell hook fired %d starts / %d stops, want %d each", starts, stops, want)
+	}
+}
+
+// TestMergeHistogram: positional accumulation with extension.
+func TestMergeHistogram(t *testing.T) {
+	a := []profile.Bucket{{Lo: 1, Hi: 1, Steps: 3}}
+	b := []profile.Bucket{{Lo: 1, Hi: 1, Steps: 2}, {Lo: 2, Hi: 2, Steps: 5}}
+	got := mergeHistogram(a, b)
+	want := []profile.Bucket{{Lo: 1, Hi: 1, Steps: 5}, {Lo: 2, Hi: 2, Steps: 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("mergeHistogram = %+v, want %+v", got, want)
+	}
+}

@@ -56,6 +56,14 @@ func TestSmokeCmdLowcontendRegistry(t *testing.T) {
 		{"check", []string{"-check", "-sizes", "16", "run", "lowerbound"}, []string{"Theorem 3.2"}},
 		{"profile", []string{"-sizes", "256", "profile", "table2"}, []string{"Profile — table2", "kappa histogram", "hot cells", "(total)"}},
 		{"profile json", []string{"-json", "-sizes", "256", "profile", "table2"}, []string{`"profiles"`, `"phases"`, `"hot_cells"`}},
+		{"model override", []string{"-model", "crcw", "-sizes", "256", "run", "table2"}, []string{"Table II"}},
+		{"results only", []string{"-json", "-results-only", "-sizes", "128", "run", "fig1"}, []string{`"results"`, `single cycle: true`}},
+		{"sweep", []string{"sweep", "table2", "-models", "qrqw,crcw", "-sizes", "256", "-seed", "5"},
+			[]string{"Sweep — table2 across QRQW, CRCW", "ratio vs QRQW", "kappa histogram", "model summary"}},
+		{"sweep json", []string{"sweep", "table2", "-models", "qrqw,crcw", "-sizes", "128", "-seeds", "5,9", "-json"},
+			[]string{`"baseline": "QRQW"`, `"points"`, `"histogram"`}},
+		{"sweep violations", []string{"sweep", "table2", "-models", "qrqw,erew", "-sizes", "256", "-seed", "5"},
+			[]string{"cell failures", "violation at step"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

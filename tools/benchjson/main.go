@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a stable JSON document (written to stdout) for the CI
+// benchmark-baseline artifact. It keeps the exact benchstat-comparable
+// benchmark names (including the -GOMAXPROCS suffix), the iteration
+// counts, ns/op, and every custom metric the benchmarks report
+// (time-units/op, pram-ops/op, max-contention, allocs, ...), so a
+// future regression gate can diff two of these documents — or replay
+// them through benchstat via the retained raw lines — without
+// reparsing free-form logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 3x -count 3 . | go run ./tools/benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one measured benchmark line. Repeated -count runs of one
+// benchmark produce repeated entries, exactly as benchstat expects.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Raw        string             `json:"raw"`
+}
+
+// Doc is the whole converted run: the benchmark environment header
+// lines go test prints (goos, goarch, pkg, cpu) plus every benchmark.
+type Doc struct {
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (Doc, error) {
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	doc := Doc{Env: map[string]string{}}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBench(line)
+			if err != nil {
+				return doc, err
+			}
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		default:
+			// Environment headers have the form "key: value"; anything
+			// else (PASS, ok, test logs) is noise.
+			if k, v, ok := strings.Cut(line, ": "); ok && !strings.Contains(k, " ") {
+				switch k {
+				case "goos", "goarch", "pkg", "cpu":
+					doc.Env[k] = strings.TrimSpace(v)
+				}
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBench parses one result line:
+//
+//	BenchmarkName-8   3   123456 ns/op   17 max-contention   42 pram-ops/op
+//
+// i.e. a name, an iteration count, then (value, unit) pairs.
+func parseBench(line string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, fmt.Errorf("short benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad iteration count in %q: %v", line, err)
+	}
+	b := Benchmark{Name: f[0], Iterations: iters, Raw: line, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bad metric value in %q: %v", line, err)
+		}
+		if unit := f[i+1]; unit == "ns/op" {
+			b.NsPerOp = val
+		} else {
+			b.Metrics[unit] = val
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, nil
+}

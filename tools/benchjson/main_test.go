@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	const input = `goos: linux
+goarch: amd64
+pkg: lowcontend
+cpu: Example CPU @ 2.00GHz
+BenchmarkExperiments/table2/dart-throwing_for_QRQW/16384-4         	       3	  28312345 ns/op	         5.0 max-contention	    392352 pram-ops/op	       633 time-units/op
+BenchmarkTraceOverhead/untraced-4 	       3	   6700000 ns/op
+PASS
+ok  	lowcontend	12.3s
+`
+	doc, err := parse(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Env["goos"] != "linux" || doc.Env["cpu"] != "Example CPU @ 2.00GHz" {
+		t.Errorf("env = %v", doc.Env)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkExperiments/table2/dart-throwing_for_QRQW/16384-4" {
+		t.Errorf("name = %q", b.Name)
+	}
+	if b.Iterations != 3 || b.NsPerOp != 28312345 {
+		t.Errorf("iterations/ns = %d/%v", b.Iterations, b.NsPerOp)
+	}
+	if b.Metrics["time-units/op"] != 633 || b.Metrics["max-contention"] != 5.0 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+	if doc.Benchmarks[1].Metrics != nil {
+		t.Errorf("metric-free benchmark should carry no metrics map: %v", doc.Benchmarks[1].Metrics)
+	}
+
+	if _, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkBad-4 notanumber 5 ns/op\n"))); err == nil {
+		t.Error("malformed iteration count accepted")
+	}
+}
