@@ -176,43 +176,62 @@ func linearCompactImpl(m *machine.Machine, flags, vals, n, k int, pos int) (Resu
 	// Step 4: rank occupied cells within each staging segment by a
 	// depth-2f tree (segment-local exclusive prefix counts). Leaves are
 	// the occupancy indicators.
-	if err := m.ParDoL(stageLen, "lincompact/rank-load", func(c *machine.Ctx, i int) {
-		if c.Read(stage+i) != 0 {
-			c.Write(rankTree+stageLen+i, 1)
-		} else {
-			c.Write(rankTree+stageLen+i, 0)
+	{
+		b := m.Bulk(stageLen, "lincompact/rank-load")
+		sv := b.ReadRange(stage, stageLen, 1, 0, 1)
+		iw := b.Vals(stageLen)
+		for i, v := range sv {
+			if v != 0 {
+				iw[i] = 1
+			} else {
+				iw[i] = 0
+			}
 		}
-	}); err != nil {
-		return Result{}, err
+		b.WriteRange(rankTree+stageLen, stageLen, 1, 0, 1, iw)
+		if err := b.Commit(); err != nil {
+			return Result{}, err
+		}
 	}
-	// Up-sweep restricted to segment subtrees: 2f levels.
+	// Up-sweep restricted to segment subtrees: 2f levels. Children of
+	// level width occupy the contiguous block [2*width, 4*width), so a
+	// two-cells-per-processor descriptor covers each round.
 	levels := prim.CeilLog2(segSize)
 	for l := 1; l <= levels; l++ {
 		width := stageLen >> uint(l)
-		if err := m.ParDoL(width, "lincompact/rank-up", func(c *machine.Ctx, i int) {
-			v := width + i
-			c.Write(rankTree+v, c.Read(rankTree+2*v)+c.Read(rankTree+2*v+1))
-		}); err != nil {
+		b := m.Bulk(width, "lincompact/rank-up")
+		ch := b.ReadRange(rankTree+2*width, 2*width, 1, 0, 2)
+		sums := b.Vals(width)
+		for i := 0; i < width; i++ {
+			sums[i] = ch[2*i] + ch[2*i+1]
+		}
+		b.WriteRange(rankTree+width, width, 1, 0, 1, sums)
+		if err := b.Commit(); err != nil {
 			return Result{}, err
 		}
 	}
 	// Down-sweep from segment roots: node value becomes the count of
 	// occupied leaves strictly left of the node within its segment.
 	rootWidth := stageLen >> uint(levels)
-	if err := m.ParDoL(rootWidth, "lincompact/rank-roots", func(c *machine.Ctx, i int) {
-		c.Write(rankTree+rootWidth+i, 0)
-	}); err != nil {
-		return Result{}, err
+	{
+		b := m.Bulk(rootWidth, "lincompact/rank-roots")
+		b.FillRange(rankTree+rootWidth, rootWidth, 1, 0, 1, 0)
+		if err := b.Commit(); err != nil {
+			return Result{}, err
+		}
 	}
 	for l := levels - 1; l >= 0; l-- {
 		width := stageLen >> uint(l)
-		if err := m.ParDoL(width/2, "lincompact/rank-down", func(c *machine.Ctx, i int) {
-			parent := width/2 + i
-			pre := c.Read(rankTree + parent)
-			leftSum := c.Read(rankTree + 2*parent)
-			c.Write(rankTree+2*parent, pre)
-			c.Write(rankTree+2*parent+1, pre+leftSum)
-		}); err != nil {
+		half := width / 2
+		b := m.Bulk(half, "lincompact/rank-down")
+		pre := b.ReadRange(rankTree+half, half, 1, 0, 1)
+		left := b.ReadRange(rankTree+width, half, 2, 0, 1)
+		out := b.Vals(width)
+		for i := 0; i < half; i++ {
+			out[2*i] = pre[i]
+			out[2*i+1] = pre[i] + left[i]
+		}
+		b.WriteRange(rankTree+width, width, 1, 0, 2, out)
+		if err := b.Commit(); err != nil {
 			return Result{}, err
 		}
 	}
@@ -220,28 +239,86 @@ func linearCompactImpl(m *machine.Machine, flags, vals, n, k int, pos int) (Resu
 	// Step 5: each placed item reads its in-segment rank and moves to
 	// its private output cell; overflow or unplaced items (w.h.p. none)
 	// raise a flag for the sequential cleanup.
+	// Step 5 as descriptors. Processor groups are laid out placed |
+	// overflow | unplaced | non-item so that every class's descriptors
+	// cover a contiguous processor span and the per-processor operation
+	// multiset matches the element-wise loop exactly (6/5/3/1 ops).
 	needCleanup := m.Alloc(1)
-	if err := m.ParDoL(n, "lincompact/place", func(c *machine.Ctx, i int) {
-		if c.Read(flags+i) == 0 {
-			return
+	{
+		b := m.Bulk(n, "lincompact/place")
+		fv := b.ReadRange(flags, n, 1, 0, 1)
+		slotIdx := make([]int, 0, k)
+		items := make([]int, 0, k)
+		for i, f := range fv {
+			if f != 0 {
+				slotIdx = append(slotIdx, slot+i)
+				items = append(items, i)
+			}
 		}
-		s := int(c.Read(slot + i))
-		if s < 0 {
-			c.Write(needCleanup, 1)
-			return
+		var sv []machine.Word
+		if len(slotIdx) > 0 {
+			sv = b.Gather(slotIdx, 0, 1)
 		}
-		rank := int(c.Read(rankTree + stageLen + s))
-		seg := s / segSize
-		if rank >= blockSize {
-			c.Write(needCleanup, 1)
-			c.Write(slot+i, -1)
-			return
+		var placedI, overflowI, unplacedI []int
+		var placedP []int
+		for t, i := range items {
+			s := int(sv[t])
+			if s < 0 {
+				unplacedI = append(unplacedI, i)
+				continue
+			}
+			rank := int(m.Word(rankTree + stageLen + s))
+			if rank >= blockSize {
+				overflowI = append(overflowI, i)
+				continue
+			}
+			placedI = append(placedI, i)
+			placedP = append(placedP, (s/segSize)*blockSize+rank)
 		}
-		p := seg*blockSize + rank
-		c.Write(out+p, c.Read(vals+i))
-		c.Write(pos+i, machine.Word(p))
-	}); err != nil {
-		return Result{}, err
+		nPl, nOv := len(placedI), len(overflowI)
+		// Rank reads: every item whose slot is >= 0, i.e. the placed and
+		// overflow groups. The cells are distinct (each staging cell has a
+		// unique winner), so any processor assignment yields the same
+		// per-cell contention; the values were read host-side above.
+		rankIdx := make([]int, 0, nPl+nOv)
+		for t := range items {
+			if s := int(sv[t]); s >= 0 {
+				rankIdx = append(rankIdx, rankTree+stageLen+s)
+			}
+		}
+		if len(rankIdx) > 0 {
+			b.Gather(rankIdx, 0, 1)
+		}
+		if nPl > 0 {
+			valIdx := make([]int, nPl)
+			outIdx := make([]int, nPl)
+			posIdx := make([]int, nPl)
+			pw := b.Vals(nPl)
+			for t, i := range placedI {
+				valIdx[t] = vals + i
+				outIdx[t] = out + placedP[t]
+				posIdx[t] = pos + i
+				pw[t] = machine.Word(placedP[t])
+			}
+			ov := b.Gather(valIdx, 0, 1)
+			b.Scatter(outIdx, 0, 1, ov)
+			b.Scatter(posIdx, 0, 1, pw)
+		}
+		if u := len(unplacedI) + nOv; u > 0 {
+			b.FillRange(needCleanup, u, 0, nPl, 1, 1)
+		}
+		if nOv > 0 {
+			ovIdx := make([]int, nOv)
+			mv := b.Vals(nOv)
+			for t, i := range overflowI {
+				ovIdx[t] = slot + i
+				mv[t] = -1
+			}
+			b.Scatter(ovIdx, nPl, 1, mv)
+		}
+		if err := b.Commit(); err != nil {
+			return Result{}, err
+		}
 	}
 
 	placed := k
@@ -300,17 +377,25 @@ func Compact(m *machine.Machine, flags, vals, n, k int) (int, error) {
 	}
 	mark := m.Mark()
 	occ := m.Alloc(res.OutLen)
-	if err := m.ParDoL(prim.Max(res.OutLen, 1), "compact/occ", func(c *machine.Ctx, i int) {
-		if res.OutLen == 0 {
-			return
+	if res.OutLen == 0 {
+		if err := m.ParDoL(1, "compact/occ", func(c *machine.Ctx, i int) {}); err != nil {
+			return 0, err
 		}
-		if c.Read(res.Out+i) != Empty {
-			c.Write(occ+i, 1)
-		} else {
-			c.Write(occ+i, 0)
+	} else {
+		b := m.Bulk(res.OutLen, "compact/occ")
+		ov := b.ReadRange(res.Out, res.OutLen, 1, 0, 1)
+		iw := b.Vals(res.OutLen)
+		for i, v := range ov {
+			if v != Empty {
+				iw[i] = 1
+			} else {
+				iw[i] = 0
+			}
 		}
-	}); err != nil {
-		return 0, err
+		b.WriteRange(occ, res.OutLen, 1, 0, 1, iw)
+		if err := b.Commit(); err != nil {
+			return 0, err
+		}
 	}
 	packed := m.Alloc(prim.Max(k, 1))
 	if _, err := prim.Pack(m, occ, res.Out, packed, res.OutLen); err != nil {

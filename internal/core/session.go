@@ -40,6 +40,10 @@ func (s *Session) Stats() machine.Stats { return s.m.Stats() }
 // Err returns the first model violation encountered, or nil.
 func (s *Session) Err() error { return s.m.Err() }
 
+// BulkStats reports how many bulk access descriptors the machine
+// recorded and how many of them expanded to element granularity.
+func (s *Session) BulkStats() (descriptors, expanded int64) { return s.m.BulkStats() }
+
 // Reset returns the session to a pristine state — memory zeroed,
 // allocations released, stats cleared — while keeping every backing
 // array allocated, so a session can be reused across algorithm runs

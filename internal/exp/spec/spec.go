@@ -115,7 +115,13 @@ type CellResult struct {
 	Index        int
 	Measurements []Measurement
 	Profiles     []*profile.Profile
-	Err          error
+	// BulkDescriptors counts the bulk access descriptors recorded by
+	// the cell's sessions, and BulkExpanded how many of them settled by
+	// element expansion instead of analytically; their difference over
+	// BulkDescriptors is the descriptor hit rate.
+	BulkDescriptors int64
+	BulkExpanded    int64
+	Err             error
 }
 
 // MarshalJSON renders the result with the error (if any) as a string.
@@ -125,12 +131,14 @@ func (r CellResult) MarshalJSON() ([]byte, error) {
 		errText = r.Err.Error()
 	}
 	return json.Marshal(struct {
-		Cell         string             `json:"cell"`
-		Index        int                `json:"index"`
-		Measurements []Measurement      `json:"measurements,omitempty"`
-		Profiles     []*profile.Profile `json:"profiles,omitempty"`
-		Error        string             `json:"error,omitempty"`
-	}{r.Cell, r.Index, r.Measurements, r.Profiles, errText})
+		Cell            string             `json:"cell"`
+		Index           int                `json:"index"`
+		Measurements    []Measurement      `json:"measurements,omitempty"`
+		Profiles        []*profile.Profile `json:"profiles,omitempty"`
+		BulkDescriptors int64              `json:"bulk_descriptors,omitempty"`
+		BulkExpanded    int64              `json:"expanded_descriptors,omitempty"`
+		Error           string             `json:"error,omitempty"`
+	}{r.Cell, r.Index, r.Measurements, r.Profiles, r.BulkDescriptors, r.BulkExpanded, errText})
 }
 
 // Result is one experiment run: per-cell results in declaration order.
@@ -294,6 +302,9 @@ func (r *Runner) runCell(pool *core.SessionPool, c Cell, index int, seed uint64)
 				out.Profiles = append(out.Profiles,
 					profile.FromTrace(s.Model().String(), s.StepTraces(), max(hotK, 1)))
 			}
+			d, x := s.BulkStats()
+			out.BulkDescriptors += d
+			out.BulkExpanded += x
 			pool.Release(s)
 		}
 		out.Measurements = ctx.meas

@@ -151,11 +151,20 @@ func Build(m *machine.Machine, keys, n int) (*Table, error) {
 	}
 	// Rewrite the bucket subarrays to hold keys rather than item ids.
 	bkeys := m.Alloc(in.BLen)
-	if err := m.ParDoL(n, "hash/bucketkeys", func(c *machine.Ctx, i int) {
-		p := int(c.Read(res.Pos + i))
-		c.Write(bkeys+p, c.Read(keys+i)+1)
-	}); err != nil {
-		return nil, err
+	{
+		b := m.Bulk(n, "hash/bucketkeys")
+		pv := b.ReadRange(res.Pos, n, 1, 0, 1)
+		kv := b.ReadRange(keys, n, 1, 0, 1)
+		wIdx := make([]int, n)
+		wv := b.Vals(n)
+		for i := 0; i < n; i++ {
+			wIdx[i] = bkeys + int(pv[i])
+			wv[i] = kv[i] + 1
+		}
+		b.Scatter(wIdx, 0, 1, wv)
+		if err := b.Commit(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Oblivious allocation iterations.
@@ -167,12 +176,25 @@ func Build(m *machine.Machine, keys, n int) (*Table, error) {
 		return nil, err
 	}
 	// Empty buckets are trivially done (sentinel -2; lookups miss).
-	if err := m.ParDoL(n, "hash/empties", func(c *machine.Ctx, j int) {
-		if c.Read(in.Counts+j) == 0 {
-			c.Write(t.blockAddr+j, -2)
+	{
+		b := m.Bulk(n, "hash/empties")
+		cv := b.ReadRange(in.Counts, n, 1, 0, 1)
+		var eIdx []int
+		for j, v := range cv {
+			if v == 0 {
+				eIdx = append(eIdx, t.blockAddr+j)
+			}
 		}
-	}); err != nil {
-		return nil, err
+		if len(eIdx) > 0 {
+			ev := b.Vals(len(eIdx))
+			for j := range ev {
+				ev[j] = -2
+			}
+			b.Scatter(eIdx, 0, 1, ev)
+		}
+		if err := b.Commit(); err != nil {
+			return nil, err
+		}
 	}
 	// Allocation iterations: block size x_t = 8*2^t grows geometrically
 	// (a bucket of size b becomes eligible once x_t >= 2b^2, the FKS
@@ -197,13 +219,18 @@ func Build(m *machine.Machine, keys, n int) (*Table, error) {
 		// (the claim region sits after the arena, so only release it).
 		_ = itMark
 		if it%3 == 2 || it == maxIt-1 {
-			if err := m.ParDoL(n, "hash/unplaced", func(c *machine.Ctx, j int) {
-				if c.Read(t.blockAddr+j) == -1 {
-					c.Write(ind+j, 1)
+			b := m.Bulk(n, "hash/unplaced")
+			bv := b.ReadRange(t.blockAddr, n, 1, 0, 1)
+			iw := b.Vals(n)
+			for j, v := range bv {
+				if v == -1 {
+					iw[j] = 1
 				} else {
-					c.Write(ind+j, 0)
+					iw[j] = 0
 				}
-			}); err != nil {
+			}
+			b.WriteRange(ind, n, 1, 0, 1, iw)
+			if err := b.Commit(); err != nil {
 				return nil, err
 			}
 			left, err := prim.Reduce(m, ind, n, orOut)
@@ -318,23 +345,50 @@ func linHash(a, b, x, s machine.Word) machine.Word {
 func (t *Table) evalInto(keys, dst, cnt int) error {
 	m := t.m
 	fLen, gLen := t.d1+1, t.d2+1
-	return m.ParDoL(cnt, "hash/eval", func(c *machine.Ctx, i int) {
-		x := c.Read(keys + i)
-		copyIdx := i % t.n
-		fc := make([]machine.Word, fLen)
-		for j := 0; j < fLen; j++ {
-			fc[j] = c.Read(t.fBase + copyIdx*fLen + j)
-		}
-		gc := make([]machine.Word, gLen)
-		for j := 0; j < gLen; j++ {
-			gc[j] = c.Read(t.gBase + copyIdx*gLen + j)
-		}
-		c.Compute(fLen + gLen)
-		fx := polyEval(fc, x, machine.Word(t.k))
-		gx := polyEval(gc, x, machine.Word(t.n))
-		aj := c.Read(t.aBase + int(fx)*t.aCopies + c.Rand().Intn(t.aCopies))
-		c.Write(dst+i, (gx+aj)%machine.Word(t.n))
-	})
+	if cnt != t.n {
+		// Uncommon shape (copy index wraps): keep the element-wise form.
+		return m.ParDoL(cnt, "hash/eval", func(c *machine.Ctx, i int) {
+			x := c.Read(keys + i)
+			copyIdx := i % t.n
+			fc := make([]machine.Word, fLen)
+			for j := 0; j < fLen; j++ {
+				fc[j] = c.Read(t.fBase + copyIdx*fLen + j)
+			}
+			gc := make([]machine.Word, gLen)
+			for j := 0; j < gLen; j++ {
+				gc[j] = c.Read(t.gBase + copyIdx*gLen + j)
+			}
+			c.Compute(fLen + gLen)
+			fx := polyEval(fc, x, machine.Word(t.k))
+			gx := polyEval(gc, x, machine.Word(t.n))
+			aj := c.Read(t.aBase + int(fx)*t.aCopies + c.Rand().Intn(t.aCopies))
+			c.Write(dst+i, (gx+aj)%machine.Word(t.n))
+		})
+	}
+	// Processor i reads exactly the i-th parameter copies, so the f and g
+	// reads are contiguous fLen- and gLen-cells-per-processor range
+	// descriptors; only the a-copy read is a genuinely random gather (its
+	// contention is the quantity Lemma 6.4 bounds).
+	b := m.Bulk(cnt, "hash/eval")
+	kv := b.ReadRange(keys, cnt, 1, 0, 1)
+	fv := b.ReadRange(t.fBase, cnt*fLen, 1, 0, fLen)
+	gv := b.ReadRange(t.gBase, cnt*gLen, 1, 0, gLen)
+	b.Compute(0, cnt, int64(fLen+gLen))
+	aIdx := make([]int, cnt)
+	gxv := make([]machine.Word, cnt)
+	for i := 0; i < cnt; i++ {
+		fx := polyEval(fv[i*fLen:(i+1)*fLen], kv[i], machine.Word(t.k))
+		gxv[i] = polyEval(gv[i*gLen:(i+1)*gLen], kv[i], machine.Word(t.n))
+		rs := b.Rand(i)
+		aIdx[i] = t.aBase + int(fx)*t.aCopies + rs.Intn(t.aCopies)
+	}
+	av := b.Gather(aIdx, 0, 1)
+	dv := b.Vals(cnt)
+	for i := range dv {
+		dv[i] = (gxv[i] + av[i]) % machine.Word(t.n)
+	}
+	b.WriteRange(dst, cnt, 1, 0, 1, dv)
+	return b.Commit()
 }
 
 // Lookup answers cnt membership queries stored at base queries, writing
@@ -348,24 +402,68 @@ func (tb *Table) Lookup(queries, out, cnt int) error {
 	if err := tb.evalInto(queries, lbl, cnt); err != nil {
 		return err
 	}
-	return m.ParDoL(cnt, "hash/lookup", func(c *machine.Ctx, i int) {
-		x := c.Read(queries + i)
-		j := int(c.Read(lbl + i))
-		addr := c.Read(tb.blockAddr + j)
-		if addr < 0 {
-			c.Write(out+i, 0)
-			return
-		}
-		a := c.Read(tb.hashA + j)
-		b := c.Read(tb.hashB + j)
-		size := c.Read(tb.blockSize + j)
-		pos := int(linHash(a, b, x, size))
-		if c.Read(int(addr)+pos) == x+1 {
-			c.Write(out+i, 1)
+	// Queries whose bucket has a block (8 ops) are relabeled to a leading
+	// processor span, the empty-bucket misses (4 ops) to the span after
+	// it; descriptor order within each class follows the scalar body.
+	bk := m.Bulk(cnt, "hash/lookup")
+	var hitI, missI []int
+	for i := 0; i < cnt; i++ {
+		j := int(m.Word(lbl + i))
+		if m.Word(tb.blockAddr+j) < 0 {
+			missI = append(missI, i)
 		} else {
-			c.Write(out+i, 0)
+			hitI = append(hitI, i)
 		}
-	})
+	}
+	at := func(base int, is []int) []int {
+		o := make([]int, len(is))
+		for t, i := range is {
+			o[t] = base + i
+		}
+		return o
+	}
+	nH := len(hitI)
+	if nH > 0 {
+		qv := bk.Gather(at(queries, hitI), 0, 1)
+		lv := bk.Gather(at(lbl, hitI), 0, 1)
+		jIdx := make([]int, nH)
+		for t, v := range lv {
+			jIdx[t] = int(v)
+		}
+		addr := bk.Gather(at(tb.blockAddr, jIdx), 0, 1)
+		av := bk.Gather(at(tb.hashA, jIdx), 0, 1)
+		bv := bk.Gather(at(tb.hashB, jIdx), 0, 1)
+		sz := bk.Gather(at(tb.blockSize, jIdx), 0, 1)
+		cellIdx := make([]int, nH)
+		for t := 0; t < nH; t++ {
+			cellIdx[t] = int(addr[t]) + int(linHash(av[t], bv[t], qv[t], sz[t]))
+		}
+		cv := bk.Gather(cellIdx, 0, 1)
+		ov := bk.Vals(nH)
+		for t := 0; t < nH; t++ {
+			if cv[t] == qv[t]+1 {
+				ov[t] = 1
+			} else {
+				ov[t] = 0
+			}
+		}
+		bk.Scatter(at(out, hitI), 0, 1, ov)
+	}
+	if nM := len(missI); nM > 0 {
+		bk.Gather(at(queries, missI), nH, 1)
+		mlv := bk.Gather(at(lbl, missI), nH, 1)
+		mjIdx := make([]int, nM)
+		for t, v := range mlv {
+			mjIdx[t] = int(v)
+		}
+		bk.Gather(at(tb.blockAddr, mjIdx), nH, 1)
+		zv := bk.Vals(nM)
+		for t := range zv {
+			zv[t] = 0
+		}
+		bk.Scatter(at(out, missI), nH, 1, zv)
+	}
+	return bk.Commit()
 }
 
 // duplicateRows replicates the row of `width` words at base into n rows
@@ -374,10 +472,10 @@ func duplicateRows(m *machine.Machine, base, width, n int) error {
 	for have := 1; have < n; have *= 2 {
 		cnt := prim.Min(have, n-have)
 		off := have
-		if err := m.ParDoL(cnt*width, "hash/dup", func(c *machine.Ctx, i int) {
-			row, col := i/width, i%width
-			c.Write(base+(off+row)*width+col, c.Read(base+row*width+col))
-		}); err != nil {
+		b := m.Bulk(cnt*width, "hash/dup")
+		b.WriteRange(base+off*width, cnt*width, 1, 0, 1,
+			b.ReadRange(base, cnt*width, 1, 0, 1))
+		if err := b.Commit(); err != nil {
 			return err
 		}
 	}
@@ -391,10 +489,13 @@ func duplicateEach(m *machine.Machine, base, k, copies int) error {
 	for have := 1; have < copies; have *= 2 {
 		cnt := prim.Min(have, copies-have)
 		off := have
-		if err := m.ParDoL(k*cnt, "hash/dupa", func(c *machine.Ctx, i int) {
-			grp, idx := i/cnt, i%cnt
-			c.Write(base+grp*copies+off+idx, c.Read(base+grp*copies+idx))
-		}); err != nil {
+		// One read+write descriptor pair per group (k is small, n^(3/7)).
+		b := m.Bulk(k*cnt, "hash/dupa")
+		for grp := 0; grp < k; grp++ {
+			b.WriteRange(base+grp*copies+off, cnt, 1, grp*cnt, 1,
+				b.ReadRange(base+grp*copies, cnt, 1, grp*cnt, 1))
+		}
+		if err := b.Commit(); err != nil {
 			return err
 		}
 	}
@@ -434,24 +535,43 @@ func EREWMembership(m *machine.Machine, keys, nKeys, queries, out, nQ int) error
 	defer m.Release(mark)
 	sk := m.Alloc(total)
 	tag := m.Alloc(total) // -1 for a key, query index for a query
-	if err := m.ParDoL(total, "erewmember/load", func(c *machine.Ctx, i int) {
-		if i < nKeys {
-			c.Write(sk+i, c.Read(keys+i))
-			c.Write(tag+i, -1)
-		} else {
-			c.Write(sk+i, c.Read(queries+i-nKeys))
-			c.Write(tag+i, machine.Word(i-nKeys))
+	{
+		b := m.Bulk(total, "erewmember/load")
+		if nKeys > 0 {
+			b.WriteRange(sk, nKeys, 1, 0, 1, b.ReadRange(keys, nKeys, 1, 0, 1))
+			tv := b.Vals(nKeys)
+			for i := range tv {
+				tv[i] = -1
+			}
+			b.WriteRange(tag, nKeys, 1, 0, 1, tv)
 		}
-	}); err != nil {
-		return err
+		if nQ > 0 {
+			b.WriteRange(sk+nKeys, nQ, 1, nKeys, 1, b.ReadRange(queries, nQ, 1, nKeys, 1))
+			qt := b.Vals(nQ)
+			for i := range qt {
+				qt[i] = machine.Word(i)
+			}
+			b.WriteRange(tag+nKeys, nQ, 1, nKeys, 1, qt)
+		}
+		if err := b.Commit(); err != nil {
+			return err
+		}
 	}
 	// Sort by (key, tag): keys sort before equal-valued queries because
 	// tag -1 < query indexes; encode as composite to keep one key array.
 	comp := m.Alloc(total)
-	if err := m.ParDoL(total, "erewmember/comp", func(c *machine.Ctx, i int) {
-		c.Write(comp+i, c.Read(sk+i)*machine.Word(2*total)+c.Read(tag+i)+1)
-	}); err != nil {
-		return err
+	{
+		b := m.Bulk(total, "erewmember/comp")
+		sv := b.ReadRange(sk, total, 1, 0, 1)
+		tv := b.ReadRange(tag, total, 1, 0, 1)
+		cv := b.Vals(total)
+		for i := range cv {
+			cv[i] = sv[i]*machine.Word(2*total) + tv[i] + 1
+		}
+		b.WriteRange(comp, total, 1, 0, 1, cv)
+		if err := b.Commit(); err != nil {
+			return err
+		}
 	}
 	if err := prim.BitonicSortPadded(m, comp, tag, total); err != nil {
 		return err
@@ -461,47 +581,109 @@ func EREWMembership(m *machine.Machine, keys, nKeys, queries, out, nQ int) error
 	// matches iff some cell q <= p holds a key (tag -1) with the same
 	// key value. Keys sort immediately before their equal queries, so a
 	// doubling fill of "last key value seen" suffices.
-	lastKey := m.Alloc(total)
-	if err := m.ParDoL(total, "erewmember/seed", func(c *machine.Ctx, i int) {
-		if c.Read(tag+i) < 0 {
-			c.Write(lastKey+i, c.Read(comp+i)/machine.Word(2*total))
-		} else {
-			c.Write(lastKey+i, -1)
+	at := func(base, delta int, is []int) []int {
+		o := make([]int, len(is))
+		for t, i := range is {
+			o[t] = base + i - delta
 		}
-	}); err != nil {
-		return err
+		return o
+	}
+	lastKey := m.Alloc(total)
+	{
+		// Key positions (3 ops) relabel to a leading processor span,
+		// query positions (2 ops) follow.
+		b := m.Bulk(total, "erewmember/seed")
+		tv := b.ReadRange(tag, total, 1, 0, 1)
+		var keyP, qryP []int
+		for i, v := range tv {
+			if v < 0 {
+				keyP = append(keyP, i)
+			} else {
+				qryP = append(qryP, i)
+			}
+		}
+		nK := len(keyP)
+		if nK > 0 {
+			cvv := b.Gather(at(comp, 0, keyP), 0, 1)
+			lv := b.Vals(nK)
+			for t := range lv {
+				lv[t] = cvv[t] / machine.Word(2*total)
+			}
+			b.Scatter(at(lastKey, 0, keyP), 0, 1, lv)
+		}
+		if len(qryP) > 0 {
+			mv := b.Vals(len(qryP))
+			for t := range mv {
+				mv[t] = -1
+			}
+			b.Scatter(at(lastKey, 0, qryP), nK, 1, mv)
+		}
+		if err := b.Commit(); err != nil {
+			return err
+		}
 	}
 	shadow := m.Alloc(total)
 	for d := 1; d < total; d *= 2 {
-		dd := d
-		if err := m.ParDoL(total, "erewmember/pub", func(c *machine.Ctx, i int) {
-			c.Write(shadow+i, c.Read(lastKey+i))
-		}); err != nil {
-			return err
+		{
+			b := m.Bulk(total, "erewmember/pub")
+			b.WriteRange(shadow, total, 1, 0, 1, b.ReadRange(lastKey, total, 1, 0, 1))
+			if err := b.Commit(); err != nil {
+				return err
+			}
 		}
-		if err := m.ParDoL(total, "erewmember/fill", func(c *machine.Ctx, i int) {
-			if i-dd < 0 {
-				return
+		// Updating cells (4 ops) first, condition-only cells (2 ops) next.
+		b := m.Bulk(total, "erewmember/fill")
+		var updJ, actJ []int
+		for i := d; i < total; i++ {
+			if m.Word(shadow+i-d) > m.Word(lastKey+i) {
+				updJ = append(updJ, i)
+			} else {
+				actJ = append(actJ, i)
 			}
-			if c.Read(shadow+i-dd) > c.Read(lastKey+i) {
-				c.Write(lastKey+i, c.Read(shadow+i-dd))
-			}
-		}); err != nil {
+		}
+		nU := len(updJ)
+		if nU > 0 {
+			sK := at(shadow, d, updJ)
+			lJ := at(lastKey, 0, updJ)
+			sv := b.Gather(sK, 0, 1) // condition read of shadow+k
+			b.Gather(lJ, 0, 1)       // condition read of lastKey+i
+			b.Gather(sK, 0, 1)       // value read (scalar reads it again)
+			b.Scatter(lJ, 0, 1, sv)
+		}
+		if len(actJ) > 0 {
+			b.Gather(at(shadow, d, actJ), nU, 1)
+			b.Gather(at(lastKey, 0, actJ), nU, 1)
+		}
+		if err := b.Commit(); err != nil {
 			return err
 		}
 	}
-	return m.ParDoL(total, "erewmember/emit", func(c *machine.Ctx, i int) {
-		tg := c.Read(tag + i)
-		if tg < 0 {
-			return
+	// Emit: query positions (4 ops) relabel to a leading span; key
+	// positions only read their tag.
+	b := m.Bulk(total, "erewmember/emit")
+	tv := b.ReadRange(tag, total, 1, 0, 1)
+	var qP []int
+	for i, v := range tv {
+		if v >= 0 {
+			qP = append(qP, i)
 		}
-		kv := c.Read(comp+i) / machine.Word(2*total)
-		if c.Read(lastKey+i) == kv {
-			c.Write(out+int(tg), 1)
-		} else {
-			c.Write(out+int(tg), 0)
+	}
+	if t := len(qP); t > 0 {
+		cvv := b.Gather(at(comp, 0, qP), 0, 1)
+		lvv := b.Gather(at(lastKey, 0, qP), 0, 1)
+		oIdx := make([]int, t)
+		ov := b.Vals(t)
+		for s, i := range qP {
+			oIdx[s] = out + int(tv[i])
+			if lvv[s] == cvv[s]/machine.Word(2*total) {
+				ov[s] = 1
+			} else {
+				ov[s] = 0
+			}
 		}
-	})
+		b.Scatter(oIdx, 0, 1, ov)
+	}
+	return b.Commit()
 }
 
 var _ = fmt.Sprintf // reserved for richer error contexts

@@ -207,13 +207,29 @@ func (b *Balancer) stage(u, wmax int) (int, error) {
 
 	flags := m.Alloc(n)
 	ids := m.Alloc(n)
-	if err := m.ParDoL(n, "lb/flag", func(c *machine.Ctx, i int) {
-		if c.Read(b.loadv+i) >= machine.Word(2*u) {
-			c.Write(flags+i, 1)
-			c.Write(ids+i, machine.Word(i))
+	{
+		bk := m.Bulk(n, "lb/flag")
+		lv := bk.ReadRange(b.loadv, n, 1, 0, 1)
+		var fIdx, iIdx []int
+		var ivals []machine.Word
+		for i, v := range lv {
+			if v >= machine.Word(2*u) {
+				fIdx = append(fIdx, flags+i)
+				iIdx = append(iIdx, ids+i)
+				ivals = append(ivals, machine.Word(i))
+			}
 		}
-	}); err != nil {
-		return 0, err
+		if t := len(fIdx); t > 0 {
+			ones := bk.Vals(t)
+			for j := range ones {
+				ones[j] = 1
+			}
+			bk.Scatter(fIdx, 0, 1, ones)
+			bk.Scatter(iIdx, 0, 1, ivals)
+		}
+		if err := bk.Commit(); err != nil {
+			return 0, err
+		}
 	}
 
 	res, err := compact.LinearCompact(m, flags, ids, n, kHat)
@@ -272,19 +288,53 @@ func (b *Balancer) stage(u, wmax int) (int, error) {
 	// anchor's descriptor rightward through its team, lg s rounds of
 	// constant contention (this replaces the concurrent read of the
 	// owner's descriptor).
+	// Each round is one descriptor step: the updating slots (condition
+	// true, 8 ops) are relabeled to a leading processor span and the
+	// merely-checking slots (2 ops) to the span after it, so every
+	// descriptor covers a contiguous processor range and the per-processor
+	// operation multiset matches the element-wise loop. Descriptor commit
+	// order reproduces the scalar body's per-processor op order.
 	for d := 1; d < s; d *= 2 {
-		dd := d
-		if err := m.ParDoL(slots, "lb/scan", func(c *machine.Ctx, j int) {
-			k := j - dd
-			if k < 0 || k/s != j/s {
-				return
+		bk := m.Bulk(slots, "lb/scan")
+		var updJ, updK, actJ, actK []int
+		for j := d; j < slots; j++ {
+			k := j - d
+			if k/s != j/s {
+				continue
 			}
-			if c.Read(aanch+k) > c.Read(aanch+j) {
-				c.Write(aanch+j, c.Read(aanch+k))
-				c.Write(aptr+j, c.Read(aptr+k))
-				c.Write(alen+j, c.Read(alen+k))
+			if m.Word(aanch+k) > m.Word(aanch+j) {
+				updJ = append(updJ, j)
+				updK = append(updK, k)
+			} else {
+				actJ = append(actJ, j)
+				actK = append(actK, k)
 			}
-		}); err != nil {
+		}
+		at := func(base int, js []int) []int {
+			out := make([]int, len(js))
+			for t, j := range js {
+				out[t] = base + j
+			}
+			return out
+		}
+		nU := len(updJ)
+		if nU > 0 {
+			aK := at(aanch, updK)
+			aJ := at(aanch, updJ)
+			av := bk.Gather(aK, 0, 1) // condition read of aanch+k
+			bk.Gather(aJ, 0, 1)       // condition read of aanch+j
+			bk.Gather(aK, 0, 1)       // value read (scalar reads it again)
+			bk.Scatter(aJ, 0, 1, av)
+			pv := bk.Gather(at(aptr, updK), 0, 1)
+			bk.Scatter(at(aptr, updJ), 0, 1, pv)
+			lv := bk.Gather(at(alen, updK), 0, 1)
+			bk.Scatter(at(alen, updJ), 0, 1, lv)
+		}
+		if len(actJ) > 0 {
+			bk.Gather(at(aanch, actK), nU, 1)
+			bk.Gather(at(aanch, actJ), nU, 1)
+		}
+		if err := bk.Commit(); err != nil {
 			return 0, err
 		}
 	}
@@ -476,10 +526,16 @@ func EREWBalance(m *machine.Machine, counts []int) ([][]TaskRange, error) {
 	defer m.Release(mark)
 	cnts := m.Alloc(n)
 	starts := m.Alloc(n)
-	if err := m.ParDoL(n, "erewlb/loads", func(c *machine.Ctx, i int) {
-		c.Write(cnts+i, machine.Word(loadU[i]))
-	}); err != nil {
-		return nil, err
+	{
+		bk := m.Bulk(n, "erewlb/loads")
+		iv := bk.Vals(n)
+		for i := range iv {
+			iv[i] = machine.Word(loadU[i])
+		}
+		bk.WriteRange(cnts, n, 1, 0, 1, iv)
+		if err := bk.Commit(); err != nil {
+			return nil, err
+		}
 	}
 	if _, err := prim.PrefixSums(m, cnts, starts, n); err != nil {
 		return nil, err
@@ -495,16 +551,43 @@ func EREWBalance(m *machine.Machine, counts []int) ([][]TaskRange, error) {
 	if err := prim.FillPar(m, rankA, mU, -1); err != nil {
 		return nil, err
 	}
-	if err := m.ParDoL(n, "erewlb/scatter", func(c *machine.Ctx, i int) {
-		if loadU[i] == 0 {
-			return
+	// Processors with load are relabeled to a leading span; their start
+	// ranks are strictly increasing, so the three marker scatters are
+	// ascending over distinct cells.
+	{
+		bk := m.Bulk(n, "erewlb/scatter")
+		sIdx := make([]int, 0, n)
+		items := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if loadU[i] > 0 {
+				sIdx = append(sIdx, starts+i)
+				items = append(items, i)
+			}
 		}
-		s := int(c.Read(starts + i))
-		c.Write(rankA+s, machine.Word(s))
-		c.Write(taskA+s, machine.Word(off[i]))
-		c.Write(endA+s, machine.Word(off[i]+counts[i]))
-	}); err != nil {
-		return nil, err
+		if t := len(sIdx); t > 0 {
+			sv := bk.Gather(sIdx, 0, 1)
+			rIdx := make([]int, t)
+			tIdx := make([]int, t)
+			eIdx := make([]int, t)
+			rv := bk.Vals(t)
+			tv := bk.Vals(t)
+			ev := bk.Vals(t)
+			for q, i := range items {
+				s := int(sv[q])
+				rIdx[q] = rankA + s
+				tIdx[q] = taskA + s
+				eIdx[q] = endA + s
+				rv[q] = machine.Word(s)
+				tv[q] = machine.Word(off[i])
+				ev[q] = machine.Word(off[i] + counts[i])
+			}
+			bk.Scatter(rIdx, 0, 1, rv)
+			bk.Scatter(tIdx, 0, 1, tv)
+			bk.Scatter(eIdx, 0, 1, ev)
+		}
+		if err := bk.Commit(); err != nil {
+			return nil, err
+		}
 	}
 	// Each doubling round publishes the arrays into shadows and then has
 	// cell j read only its own cells plus the shadow at j-d, keeping
@@ -513,25 +596,51 @@ func EREWBalance(m *machine.Machine, counts []int) ([][]TaskRange, error) {
 	shT := m.Alloc(mU)
 	shE := m.Alloc(mU)
 	for d := 1; d < mU; d *= 2 {
-		dd := d
-		if err := m.ParDoL(mU, "erewlb/publish", func(c *machine.Ctx, j int) {
-			c.Write(shR+j, c.Read(rankA+j))
-			c.Write(shT+j, c.Read(taskA+j))
-			c.Write(shE+j, c.Read(endA+j))
-		}); err != nil {
-			return nil, err
+		{
+			bk := m.Bulk(mU, "erewlb/publish")
+			bk.WriteRange(shR, mU, 1, 0, 1, bk.ReadRange(rankA, mU, 1, 0, 1))
+			bk.WriteRange(shT, mU, 1, 0, 1, bk.ReadRange(taskA, mU, 1, 0, 1))
+			bk.WriteRange(shE, mU, 1, 0, 1, bk.ReadRange(endA, mU, 1, 0, 1))
+			if err := bk.Commit(); err != nil {
+				return nil, err
+			}
 		}
-		if err := m.ParDoL(mU, "erewlb/fill", func(c *machine.Ctx, j int) {
-			k := j - dd
-			if k < 0 {
-				return
+		// Same relabeling as lb/scan: updating cells first, then the
+		// cells that only evaluate the condition.
+		bk := m.Bulk(mU, "erewlb/fill")
+		var updJ, actJ []int
+		for j := d; j < mU; j++ {
+			if m.Word(shR+j-d) > m.Word(rankA+j) {
+				updJ = append(updJ, j)
+			} else {
+				actJ = append(actJ, j)
 			}
-			if c.Read(shR+k) > c.Read(rankA+j) {
-				c.Write(rankA+j, c.Read(shR+k))
-				c.Write(taskA+j, c.Read(shT+k))
-				c.Write(endA+j, c.Read(shE+k))
+		}
+		at := func(base, delta int, js []int) []int {
+			out := make([]int, len(js))
+			for t, j := range js {
+				out[t] = base + j - delta
 			}
-		}); err != nil {
+			return out
+		}
+		nU := len(updJ)
+		if nU > 0 {
+			sK := at(shR, d, updJ)
+			rJ := at(rankA, 0, updJ)
+			sv := bk.Gather(sK, 0, 1) // condition read of shR+k
+			bk.Gather(rJ, 0, 1)       // condition read of rankA+j
+			bk.Gather(sK, 0, 1)       // value read (scalar reads it again)
+			bk.Scatter(rJ, 0, 1, sv)
+			tv := bk.Gather(at(shT, d, updJ), 0, 1)
+			bk.Scatter(at(taskA, 0, updJ), 0, 1, tv)
+			ev := bk.Gather(at(shE, d, updJ), 0, 1)
+			bk.Scatter(at(endA, 0, updJ), 0, 1, ev)
+		}
+		if len(actJ) > 0 {
+			bk.Gather(at(shR, d, actJ), nU, 1)
+			bk.Gather(at(rankA, 0, actJ), nU, 1)
+		}
+		if err := bk.Commit(); err != nil {
 			return nil, err
 		}
 	}
@@ -542,19 +651,26 @@ func EREWBalance(m *machine.Machine, counts []int) ([][]TaskRange, error) {
 	bsz := prim.CeilDiv(mU, n)
 	outP := m.Alloc(n * bsz)
 	outL := m.Alloc(n * bsz)
-	if err := m.ParDoL(mU, "erewlb/emit", func(c *machine.Ctx, j int) {
-		s := int(c.Read(rankA + j))
-		base := int(c.Read(taskA + j))
-		end := int(c.Read(endA + j))
-		h := j - s
-		start := base + h*unit
-		l := prim.Min(unit, end-start)
-		q := j / bsz
-		r := j % bsz
-		c.Write(outP+q*bsz+r, machine.Word(start))
-		c.Write(outL+q*bsz+r, machine.Word(l))
-	}); err != nil {
-		return nil, err
+	// Unit j's output cell q*bsz+r is just j again, so the two scatters
+	// collapse to contiguous range writes.
+	{
+		bk := m.Bulk(mU, "erewlb/emit")
+		rv := bk.ReadRange(rankA, mU, 1, 0, 1)
+		tv := bk.ReadRange(taskA, mU, 1, 0, 1)
+		ev := bk.ReadRange(endA, mU, 1, 0, 1)
+		pv := bk.Vals(mU)
+		lv := bk.Vals(mU)
+		for j := 0; j < mU; j++ {
+			s := int(rv[j])
+			start := int(tv[j]) + (j-s)*unit
+			pv[j] = machine.Word(start)
+			lv[j] = machine.Word(prim.Min(unit, int(ev[j])-start))
+		}
+		bk.WriteRange(outP, mU, 1, 0, 1, pv)
+		bk.WriteRange(outL, mU, 1, 0, 1, lv)
+		if err := bk.Commit(); err != nil {
+			return nil, err
+		}
 	}
 
 	out := make([][]TaskRange, n)

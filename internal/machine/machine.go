@@ -80,6 +80,16 @@ type Machine struct {
 	// identical Stats; fastSteps counts steps settled on the fast path.
 	noFastPath bool
 	fastSteps  int64
+
+	// Bulk access layer state (bulk.go): the machine-owned step
+	// builder, settlement scratch, the descriptor hit counters, and the
+	// test hook that forces every descriptor through element expansion.
+	bulkB        Bulk
+	bulkEv       []bulkEvent
+	bulkR, bulkW []bulkItem
+	bulkDescs    int64
+	bulkExpanded int64
+	noBulkFast   bool
 }
 
 // Option configures a Machine at construction time.
@@ -306,6 +316,7 @@ func (m *Machine) ResetStats() {
 	m.trace = nil
 	m.err = nil
 	m.stepIndex = 0
+	m.bulkDescs, m.bulkExpanded = 0, 0
 }
 
 // Reset zeroes memory, releases all allocations, clears statistics and
@@ -337,6 +348,8 @@ func (m *Machine) Free() {
 	}
 	m.pool = nil
 	m.hotMerge = nil
+	m.bulkB = Bulk{}
+	m.bulkEv, m.bulkR, m.bulkW = nil, nil, nil
 	m.DisableProfiling()
 	m.ResetStats()
 }

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -599,6 +600,147 @@ func TestFastPathMatchesShardedPath(t *testing.T) {
 			for i := range ref.mem {
 				if got.mem[i] != ref.mem[i] {
 					t.Fatalf("workers=%d noFast=%v memory differs at %d", workers, disable, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBulkMatchesScalarAcrossPaths(t *testing.T) {
+	// Descriptor-vs-scalar replay (the bulk-layer extension of
+	// TestFastPathMatchesShardedPath): a program issuing every bulk op
+	// form — Ctx ranges, gathers, scatters, and a descriptor-only Bulk
+	// step — must produce identical Stats, violations, step traces, and
+	// hot cells as its element-by-element replay, across both settlement
+	// paths, with and without analytic bulk settlement, at worker
+	// counts 1 and 4.
+	const n = 3 * serialCutoff
+	const blk = 4
+	program := func(m *Machine, bulk bool) error {
+		base := m.Alloc(blk * n)
+		hot := m.Alloc(1)
+		sum := m.Alloc(n)
+		// Disjoint per-processor blocks (analytic settle at any worker
+		// count: descriptor intervals are pairwise disjoint).
+		if err := m.ParDo(n, func(c *Ctx, i int) {
+			if bulk {
+				vals := [blk]Word{Word(i), Word(i + 1), Word(i + 2), Word(i + 3)}
+				c.WriteRange(base+blk*i, blk, 1, vals[:])
+			} else {
+				for k := 0; k < blk; k++ {
+					c.Write(base+blk*i+k, Word(i+k))
+				}
+			}
+		}); err != nil {
+			return err
+		}
+		// Strided reads plus a scatter into the next processor's block:
+		// shard-boundary interval overlaps at 4 workers (sharded path),
+		// still contention one.
+		if err := m.ParDo(n, func(c *Ctx, i int) {
+			j := (i + 1) % n
+			if bulk {
+				vs := c.ReadRange(base+blk*i, 2, 2)
+				idx := [2]int{base + blk*j, base + blk*j + 2}
+				c.Scatter(idx[:], vs)
+			} else {
+				v0 := c.Read(base + blk*i)
+				v1 := c.Read(base + blk*i + 2)
+				c.Write(base+blk*j, v0)
+				c.Write(base+blk*j+2, v1)
+			}
+		}); err != nil {
+			return err
+		}
+		// Colliding gather (recording-time fallback) plus a hot-cell
+		// read every 512th processor: real contention for the hot-cell
+		// attribution to rank.
+		if err := m.ParDo(n, func(c *Ctx, i int) {
+			var acc Word
+			idx := [3]int{base + (i*37)%n, base + (i*37)%n, base + blk*i}
+			if bulk {
+				for _, v := range c.Gather(idx[:]) {
+					acc += v
+				}
+			} else {
+				for _, a := range idx {
+					acc += c.Read(a)
+				}
+			}
+			if i%512 == 0 {
+				acc += c.Read(hot)
+			}
+			c.Write(sum+i, acc)
+		}); err != nil {
+			return err
+		}
+		// Descriptor-only step vs its ParDo replay: a broadcast, a
+		// strided copy, and a fill.
+		if bulk {
+			b := m.Bulk(n, "bulkstep")
+			v := b.Broadcast(hot, n/2, 0)
+			_ = v
+			b.WriteRange(hot, 1, 1, n-1, 1, []Word{42})
+			src := b.ReadRange(base, n, 1, 0, 1)
+			b.WriteRange(base+blk*n-n, n, 1, 0, 1, src)
+			b.FillRange(sum, n/2, 2, n/2, 1, 7)
+			return b.Commit()
+		}
+		return m.ParDoL(n, "bulkstep", func(c *Ctx, i int) {
+			if i < n/2 {
+				c.Read(hot)
+			}
+			if i == n-1 {
+				c.Write(hot, 42)
+			}
+			c.Write(base+blk*n-n+i, c.Read(base+i))
+			if i >= n/2 {
+				c.Write(sum+2*(i-n/2), 7)
+			}
+		})
+	}
+	type result struct {
+		st    Stats
+		trace string
+		mem   []Word
+		err   string
+	}
+	run := func(workers int, disableFast, bulk, noBulkFast bool) result {
+		m := New(QRQW, 1, WithSeed(9), WithWorkers(workers), WithHotCells(3))
+		m.noFastPath = disableFast
+		m.noBulkFast = noBulkFast
+		err := program(m, bulk)
+		r := result{st: m.Stats(), trace: fmt.Sprintf("%+v", m.StepTraces()), mem: m.LoadWords(0, m.Allocated())}
+		if err != nil {
+			r.err = err.Error()
+		}
+		return r
+	}
+	ref := run(1, true, false, false)
+	for _, workers := range []int{1, 4} {
+		for _, disable := range []bool{true, false} {
+			for _, noBulkFast := range []bool{false, true} {
+				got := run(workers, disable, true, noBulkFast)
+				label := fmt.Sprintf("workers=%d noFast=%v noBulkFast=%v", workers, disable, noBulkFast)
+				if got.err != ref.err {
+					t.Fatalf("%s: err %q, want %q", label, got.err, ref.err)
+				}
+				if got.st != ref.st {
+					t.Fatalf("%s: stats\n got %+v\nwant %+v", label, got.st, ref.st)
+				}
+				if got.trace != ref.trace {
+					t.Fatalf("%s: traces differ\n got %s\nwant %s", label, got.trace, ref.trace)
+				}
+				for i := range ref.mem {
+					if got.mem[i] != ref.mem[i] {
+						t.Fatalf("%s: memory differs at %d: %d vs %d", label, i, got.mem[i], ref.mem[i])
+					}
+				}
+				// The scalar reference must also agree with itself on
+				// the sharded path at this worker count.
+				sc := run(workers, disable, false, false)
+				if sc.st != ref.st || sc.trace != ref.trace {
+					t.Fatalf("%s: scalar replay diverges from reference", label)
 				}
 			}
 		}

@@ -35,8 +35,36 @@ type worker struct {
 	// lo/hi bound every shared-memory address this shard touched in the
 	// current step. Pairwise-disjoint shard intervals prove that no cell
 	// is shared across shards, which licenses the contention-free fast
-	// path in parDoLabeled.
-	lo, hi int
+	// path in parDoLabeled. They are derived at settlement from the
+	// per-kind bounds below (the bulk layer needs reads and writes
+	// bounded separately: a read descriptor only competes with other
+	// reads).
+	lo, hi             int
+	rLo, rHi, wLo, wHi int
+
+	// descs holds the step's bulk access descriptors (see bulk.go);
+	// snapVals/snapIdx are the snapshot arenas descriptor payloads point
+	// into, retBuf the arena for values returned to processor bodies,
+	// and expR/expW the scratch buffers descriptor expansion rebuilds
+	// the scalar buffers through. bulkOnly marks a descriptor-only step
+	// committed by a Bulk builder (no scalar entries at all).
+	descs              []bulkDesc
+	snapVals           []Word
+	snapIdx            []int
+	retBuf             []Word
+	expR               []int
+	expW               []writeOp
+	bulkOnly           bool
+	bulkRecN, bulkExpN int64
+
+	// rSeen/wSeen are the over-threshold dedupe indexes for processors
+	// issuing many accesses in one step: below dedupeMapThreshold
+	// entries the per-access dedupe stays a linear scan of the
+	// processor's own segment, above it the segment is indexed once and
+	// lookups are O(1). wSeen maps address to buffer position because a
+	// repeated write overwrites its buffered value.
+	rSeen map[int]struct{}
+	wSeen map[int]int
 
 	maxOps   int64
 	reads    int64
@@ -79,6 +107,9 @@ func getWorker() *worker { return workerPool.Get().(*worker) }
 
 func putWorker(w *worker) {
 	w.ctx = Ctx{} // drop the machine reference so the pool never pins freed memory
+	w.descs = nil // descriptors point into the arenas below
+	w.snapVals, w.snapIdx, w.retBuf = nil, nil, nil
+	w.expR, w.expW = nil, nil
 	workerPool.Put(w)
 }
 
@@ -86,6 +117,14 @@ func (w *worker) reset() {
 	w.readAddrs = w.readAddrs[:0]
 	w.writes = w.writes[:0]
 	w.lo, w.hi = math.MaxInt, -1
+	w.rLo, w.rHi = math.MaxInt, -1
+	w.wLo, w.wHi = math.MaxInt, -1
+	w.descs = w.descs[:0]
+	w.snapVals = w.snapVals[:0]
+	w.snapIdx = w.snapIdx[:0]
+	w.retBuf = w.retBuf[:0]
+	w.bulkOnly = false
+	w.bulkRecN, w.bulkExpN = 0, 0
 	w.maxOps = 0
 	w.reads, w.writesN, w.computes = 0, 0, 0
 	w.maxR, w.maxW = 0, 0
@@ -96,12 +135,21 @@ func (w *worker) reset() {
 	w.hotW = w.hotW[:0]
 }
 
-func (w *worker) touch(addr int) {
-	if addr < w.lo {
-		w.lo = addr
+func (w *worker) touchR(addr int) {
+	if addr < w.rLo {
+		w.rLo = addr
 	}
-	if addr > w.hi {
-		w.hi = addr
+	if addr > w.rHi {
+		w.rHi = addr
+	}
+}
+
+func (w *worker) touchW(addr int) {
+	if addr < w.wLo {
+		w.wLo = addr
+	}
+	if addr > w.wHi {
+		w.wHi = addr
 	}
 }
 
@@ -115,14 +163,24 @@ type Ctx struct {
 
 	r, wr, cp int64
 	// rStart/wStart mark where this processor's entries begin in the
-	// worker buffers; they bound the linear dedupe scans that keep
-	// contention counted per *distinct processor* (Definition 2.1),
-	// not per access.
+	// worker buffers; they bound the dedupe scans that keep contention
+	// counted per *distinct processor* (Definition 2.1), not per
+	// access. dStart bounds the processor's bulk descriptors the same
+	// way; rMapOn/wMapOn record that the over-threshold dedupe index
+	// has been built for this processor (see readElem/writeElem).
 	rStart, wStart int
+	dStart         int
+	rMapOn, wMapOn bool
 
 	rng   xrand.Stream
 	rngOK bool
 }
+
+// dedupeMapThreshold is the per-processor access count at which the
+// linear dedupe scan switches to a map index: below it the scan is a
+// handful of comparisons over hot cache lines (faster than hashing),
+// above it the scan's O(k^2) total cost would dominate the step.
+const dedupeMapThreshold = 16
 
 // Proc returns the index of the virtual processor executing the body.
 func (c *Ctx) Proc() int { return c.proc }
@@ -137,19 +195,48 @@ func (c *Ctx) Read(addr int) Word {
 	c.m.checkAddr(addr)
 	c.r++
 	// Definition 2.1 counts the number of *processors* reading a cell,
-	// so a repeated read by the same processor is recorded once.
-	dup := false
-	for _, a := range c.w.readAddrs[c.rStart:] {
-		if a == addr {
-			dup = true
-			break
-		}
-	}
-	if !dup {
-		c.w.readAddrs = append(c.w.readAddrs, addr)
-		c.w.touch(addr)
+	// so a repeated read by the same processor is recorded once —
+	// including one already covered by this processor's bulk
+	// descriptors.
+	if !(len(c.w.descs) > c.dStart && c.descCoveredR(addr)) {
+		c.readElem(addr)
 	}
 	return c.m.mem[addr]
+}
+
+// readElem records one read address with per-processor dedupe: a linear
+// scan of the processor's own segment below dedupeMapThreshold entries,
+// a map index above it.
+func (c *Ctx) readElem(addr int) {
+	w := c.w
+	if !c.rMapOn {
+		seg := w.readAddrs[c.rStart:]
+		if len(seg) < dedupeMapThreshold {
+			for _, a := range seg {
+				if a == addr {
+					return
+				}
+			}
+			w.readAddrs = append(w.readAddrs, addr)
+			w.touchR(addr)
+			return
+		}
+		if w.rSeen == nil {
+			w.rSeen = make(map[int]struct{}, 2*dedupeMapThreshold)
+		} else {
+			clear(w.rSeen)
+		}
+		for _, a := range seg {
+			w.rSeen[a] = struct{}{}
+		}
+		c.rMapOn = true
+	}
+	if _, dup := w.rSeen[addr]; dup {
+		return
+	}
+	w.rSeen[addr] = struct{}{}
+	w.readAddrs = append(w.readAddrs, addr)
+	w.touchR(addr)
 }
 
 // Write buffers a write to one shared-memory cell; it becomes visible at
@@ -161,15 +248,48 @@ func (c *Ctx) Write(addr int, v Word) {
 	c.wr++
 	// As with reads, contention counts distinct processors; a repeated
 	// write by the same processor overwrites its buffered value (program
-	// order within the processor).
-	for j := len(c.w.writes) - 1; j >= c.wStart; j-- {
-		if c.w.writes[j].addr == addr {
-			c.w.writes[j].val = v
+	// order within the processor), whether it lives in the scalar buffer
+	// or in one of this processor's bulk descriptors.
+	if !(len(c.w.descs) > c.dStart && c.descUpdateW(addr, v)) {
+		c.writeElem(addr, v)
+	}
+}
+
+// writeElem buffers one write with per-processor dedupe, switching from
+// the backward linear scan to a map index above dedupeMapThreshold
+// entries (the map carries buffer positions so a repeated write still
+// overwrites in place).
+func (c *Ctx) writeElem(addr int, v Word) {
+	w := c.w
+	if !c.wMapOn {
+		if len(w.writes)-c.wStart < dedupeMapThreshold {
+			for j := len(w.writes) - 1; j >= c.wStart; j-- {
+				if w.writes[j].addr == addr {
+					w.writes[j].val = v
+					return
+				}
+			}
+			w.writes = append(w.writes, writeOp{addr: addr, val: v, proc: int32(c.proc)})
+			w.touchW(addr)
 			return
 		}
+		if w.wSeen == nil {
+			w.wSeen = make(map[int]int, 2*dedupeMapThreshold)
+		} else {
+			clear(w.wSeen)
+		}
+		for j := c.wStart; j < len(w.writes); j++ {
+			w.wSeen[w.writes[j].addr] = j
+		}
+		c.wMapOn = true
 	}
-	c.w.writes = append(c.w.writes, writeOp{addr: addr, val: v, proc: int32(c.proc)})
-	c.w.touch(addr)
+	if j, dup := w.wSeen[addr]; dup {
+		w.writes[j].val = v
+		return
+	}
+	w.wSeen[addr] = len(w.writes)
+	w.writes = append(w.writes, writeOp{addr: addr, val: v, proc: int32(c.proc)})
+	w.touchW(addr)
 }
 
 // Compute charges n local RAM operations to this processor for this step.
@@ -236,6 +356,8 @@ func (w *worker) runProcs(m *Machine, lo, hi int, simd bool, body func(c *Ctx, i
 		c.r, c.wr, c.cp = 0, 0, 0
 		c.rStart = len(w.readAddrs)
 		c.wStart = len(w.writes)
+		c.dStart = len(w.descs)
+		c.rMapOn, c.wMapOn = false, false
 		c.rngOK = false
 		body(c, i)
 		w.afterProc(c, simd)
@@ -293,6 +415,26 @@ func (m *Machine) parDoLabeled(p int, label string, body func(c *Ctx, i int)) er
 			workers[s].runProcs(m, lo, hi, simd, body)
 		})
 	}
+	return m.finishStep(p, label, workers)
+}
+
+// finishStep settles one executed step — bulk descriptors first, then
+// the scalar buffers — merges the accounting, checks model legality,
+// and charges the step. It is shared by ParDo (after Phase 0 ran the
+// bodies) and Bulk.Commit (descriptor-only steps, no bodies).
+func (m *Machine) finishStep(p int, label string, workers []*worker) error {
+	nw := len(workers)
+
+	// Bulk settlement runs before everything else: descriptors it can
+	// prove disjoint settle analytically here, and the rest expand into
+	// the scalar buffers so the passes below see them as ordinary
+	// elements.
+	var bs bulkSettle
+	m.settleBulk(workers, &bs)
+	for _, w := range workers {
+		w.lo = min(w.rLo, w.wLo)
+		w.hi = max(w.rHi, w.wHi)
+	}
 
 	// Fast path: when the shards' touched-address intervals are pairwise
 	// disjoint (trivially so on a single worker), no cell is shared
@@ -333,6 +475,23 @@ func (m *Machine) parDoLabeled(p int, label string, body func(c *Ctx, i int)) er
 			simdViol = true
 			simdCount = w.simdCount
 		}
+	}
+	// Fold in the bulk layer's analytic contributions (uncharged
+	// descriptor totals, per-processor load, and the contention of
+	// descriptors that settled without expansion).
+	maxOps = max(maxOps, bs.maxOps)
+	if bs.maxR > maxR {
+		maxR, maxRAddr = bs.maxR, bs.maxRAddr
+	}
+	if bs.maxW > maxW {
+		maxW, maxWAddr = bs.maxW, bs.maxWAddr
+	}
+	reads += bs.reads
+	writes += bs.writes
+	computes += bs.computes
+	if bs.simdViol && !simdViol {
+		simdViol = true
+		simdCount = bs.simdCount
 	}
 
 	// Model violation checks: the SIMD one-op-per-kind restriction is

@@ -223,13 +223,18 @@ func run(m *machine.Machine, in Input, relaxed bool) (Result, error) {
 			return Result{}, err
 		}
 		if round == checkAt {
-			if err := m.ParDoL(n, "mc/indicator", func(c *machine.Ctx, i int) {
-				if c.Read(pos+i) < 0 {
-					c.Write(ind+i, 1)
+			b := m.Bulk(n, "mc/indicator")
+			pv := b.ReadRange(pos, n, 1, 0, 1)
+			iw := b.Vals(n)
+			for i, v := range pv {
+				if v < 0 {
+					iw[i] = 1
 				} else {
-					c.Write(ind+i, 0)
+					iw[i] = 0
 				}
-			}); err != nil {
+			}
+			b.WriteRange(ind, n, 1, 0, 1, iw)
+			if err := b.Commit(); err != nil {
 				return Result{}, err
 			}
 			activeCnt, err := prim.Reduce(m, ind, n, orOut)
@@ -273,8 +278,8 @@ func verifyCounts(m *machine.Machine, in Input) (bool, error) {
 	bad := m.Alloc(1)
 	if err := m.ParDoL(1, "mc/verify-counts", func(c *machine.Ctx, _ int) {
 		tallies := make(map[int]int)
-		for i := 0; i < in.N; i++ {
-			tallies[int(c.Read(in.Labels+i))]++
+		for _, l := range c.ReadRange(in.Labels, in.N, 1) {
+			tallies[int(l)]++
 		}
 		c.Compute(in.N)
 		for j := 0; j < in.NSets; j++ {

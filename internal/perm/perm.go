@@ -73,55 +73,137 @@ func Random(m *machine.Machine, n int) (int, error) {
 			return 0, err
 		}
 		off := 0
+		// Per-round host scratch. The active-item lists are ascending in
+		// item id, so descriptor processor p is the p-th active item:
+		// write arbitration (highest processor wins) picks the same
+		// winner as the per-item loop, and Bulk.Rand(item) replays each
+		// item's private stream.
+		actIdx := make([]int, 0, n)
+		tgtIdx := make([]int, 0, n)
+		scratch := make([]machine.Word, 0, n)
 		for r := 0; r < rounds; r++ {
 			sub, subLen := off, sizes[r]
 			off += subLen
 			// Throw.
-			if err := m.ParDoL(n, "perm/throw", func(c *machine.Ctx, i int) {
-				if c.Read(status+i) >= 0 {
-					return
+			{
+				b := m.Bulk(n, "perm/throw")
+				sv := b.ReadRange(status, n, 1, 0, 1)
+				actIdx, tgtIdx = actIdx[:0], tgtIdx[:0]
+				scratch = scratch[:0]
+				for i, s := range sv {
+					if s >= 0 {
+						continue
+					}
+					rs := b.Rand(i)
+					t := sub + rs.Intn(subLen)
+					actIdx = append(actIdx, choice+i)
+					tgtIdx = append(tgtIdx, a+t)
+					scratch = append(scratch, machine.Word(i)+1)
 				}
-				t := sub + c.Rand().Intn(subLen)
-				c.Write(a+t, machine.Word(i)+1)
-				c.Write(choice+i, machine.Word(t))
-			}); err != nil {
-				return 0, err
+				if len(actIdx) > 0 {
+					cv := b.Vals(len(actIdx))
+					for p, at := range tgtIdx {
+						cv[p] = machine.Word(at - a)
+					}
+					b.Scatter(tgtIdx, 0, 1, scratch)
+					b.Scatter(actIdx, 0, 1, cv)
+				}
+				if err := b.Commit(); err != nil {
+					return 0, err
+				}
 			}
 			// Read back; losers dirty the cell so the arbitration
 			// winner also fails (unbiasedness).
-			if err := m.ParDoL(n, "perm/verify", func(c *machine.Ctx, i int) {
-				if c.Read(status+i) >= 0 {
-					return
+			{
+				b := m.Bulk(n, "perm/verify")
+				sv := b.ReadRange(status, n, 1, 0, 1)
+				actIdx, tgtIdx = actIdx[:0], tgtIdx[:0]
+				for i, s := range sv {
+					if s >= 0 {
+						continue
+					}
+					actIdx = append(actIdx, choice+i)
 				}
-				t := int(c.Read(choice + i))
-				if c.Read(a+t) != machine.Word(i)+1 {
-					c.Write(a+t, dirty)
+				if len(actIdx) > 0 {
+					cv := b.Gather(actIdx, 0, 1)
+					for _, t := range cv {
+						tgtIdx = append(tgtIdx, a+int(t))
+					}
+					av := b.Gather(tgtIdx, 0, 1)
+					lost := make([]int, 0, len(tgtIdx))
+					for p, at := range tgtIdx {
+						if av[p] != machine.Word(actIdx[p]-choice)+1 {
+							lost = append(lost, at)
+						}
+					}
+					if len(lost) > 0 {
+						dv := b.Vals(len(lost))
+						for p := range dv {
+							dv[p] = dirty
+						}
+						b.Scatter(lost, 0, 1, dv)
+					}
 				}
-			}); err != nil {
-				return 0, err
+				if err := b.Commit(); err != nil {
+					return 0, err
+				}
 			}
 			// Confirm.
-			if err := m.ParDoL(n, "perm/confirm", func(c *machine.Ctx, i int) {
-				if c.Read(status+i) >= 0 {
-					return
+			{
+				b := m.Bulk(n, "perm/confirm")
+				sv := b.ReadRange(status, n, 1, 0, 1)
+				actIdx, tgtIdx = actIdx[:0], tgtIdx[:0]
+				for i, s := range sv {
+					if s >= 0 {
+						continue
+					}
+					actIdx = append(actIdx, choice+i)
 				}
-				t := int(c.Read(choice + i))
-				if c.Read(a+t) == machine.Word(i)+1 {
-					c.Write(status+i, machine.Word(t))
+				if len(actIdx) > 0 {
+					cv := b.Gather(actIdx, 0, 1)
+					for _, t := range cv {
+						tgtIdx = append(tgtIdx, a+int(t))
+					}
+					av := b.Gather(tgtIdx, 0, 1)
+					winIdx := make([]int, 0, len(actIdx))
+					wv := b.Vals(len(actIdx))
+					wi := 0
+					for p := range tgtIdx {
+						item := actIdx[p] - choice
+						if av[p] == machine.Word(item)+1 {
+							winIdx = append(winIdx, status+item)
+							wv[wi] = cv[p]
+							wi++
+						}
+					}
+					if wi > 0 {
+						b.Scatter(winIdx, 0, 1, wv[:wi])
+					}
 				}
-			}); err != nil {
-				return 0, err
+				if err := b.Commit(); err != nil {
+					return 0, err
+				}
 			}
 		}
 		// Any unplaced item raises the restart flag (an OR computed by
 		// queued writes to one cell: expected contention is O(1) since
-		// w.h.p. nobody writes).
-		if err := m.ParDoL(n, "perm/check", func(c *machine.Ctx, i int) {
-			if c.Read(status+i) < 0 {
-				c.Write(unplaced, 1)
+		// w.h.p. nobody writes). The flag writes are one stride-0
+		// descriptor whose count is the write contention.
+		{
+			b := m.Bulk(n, "perm/check")
+			sv := b.ReadRange(status, n, 1, 0, 1)
+			u := 0
+			for _, s := range sv {
+				if s < 0 {
+					u++
+				}
 			}
-		}); err != nil {
-			return 0, err
+			if u > 0 {
+				b.FillRange(unplaced, u, 0, 0, 1, 1)
+			}
+			if err := b.Commit(); err != nil {
+				return 0, err
+			}
 		}
 		if m.Word(unplaced) != 0 {
 			m.Release(mark)
@@ -130,25 +212,49 @@ func Random(m *machine.Machine, n int) (int, error) {
 		// Compact A in array order: rank placed cells, write items out.
 		flags := m.Alloc(total)
 		ranks := m.Alloc(total)
-		if err := m.ParDoL(total, "perm/flag", func(c *machine.Ctx, j int) {
-			if c.Read(a+j) > 0 {
-				c.Write(flags+j, 1)
-			} else {
-				c.Write(flags+j, 0)
+		{
+			b := m.Bulk(total, "perm/flag")
+			av := b.ReadRange(a, total, 1, 0, 1)
+			fw := b.Vals(total)
+			for j, v := range av {
+				if v > 0 {
+					fw[j] = 1
+				} else {
+					fw[j] = 0
+				}
 			}
-		}); err != nil {
-			return 0, err
+			b.WriteRange(flags, total, 1, 0, 1, fw)
+			if err := b.Commit(); err != nil {
+				return 0, err
+			}
 		}
 		if _, err := prim.PrefixSums(m, flags, ranks, total); err != nil {
 			return 0, err
 		}
-		if err := m.ParDoL(total, "perm/emit", func(c *machine.Ctx, j int) {
-			v := c.Read(a + j)
-			if v > 0 {
-				c.Write(out+int(c.Read(ranks+j)), v-1)
+		// The placed cells' ranks are 0..n-1 in array order, so the
+		// output writes are one contiguous ascending range.
+		{
+			b := m.Bulk(total, "perm/emit")
+			av := b.ReadRange(a, total, 1, 0, 1)
+			rIdx := make([]int, 0, n)
+			for j, v := range av {
+				if v > 0 {
+					rIdx = append(rIdx, ranks+j)
+				}
 			}
-		}); err != nil {
-			return 0, err
+			b.Gather(rIdx, 0, 1)
+			ov := b.Vals(len(rIdx))
+			t := 0
+			for _, v := range av {
+				if v > 0 {
+					ov[t] = v - 1
+					t++
+				}
+			}
+			b.WriteRange(out, len(rIdx), 1, 0, 1, ov)
+			if err := b.Commit(); err != nil {
+				return 0, err
+			}
 		}
 		m.Release(mark)
 		return out, nil
@@ -180,68 +286,170 @@ func ScanDart(m *machine.Machine, n int) (int, error) {
 		return 0, err
 	}
 	placed := 0
+	actIdx := make([]int, 0, n)
+	tgtIdx := make([]int, 0, n)
+	ids := make([]machine.Word, 0, n)
 	for round := 0; placed < n; round++ {
 		if round > maxRestarts {
 			return 0, fmt.Errorf("perm: ScanDart exceeded %d rounds", maxRestarts)
 		}
-		if err := m.ParDoL(n, "scandart/throw", func(c *machine.Ctx, i int) {
-			if c.Read(status+i) >= 0 {
-				return
+		// Throw / verify / confirm: the same descriptor shapes as
+		// perm.Random (ascending active lists keep write arbitration and
+		// per-item randomness identical to the per-item loop).
+		{
+			b := m.Bulk(n, "scandart/throw")
+			sv := b.ReadRange(status, n, 1, 0, 1)
+			actIdx, tgtIdx, ids = actIdx[:0], tgtIdx[:0], ids[:0]
+			for i, s := range sv {
+				if s >= 0 {
+					continue
+				}
+				rs := b.Rand(i)
+				t := rs.Intn(aLen)
+				actIdx = append(actIdx, choice+i)
+				tgtIdx = append(tgtIdx, a+t)
+				ids = append(ids, machine.Word(i)+1)
 			}
-			t := c.Rand().Intn(aLen)
-			c.Write(a+t, machine.Word(i)+1)
-			c.Write(choice+i, machine.Word(t))
-		}); err != nil {
-			return 0, err
+			if len(actIdx) > 0 {
+				cv := b.Vals(len(actIdx))
+				for p, at := range tgtIdx {
+					cv[p] = machine.Word(at - a)
+				}
+				b.Scatter(tgtIdx, 0, 1, ids)
+				b.Scatter(actIdx, 0, 1, cv)
+			}
+			if err := b.Commit(); err != nil {
+				return 0, err
+			}
 		}
-		if err := m.ParDoL(n, "scandart/verify", func(c *machine.Ctx, i int) {
-			if c.Read(status+i) >= 0 {
-				return
+		{
+			b := m.Bulk(n, "scandart/verify")
+			sv := b.ReadRange(status, n, 1, 0, 1)
+			actIdx, tgtIdx = actIdx[:0], tgtIdx[:0]
+			for i, s := range sv {
+				if s >= 0 {
+					continue
+				}
+				actIdx = append(actIdx, choice+i)
 			}
-			t := int(c.Read(choice + i))
-			if c.Read(a+t) != machine.Word(i)+1 {
-				c.Write(a+t, dirty)
+			if len(actIdx) > 0 {
+				cv := b.Gather(actIdx, 0, 1)
+				for _, t := range cv {
+					tgtIdx = append(tgtIdx, a+int(t))
+				}
+				av := b.Gather(tgtIdx, 0, 1)
+				lost := make([]int, 0, len(tgtIdx))
+				for p, at := range tgtIdx {
+					if av[p] != machine.Word(actIdx[p]-choice)+1 {
+						lost = append(lost, at)
+					}
+				}
+				if len(lost) > 0 {
+					dv := b.Vals(len(lost))
+					for p := range dv {
+						dv[p] = dirty
+					}
+					b.Scatter(lost, 0, 1, dv)
+				}
 			}
-		}); err != nil {
-			return 0, err
+			if err := b.Commit(); err != nil {
+				return 0, err
+			}
 		}
-		if err := m.ParDoL(n, "scandart/confirm", func(c *machine.Ctx, i int) {
-			if c.Read(status+i) >= 0 {
-				return
+		{
+			b := m.Bulk(n, "scandart/confirm")
+			sv := b.ReadRange(status, n, 1, 0, 1)
+			actIdx, tgtIdx = actIdx[:0], tgtIdx[:0]
+			for i, s := range sv {
+				if s >= 0 {
+					continue
+				}
+				actIdx = append(actIdx, choice+i)
 			}
-			t := int(c.Read(choice + i))
-			if c.Read(a+t) == machine.Word(i)+1 {
-				c.Write(status+i, machine.Word(t))
+			if len(actIdx) > 0 {
+				cv := b.Gather(actIdx, 0, 1)
+				for _, t := range cv {
+					tgtIdx = append(tgtIdx, a+int(t))
+				}
+				av := b.Gather(tgtIdx, 0, 1)
+				winIdx := make([]int, 0, len(actIdx))
+				wv := b.Vals(len(actIdx))
+				wi := 0
+				for p := range tgtIdx {
+					item := actIdx[p] - choice
+					if av[p] == machine.Word(item)+1 {
+						winIdx = append(winIdx, status+item)
+						wv[wi] = cv[p]
+						wi++
+					}
+				}
+				if wi > 0 {
+					b.Scatter(winIdx, 0, 1, wv[:wi])
+				}
 			}
-		}); err != nil {
-			return 0, err
+			if err := b.Commit(); err != nil {
+				return 0, err
+			}
 		}
 		// Enumerate this round's survivors and transfer them after the
 		// already-placed prefix.
-		if err := m.ParDoL(aLen, "scandart/flag", func(c *machine.Ctx, j int) {
-			if c.Read(a+j) > 0 {
-				c.Write(flags+j, 1)
-			} else {
-				c.Write(flags+j, 0)
+		{
+			b := m.Bulk(aLen, "scandart/flag")
+			av := b.ReadRange(a, aLen, 1, 0, 1)
+			fw := b.Vals(aLen)
+			for j, v := range av {
+				if v > 0 {
+					fw[j] = 1
+				} else {
+					fw[j] = 0
+				}
 			}
-		}); err != nil {
-			return 0, err
+			b.WriteRange(flags, aLen, 1, 0, 1, fw)
+			if err := b.Commit(); err != nil {
+				return 0, err
+			}
 		}
 		totalW, err := prim.PrefixSums(m, flags, ranks, aLen)
 		if err != nil {
 			return 0, err
 		}
 		k := placed
-		if err := m.ParDoL(aLen, "scandart/transfer", func(c *machine.Ctx, j int) {
-			v := c.Read(a + j)
-			if v > 0 {
-				c.Write(out+k+int(c.Read(ranks+j)), v-1)
+		{
+			// Survivors land after the already-placed prefix in rank
+			// order (contiguous ascending); every nonzero cell is then
+			// cleared by an ascending scatter of zeros.
+			b := m.Bulk(aLen, "scandart/transfer")
+			av := b.ReadRange(a, aLen, 1, 0, 1)
+			rIdx := make([]int, 0, int(totalW))
+			clrIdx := make([]int, 0, aLen)
+			for j, v := range av {
+				if v > 0 {
+					rIdx = append(rIdx, ranks+j)
+				}
+				if v != 0 {
+					clrIdx = append(clrIdx, a+j)
+				}
 			}
-			if v != 0 {
-				c.Write(a+j, 0) // clear for the next round
+			b.Gather(rIdx, 0, 1)
+			ov := b.Vals(len(rIdx))
+			t := 0
+			for _, v := range av {
+				if v > 0 {
+					ov[t] = v - 1
+					t++
+				}
 			}
-		}); err != nil {
-			return 0, err
+			b.WriteRange(out+k, len(rIdx), 1, 0, 1, ov)
+			if len(clrIdx) > 0 {
+				zv := b.Vals(len(clrIdx))
+				for p := range zv {
+					zv[p] = 0
+				}
+				b.Scatter(clrIdx, 0, 1, zv)
+			}
+			if err := b.Commit(); err != nil {
+				return 0, err
+			}
 		}
 		placed += int(totalW)
 	}
@@ -261,11 +469,20 @@ func SortingBased(m *machine.Machine, n int) (int, error) {
 	for attempt := 0; attempt < maxRestarts; attempt++ {
 		mark := m.Mark()
 		keys := m.Alloc(n)
-		if err := m.ParDoL(n, "sortperm/draw", func(c *machine.Ctx, i int) {
-			c.Write(keys+i, machine.Word(c.Rand().Uint64n(1<<31-1))+1)
-			c.Write(out+i, machine.Word(i))
-		}); err != nil {
-			return 0, err
+		{
+			b := m.Bulk(n, "sortperm/draw")
+			kv := b.Vals(n)
+			iv := b.Vals(n)
+			for i := 0; i < n; i++ {
+				rs := b.Rand(i)
+				kv[i] = machine.Word(rs.Uint64n(1<<31-1)) + 1
+				iv[i] = machine.Word(i)
+			}
+			b.WriteRange(keys, n, 1, 0, 1, kv)
+			b.WriteRange(out, n, 1, 0, 1, iv)
+			if err := b.Commit(); err != nil {
+				return 0, err
+			}
 		}
 		if err := prim.BitonicSortPadded(m, keys, out, n); err != nil {
 			return 0, err
@@ -279,14 +496,25 @@ func SortingBased(m *machine.Machine, n int) (int, error) {
 		if err := prim.Copy(m, keys, shadow, n); err != nil {
 			return 0, err
 		}
-		if err := m.ParDoL(n, "sortperm/dupcheck", func(c *machine.Ctx, i int) {
-			if i > 0 && c.Read(keys+i) == c.Read(shadow+i-1) {
-				c.Write(dupF+i, 1)
-			} else {
-				c.Write(dupF+i, 0)
+		{
+			b := m.Bulk(n, "sortperm/dupcheck")
+			fw := b.Vals(n)
+			fw[0] = 0
+			if n > 1 {
+				kv := b.ReadRange(keys+1, n-1, 1, 1, 1)
+				sv := b.ReadRange(shadow, n-1, 1, 1, 1)
+				for i := 0; i < n-1; i++ {
+					if kv[i] == sv[i] {
+						fw[i+1] = 1
+					} else {
+						fw[i+1] = 0
+					}
+				}
 			}
-		}); err != nil {
-			return 0, err
+			b.WriteRange(dupF, n, 1, 0, 1, fw)
+			if err := b.Commit(); err != nil {
+				return 0, err
+			}
 		}
 		dups, err := prim.Reduce(m, dupF, n, dup)
 		if err != nil {

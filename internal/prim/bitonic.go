@@ -8,6 +8,14 @@ import "lowcontend/internal/machine"
 // permuted alongside the keys. n must be a power of two (use
 // BitonicSortPadded otherwise).
 //
+// Each compare-exchange round is one bulk step: the pairs (i, i|j) for i
+// with bit j clear partition [0,n), so a single strided descriptor with
+// two cells per processor charges every active processor's reads, and
+// the swapping pairs become two ascending scatter lists (the i sides and
+// the l sides, each sorted because i enumerates ascending). Processor
+// relabeling keeps the per-processor operation multiset — and hence the
+// step cost on every model — identical to the element-wise loop.
+//
 // This is the EREW finishing sort of Theorem 7.3 and the sorting method
 // of the MasPar system sort used by the Table II baseline.
 func BitonicSort(m *machine.Machine, keys, vals, n int) error {
@@ -17,28 +25,61 @@ func BitonicSort(m *machine.Machine, keys, vals, n int) error {
 	if n <= 1 {
 		return nil
 	}
+	listI := make([]int, 0, n/2)
+	listL := make([]int, 0, n/2)
+	var vIdxI, vIdxL []int
+	if vals >= 0 {
+		vIdxI = make([]int, 0, n/2)
+		vIdxL = make([]int, 0, n/2)
+	}
 	for k := 2; k <= n; k <<= 1 {
 		for j := k >> 1; j > 0; j >>= 1 {
-			kk, jj := k, j
-			if err := m.ParDoL(n, "bitonic/cmpx", func(c *machine.Ctx, i int) {
-				l := i ^ jj
-				if l <= i {
-					return // the lower partner handles the pair
-				}
-				a := c.Read(keys + i)
-				b := c.Read(keys + l)
-				ascending := i&kk == 0
-				if (a > b) == ascending {
-					c.Write(keys+i, b)
-					c.Write(keys+l, a)
-					if vals >= 0 {
-						va := c.Read(vals + i)
-						vb := c.Read(vals + l)
-						c.Write(vals+i, vb)
-						c.Write(vals+l, va)
+			b := m.Bulk(n, "bitonic/cmpx")
+			kv := b.ReadRange(keys, n, 1, 0, 2)
+			listI, listL = listI[:0], listL[:0]
+			// The i with bit j clear are the runs [g, g+j) for g a
+			// multiple of 2j; bit lg(k) >= lg(2j) is constant on
+			// each run, so the sort direction hoists out of it.
+			for g := 0; g < n; g += 2 * j {
+				up := g&k == 0
+				for i := g; i < g+j; i++ {
+					l := i + j
+					if (kv[i] > kv[l]) == up {
+						listI = append(listI, keys+i)
+						listL = append(listL, keys+l)
 					}
 				}
-			}); err != nil {
+			}
+			if s := len(listI); s > 0 {
+				wi := b.Vals(s)
+				wl := b.Vals(s)
+				for t, a := range listI {
+					i := a - keys
+					wi[t] = kv[i|j]
+					wl[t] = kv[i]
+				}
+				// The i sides carry bit j clear and the l sides bit
+				// j set, so the partner lists live in complementary
+				// residue classes mod 2j: certify them and let
+				// settlement skip the merge scan.
+				mod := 2 * j
+				b.ScatterMod(listI, 0, 1, wi, mod, keys, j)
+				b.ScatterMod(listL, 0, 1, wl, mod, keys+j, j)
+				if vals >= 0 {
+					vIdxI, vIdxL = vIdxI[:0], vIdxL[:0]
+					for _, a := range listI {
+						vIdxI = append(vIdxI, vals+(a-keys))
+					}
+					for _, a := range listL {
+						vIdxL = append(vIdxL, vals+(a-keys))
+					}
+					va := b.GatherMod(vIdxI, 0, 1, mod, vals, j)
+					vb := b.GatherMod(vIdxL, 0, 1, mod, vals+j, j)
+					b.ScatterMod(vIdxI, 0, 1, vb, mod, vals, j)
+					b.ScatterMod(vIdxL, 0, 1, va, mod, vals+j, j)
+				}
+			}
+			if err := b.Commit(); err != nil {
 				return err
 			}
 		}
@@ -64,19 +105,22 @@ func BitonicSortPadded(m *machine.Machine, keys, vals, n int) error {
 		v2 = m.Alloc(np2)
 	}
 	const inf = 1<<62 - 1
-	if err := m.ParDoL(np2, "bitonicpad/load", func(c *machine.Ctx, i int) {
-		if i < n {
-			c.Write(k2+i, c.Read(keys+i))
-			if vals >= 0 {
-				c.Write(v2+i, c.Read(vals+i))
-			}
-		} else {
-			c.Write(k2+i, inf)
-			if vals >= 0 {
-				c.Write(v2+i, 0)
-			}
+	b := m.Bulk(np2, "bitonicpad/load")
+	kvals := b.Vals(np2)
+	copy(kvals, b.ReadRange(keys, n, 1, 0, 1))
+	for i := n; i < np2; i++ {
+		kvals[i] = inf
+	}
+	b.WriteRange(k2, np2, 1, 0, 1, kvals)
+	if vals >= 0 {
+		vv := b.Vals(np2)
+		copy(vv, b.ReadRange(vals, n, 1, 0, 1))
+		for i := n; i < np2; i++ {
+			vv[i] = 0
 		}
-	}); err != nil {
+		b.WriteRange(v2, np2, 1, 0, 1, vv)
+	}
+	if err := b.Commit(); err != nil {
 		return err
 	}
 	if err := BitonicSort(m, k2, v2, np2); err != nil {

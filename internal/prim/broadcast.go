@@ -5,22 +5,24 @@ import "lowcontend/internal/machine"
 // Broadcast copies the value in cell src into the n cells starting at
 // dst using a binary broadcast tree: O(lg n) steps, O(n) operations, and
 // contention one — this is the "local broadcasting" technique the paper
-// substitutes for concurrent reads (Section 1.2).
+// substitutes for concurrent reads (Section 1.2). Each doubling round is
+// one strided read descriptor plus one write descriptor.
 func Broadcast(m *machine.Machine, src, dst, n int) error {
 	if n <= 0 {
 		return nil
 	}
-	if err := m.ParDoL(1, "broadcast/seed", func(c *machine.Ctx, i int) {
-		c.Write(dst, c.Read(src))
-	}); err != nil {
+	b := m.Bulk(1, "broadcast/seed")
+	v := b.ReadRange(src, 1, 1, 0, 1)
+	b.WriteRange(dst, 1, 1, 0, 1, v)
+	if err := b.Commit(); err != nil {
 		return err
 	}
 	for have := 1; have < n; have *= 2 {
 		cnt := Min(have, n-have)
-		off := have
-		if err := m.ParDoL(cnt, "broadcast/double", func(c *machine.Ctx, i int) {
-			c.Write(dst+off+i, c.Read(dst+i))
-		}); err != nil {
+		b := m.Bulk(cnt, "broadcast/double")
+		vs := b.ReadRange(dst, cnt, 1, 0, 1)
+		b.WriteRange(dst+have, cnt, 1, 0, 1, vs)
+		if err := b.Commit(); err != nil {
 			return err
 		}
 	}
@@ -33,9 +35,10 @@ func Copy(m *machine.Machine, src, dst, n int) error {
 	if n <= 0 {
 		return nil
 	}
-	return m.ParDoL(n, "copy", func(c *machine.Ctx, i int) {
-		c.Write(dst+i, c.Read(src+i))
-	})
+	b := m.Bulk(n, "copy")
+	vs := b.ReadRange(src, n, 1, 0, 1)
+	b.WriteRange(dst, n, 1, 0, 1, vs)
+	return b.Commit()
 }
 
 // FillPar sets n cells starting at dst to v in one step, charged to the
@@ -44,7 +47,7 @@ func FillPar(m *machine.Machine, dst, n int, v machine.Word) error {
 	if n <= 0 {
 		return nil
 	}
-	return m.ParDoL(n, "fill", func(c *machine.Ctx, i int) {
-		c.Write(dst+i, v)
-	})
+	b := m.Bulk(n, "fill")
+	b.FillRange(dst, n, 1, 0, 1, v)
+	return b.Commit()
 }

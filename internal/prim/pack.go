@@ -7,7 +7,10 @@ import "lowcontend/internal/machine"
 // were packed. flags and vals are n-cell regions; out must have room for
 // the packed values. O(lg n) steps, O(n) operations, exclusive access
 // (this is the standard EREW prefix-sums compaction used as the paper's
-// baseline for the compaction problems).
+// baseline for the compaction problems). The scatter step exploits that
+// the packed destinations are consecutive by construction: the flagged
+// processors' reads become two ascending gathers and the writes a single
+// contiguous range descriptor.
 func Pack(m *machine.Machine, flags, vals, out, n int) (int, error) {
 	if n == 0 {
 		return 0, nil
@@ -16,25 +19,42 @@ func Pack(m *machine.Machine, flags, vals, out, n int) (int, error) {
 	defer m.Release(mark)
 	ind := m.Alloc(n)
 	pos := m.Alloc(n)
-	if err := m.ParDoL(n, "pack/indicator", func(c *machine.Ctx, i int) {
-		if c.Read(flags+i) != 0 {
-			c.Write(ind+i, 1)
+	b := m.Bulk(n, "pack/indicator")
+	fl := b.ReadRange(flags, n, 1, 0, 1)
+	iv := b.Vals(n)
+	for i, f := range fl {
+		if f != 0 {
+			iv[i] = 1
 		} else {
-			c.Write(ind+i, 0)
+			iv[i] = 0
 		}
-	}); err != nil {
+	}
+	b.WriteRange(ind, n, 1, 0, 1, iv)
+	if err := b.Commit(); err != nil {
 		return 0, err
 	}
 	total, err := PrefixSums(m, ind, pos, n)
 	if err != nil {
 		return 0, err
 	}
-	if err := m.ParDoL(n, "pack/scatter", func(c *machine.Ctx, i int) {
-		if c.Read(flags+i) != 0 {
-			p := c.Read(pos + i)
-			c.Write(out+int(p), c.Read(vals+i))
+	b = m.Bulk(n, "pack/scatter")
+	fl = b.ReadRange(flags, n, 1, 0, 1)
+	posIdx := make([]int, 0, int(total))
+	valIdx := make([]int, 0, int(total))
+	for i, f := range fl {
+		if f != 0 {
+			posIdx = append(posIdx, pos+i)
+			valIdx = append(valIdx, vals+i)
 		}
-	}); err != nil {
+	}
+	if t := len(posIdx); t > 0 {
+		// The position reads are charged but their values are known by
+		// construction: flagged cell number k lands at out+k.
+		b.Gather(posIdx, 0, 1)
+		pv := b.Gather(valIdx, 0, 1)
+		b.WriteRange(out, t, 1, 0, 1, pv)
+	}
+	if err := b.Commit(); err != nil {
 		return 0, err
 	}
 	return int(total), nil
@@ -49,9 +69,13 @@ func PackIndices(m *machine.Machine, flags, out, n int) (int, error) {
 	mark := m.Mark()
 	defer m.Release(mark)
 	idx := m.Alloc(n)
-	if err := m.ParDoL(n, "packidx/init", func(c *machine.Ctx, i int) {
-		c.Write(idx+i, machine.Word(i))
-	}); err != nil {
+	b := m.Bulk(n, "packidx/init")
+	iv := b.Vals(n)
+	for i := range iv {
+		iv[i] = machine.Word(i)
+	}
+	b.WriteRange(idx, n, 1, 0, 1, iv)
+	if err := b.Commit(); err != nil {
 		return 0, err
 	}
 	return Pack(m, flags, idx, out, n)

@@ -10,7 +10,9 @@ import (
 // down-sweep over a scratch tree; the access pattern is exclusive, so it
 // is legal on every model. If the machine provides a unit-time scan
 // primitive, that is used instead (one step, the scan-simd-qrqw case of
-// Section 5.2).
+// Section 5.2). Every tree level is two or three range descriptors: the
+// children of level lvl occupy the contiguous block [2*lvl, 4*lvl), so a
+// single two-cells-per-processor descriptor covers a whole sweep round.
 //
 // src and dst may coincide. The scratch memory is released before
 // returning.
@@ -37,18 +39,22 @@ func PrefixSums(m *machine.Machine, src, dst, n int) (machine.Word, error) {
 	tree := m.Alloc(2 * np2) // tree[1] is the root; leaves at tree[np2..2*np2)
 
 	// Load leaves (zero padding comes from Alloc).
-	if err := m.ParDoL(n, "prefix/load", func(c *machine.Ctx, i int) {
-		c.Write(tree+np2+i, c.Read(src+i))
-	}); err != nil {
+	b := m.Bulk(n, "prefix/load")
+	b.WriteRange(tree+np2, n, 1, 0, 1, b.ReadRange(src, n, 1, 0, 1))
+	if err := b.Commit(); err != nil {
 		return 0, err
 	}
 	// Up-sweep.
 	for w := np2 / 2; w >= 1; w /= 2 {
 		lvl := w
-		if err := m.ParDoL(lvl, "prefix/up", func(c *machine.Ctx, i int) {
-			v := lvl + i
-			c.Write(tree+v, c.Read(tree+2*v)+c.Read(tree+2*v+1))
-		}); err != nil {
+		b := m.Bulk(lvl, "prefix/up")
+		ch := b.ReadRange(tree+2*lvl, 2*lvl, 1, 0, 2)
+		sums := b.Vals(lvl)
+		for i := 0; i < lvl; i++ {
+			sums[i] = ch[2*i] + ch[2*i+1]
+		}
+		b.WriteRange(tree+lvl, lvl, 1, 0, 1, sums)
+		if err := b.Commit(); err != nil {
 			return 0, err
 		}
 	}
@@ -58,20 +64,23 @@ func PrefixSums(m *machine.Machine, src, dst, n int) (machine.Word, error) {
 	m.SetWord(tree+1, 0)
 	for w := 1; w < np2; w *= 2 {
 		lvl := w
-		if err := m.ParDoL(lvl, "prefix/down", func(c *machine.Ctx, i int) {
-			v := lvl + i
-			pre := c.Read(tree + v)
-			leftSum := c.Read(tree + 2*v)
-			c.Write(tree+2*v, pre)
-			c.Write(tree+2*v+1, pre+leftSum)
-		}); err != nil {
+		b := m.Bulk(lvl, "prefix/down")
+		pre := b.ReadRange(tree+lvl, lvl, 1, 0, 1)
+		left := b.ReadRange(tree+2*lvl, lvl, 2, 0, 1)
+		out := b.Vals(2 * lvl)
+		for i := 0; i < lvl; i++ {
+			out[2*i] = pre[i]
+			out[2*i+1] = pre[i] + left[i]
+		}
+		b.WriteRange(tree+2*lvl, 2*lvl, 1, 0, 2, out)
+		if err := b.Commit(); err != nil {
 			return 0, err
 		}
 	}
 	// Store the leaf prefixes.
-	if err := m.ParDoL(n, "prefix/store", func(c *machine.Ctx, i int) {
-		c.Write(dst+i, c.Read(tree+np2+i))
-	}); err != nil {
+	b = m.Bulk(n, "prefix/store")
+	b.WriteRange(dst, n, 1, 0, 1, b.ReadRange(tree+np2, n, 1, 0, 1))
+	if err := b.Commit(); err != nil {
 		return 0, err
 	}
 	return total, nil
@@ -89,23 +98,27 @@ func Reduce(m *machine.Machine, src, n, out int) (machine.Word, error) {
 	mark := m.Mark()
 	defer m.Release(mark)
 	tree := m.Alloc(2 * np2)
-	if err := m.ParDoL(n, "reduce/load", func(c *machine.Ctx, i int) {
-		c.Write(tree+np2+i, c.Read(src+i))
-	}); err != nil {
+	b := m.Bulk(n, "reduce/load")
+	b.WriteRange(tree+np2, n, 1, 0, 1, b.ReadRange(src, n, 1, 0, 1))
+	if err := b.Commit(); err != nil {
 		return 0, err
 	}
 	for w := np2 / 2; w >= 1; w /= 2 {
 		lvl := w
-		if err := m.ParDoL(lvl, "reduce/up", func(c *machine.Ctx, i int) {
-			v := lvl + i
-			c.Write(tree+v, c.Read(tree+2*v)+c.Read(tree+2*v+1))
-		}); err != nil {
+		b := m.Bulk(lvl, "reduce/up")
+		ch := b.ReadRange(tree+2*lvl, 2*lvl, 1, 0, 2)
+		sums := b.Vals(lvl)
+		for i := 0; i < lvl; i++ {
+			sums[i] = ch[2*i] + ch[2*i+1]
+		}
+		b.WriteRange(tree+lvl, lvl, 1, 0, 1, sums)
+		if err := b.Commit(); err != nil {
 			return 0, err
 		}
 	}
-	if err := m.ParDoL(1, "reduce/out", func(c *machine.Ctx, i int) {
-		c.Write(out, c.Read(tree+1))
-	}); err != nil {
+	b = m.Bulk(1, "reduce/out")
+	b.WriteRange(out, 1, 1, 0, 1, b.ReadRange(tree+1, 1, 1, 0, 1))
+	if err := b.Commit(); err != nil {
 		return 0, err
 	}
 	return m.Word(out), nil
@@ -123,31 +136,36 @@ func MaxReduce(m *machine.Machine, src, n, out int) (machine.Word, error) {
 	defer m.Release(mark)
 	tree := m.Alloc(2 * np2)
 	const negInf = -1 << 62
-	if err := m.ParDoL(np2, "maxreduce/load", func(c *machine.Ctx, i int) {
-		if i < n {
-			c.Write(tree+np2+i, c.Read(src+i))
-		} else {
-			c.Write(tree+np2+i, negInf)
-		}
-	}); err != nil {
+	b := m.Bulk(np2, "maxreduce/load")
+	leaf := b.Vals(np2)
+	copy(leaf, b.ReadRange(src, n, 1, 0, 1))
+	for i := n; i < np2; i++ {
+		leaf[i] = negInf
+	}
+	b.WriteRange(tree+np2, np2, 1, 0, 1, leaf)
+	if err := b.Commit(); err != nil {
 		return 0, err
 	}
 	for w := np2 / 2; w >= 1; w /= 2 {
 		lvl := w
-		if err := m.ParDoL(lvl, "maxreduce/up", func(c *machine.Ctx, i int) {
-			v := lvl + i
-			a, b := c.Read(tree+2*v), c.Read(tree+2*v+1)
-			if b > a {
-				a = b
+		b := m.Bulk(lvl, "maxreduce/up")
+		ch := b.ReadRange(tree+2*lvl, 2*lvl, 1, 0, 2)
+		tops := b.Vals(lvl)
+		for i := 0; i < lvl; i++ {
+			a, bb := ch[2*i], ch[2*i+1]
+			if bb > a {
+				a = bb
 			}
-			c.Write(tree+v, a)
-		}); err != nil {
+			tops[i] = a
+		}
+		b.WriteRange(tree+lvl, lvl, 1, 0, 1, tops)
+		if err := b.Commit(); err != nil {
 			return 0, err
 		}
 	}
-	if err := m.ParDoL(1, "maxreduce/out", func(c *machine.Ctx, i int) {
-		c.Write(out, c.Read(tree+1))
-	}); err != nil {
+	b = m.Bulk(1, "maxreduce/out")
+	b.WriteRange(out, 1, 1, 0, 1, b.ReadRange(tree+1, 1, 1, 0, 1))
+	if err := b.Commit(); err != nil {
 		return 0, err
 	}
 	return m.Word(out), nil

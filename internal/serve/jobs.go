@@ -410,6 +410,10 @@ func (m *manager) simulate(p jobParams) outcome {
 			runner.Model = &model
 		}
 		res := runner.Run(p.exp, p.sizes, p.seed)
+		for _, c := range res.Cells {
+			m.met.bulkDescriptors.Add(c.BulkDescriptors)
+			m.met.bulkExpanded.Add(c.BulkExpanded)
+		}
 		out := outcome{artifact: renderArtifact(p.exp, res), result: &res, err: res.FirstErr()}
 		if p.profile {
 			out.profText = renderProfile(res)

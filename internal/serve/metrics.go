@@ -44,6 +44,13 @@ type metrics struct {
 	cacheMisses   atomic.Int64 // submissions that had to simulate
 	cellsInflight atomic.Int64 // gauge: experiment cells executing now
 	cellsRun      atomic.Int64 // cells started since boot
+
+	// Bulk access descriptor traffic across every simulated run: how
+	// many descriptors the engine recorded and how many of them fell
+	// back to element expansion. Their difference over the total is the
+	// descriptor hit rate that makes the bulk layer pay.
+	bulkDescriptors atomic.Int64
+	bulkExpanded    atomic.Int64
 }
 
 // snapshot renders the counters, the artifact-cache occupancy, and the
@@ -62,6 +69,9 @@ func (m *metrics) snapshot(pool *core.SessionPool, cacheEntries int) map[string]
 		"pool_reuses":    ps.Reuses,
 		"pool_news":      ps.News,
 		"pool_idle":      int64(pool.Idle()),
+
+		"bulk_descriptors":     m.bulkDescriptors.Load(),
+		"expanded_descriptors": m.bulkExpanded.Load(),
 	}
 	m.runs.fill(out, "jobs")
 	m.sweeps.fill(out, "sweeps")

@@ -57,19 +57,38 @@ func DistributiveSort(m *machine.Machine, keys, n int, maxKey machine.Word) erro
 	if _, err := multicompact.Run(m, in); err != nil {
 		return err
 	}
-	// Rewrite bucket cells from item ids to key values.
+	// Rewrite bucket cells from item ids to key values. Every item id
+	// appears in exactly one occupied bucket cell, so the occupied
+	// cells' key reads are — up to processor relabeling — one read of
+	// the whole keys region, and the writes an ascending scatter.
 	bvals := m.Alloc(in.BLen)
-	if err := m.ParDoL(in.BLen, "dsort/vals", func(c *machine.Ctx, j int) {
-		v := c.Read(in.B + j)
-		if v > 0 {
-			c.Write(bvals+j, c.Read(keys+int(v-1))+1)
+	{
+		b := m.Bulk(in.BLen, "dsort/vals")
+		bv := b.ReadRange(in.B, in.BLen, 1, 0, 1)
+		b.ReadRange(keys, n, 1, 0, 1)
+		wIdx := make([]int, 0, n)
+		for j, v := range bv {
+			if v > 0 {
+				wIdx = append(wIdx, bvals+j)
+			}
 		}
-	}); err != nil {
-		return err
+		wv := b.Vals(len(wIdx))
+		t := 0
+		for _, v := range bv {
+			if v > 0 {
+				wv[t] = m.Word(keys+int(v-1)) + 1
+				t++
+			}
+		}
+		b.Scatter(wIdx, 0, 1, wv)
+		if err := b.Commit(); err != nil {
+			return err
+		}
 	}
 	// Each subinterval is sorted sequentially by its standby processor
 	// (the paper's bucketed heapsort finishing, here charged as
 	// O(b lg b) compute).
+	zeros := make([]machine.Word, in.BLen)
 	if err := m.ParDoL(buckets, "dsort/seq", func(c *machine.Ctx, j int) {
 		ptr := int(c.Read(in.Ptrs + j))
 		cnt := int(c.Read(in.Counts + j))
@@ -77,35 +96,35 @@ func DistributiveSort(m *machine.Machine, keys, n int, maxKey machine.Word) erro
 			return
 		}
 		vals := make([]machine.Word, 0, cnt)
-		for s := 0; s < 4*cnt; s++ {
-			v := c.Read(bvals + ptr + s)
+		for _, v := range c.ReadRange(bvals+ptr, 4*cnt, 1) {
 			if v != 0 {
 				vals = append(vals, v-1)
 			}
 		}
 		insertionSort(vals)
 		c.Compute(cnt * prim.Max(1, prim.CeilLog2(cnt+1)))
-		for idx, v := range vals {
-			c.Write(bvals+ptr+idx, v+1)
-			if idx < 4*cnt && idx < len(vals) {
-				// earlier cells rewritten above; clear the rest below
-			}
+		for idx := range vals {
+			vals[idx]++
 		}
-		for s := len(vals); s < 4*cnt; s++ {
-			c.Write(bvals+ptr+s, 0)
-		}
+		c.WriteRange(bvals+ptr, len(vals), 1, vals)
+		c.WriteRange(bvals+ptr+len(vals), 4*cnt-len(vals), 1, zeros[:4*cnt-len(vals)])
 	}); err != nil {
 		return err
 	}
 	// Pack all subintervals, in order, back into keys.
 	flags := m.Alloc(in.BLen)
-	if err := m.ParDoL(in.BLen, "dsort/flags", func(c *machine.Ctx, j int) {
-		if c.Read(bvals+j) != 0 {
-			c.Write(flags+j, 1)
+	b := m.Bulk(in.BLen, "dsort/flags")
+	fv := b.ReadRange(bvals, in.BLen, 1, 0, 1)
+	fw := b.Vals(in.BLen)
+	for j, v := range fv {
+		if v != 0 {
+			fw[j] = 1
 		} else {
-			c.Write(flags+j, 0)
+			fw[j] = 0
 		}
-	}); err != nil {
+	}
+	b.WriteRange(flags, in.BLen, 1, 0, 1, fw)
+	if err := b.Commit(); err != nil {
 		return err
 	}
 	shifted := m.Alloc(n)
@@ -116,9 +135,14 @@ func DistributiveSort(m *machine.Machine, keys, n int, maxKey machine.Word) erro
 	if cnt != n {
 		return fmt.Errorf("sortalg: packed %d of %d keys", cnt, n)
 	}
-	return m.ParDoL(n, "dsort/out", func(c *machine.Ctx, i int) {
-		c.Write(keys+i, c.Read(shifted+i)-1)
-	})
+	b = m.Bulk(n, "dsort/out")
+	sv := b.ReadRange(shifted, n, 1, 0, 1)
+	ov := b.Vals(n)
+	for i, v := range sv {
+		ov[i] = v - 1
+	}
+	b.WriteRange(keys, n, 1, 0, 1, ov)
+	return b.Commit()
 }
 
 func insertionSort(v []machine.Word) {
@@ -155,20 +179,34 @@ func SampleSortQRQW(m *machine.Machine, keys, n int) error {
 	defer m.Release(mark)
 	samp := m.Alloc(sample)
 	// Draw the sample (random positions; duplicates are harmless).
-	if err := m.ParDoL(sample, "ssort/sample", func(c *machine.Ctx, i int) {
-		c.Write(samp+i, c.Read(keys+c.Rand().Intn(n)))
-	}); err != nil {
-		return err
+	// Bulk.Rand replays each processor's private stream, so the drawn
+	// positions — and any read contention between them — are identical
+	// to the per-processor loop.
+	{
+		b := m.Bulk(sample, "ssort/sample")
+		sIdx := make([]int, sample)
+		for i := range sIdx {
+			r := b.Rand(i)
+			sIdx[i] = keys + r.Intn(n)
+		}
+		b.WriteRange(samp, sample, 1, 0, 1, b.Gather(sIdx, 0, 1))
+		if err := b.Commit(); err != nil {
+			return err
+		}
 	}
 	// Sort the sample by all-pairs ranking: processor (i, j) pairs
 	// contribute rank counts; with s = O(sqrt(n)), s^2 = O(n) work in
-	// O(1) steps plus a scatter.
+	// O(1) steps plus a scatter. Each processor's full-sample read is
+	// one range descriptor; the descriptors overlap totally, so
+	// settlement expands them and charges the real contention s.
 	ranks := m.Alloc(sample)
 	if err := m.ParDoL(sample, "ssort/rank", func(c *machine.Ctx, i int) {
+		// The pivot cell is read once on its own and again inside the
+		// all-pairs scan, exactly as the element loop did — the repeat
+		// charges an operation but dedupes for contention.
 		ki := c.Read(samp + i)
 		r := 0
-		for j := 0; j < sample; j++ {
-			kj := c.Read(samp + j)
+		for j, kj := range c.ReadRange(samp, sample, 1) {
 			if kj < ki || (kj == ki && j < i) {
 				r++
 			}
@@ -178,11 +216,21 @@ func SampleSortQRQW(m *machine.Machine, keys, n int) error {
 	}); err != nil {
 		return err
 	}
+	// The ranks are a permutation, so the rank-ordered writes are one
+	// contiguous range: sorted[r] = the sample key of rank r.
 	sorted := m.Alloc(sample)
-	if err := m.ParDoL(sample, "ssort/scatter", func(c *machine.Ctx, i int) {
-		c.Write(sorted+int(c.Read(ranks+i)), c.Read(samp+i))
-	}); err != nil {
-		return err
+	{
+		b := m.Bulk(sample, "ssort/scatter")
+		rv := b.ReadRange(ranks, sample, 1, 0, 1)
+		sv := b.ReadRange(samp, sample, 1, 0, 1)
+		ov := b.Vals(sample)
+		for i, r := range rv {
+			ov[int(r)] = sv[i]
+		}
+		b.WriteRange(sorted, sample, 1, 0, 1, ov)
+		if err := b.Commit(); err != nil {
+			return err
+		}
 	}
 
 	// Fat-tree search: bucket of each key.
@@ -229,14 +277,24 @@ func SampleSortQRQW(m *machine.Machine, keys, n int) error {
 	if err := prim.FillPar(m, arena, s*blk, inf); err != nil {
 		return err
 	}
-	if err := m.ParDoL(n, "ssort/move", func(c *machine.Ctx, i int) {
-		p := int(c.Read(res.Pos + i))
-		l := labels[i]
-		ptr := int(c.Read(in.IPtrs + i))
-		off := p - ptr // private position within the 4*count subarray
-		c.Write(arena+l*blk+off, c.Read(keys+i))
-	}); err != nil {
-		return err
+	{
+		// Three whole-region range reads; the block-slot writes are
+		// distinct cells (multicompact positions are private within a
+		// bucket, blocks are private to a bucket) but not address-
+		// ordered, so the scatter expands at settlement.
+		b := m.Bulk(n, "ssort/move")
+		pv := b.ReadRange(res.Pos, n, 1, 0, 1)
+		iv := b.ReadRange(in.IPtrs, n, 1, 0, 1)
+		kv := b.ReadRange(keys, n, 1, 0, 1)
+		wIdx := make([]int, n)
+		for i := 0; i < n; i++ {
+			off := int(pv[i]) - int(iv[i]) // private slot within the 4*count subarray
+			wIdx[i] = arena + labels[i]*blk + off
+		}
+		b.Scatter(wIdx, 0, 1, kv)
+		if err := b.Commit(); err != nil {
+			return err
+		}
 	}
 	// Segmented bitonic sort over all blocks in lockstep.
 	if err := segmentedBitonic(m, arena, s, blk); err != nil {
@@ -244,14 +302,21 @@ func SampleSortQRQW(m *machine.Machine, keys, n int) error {
 	}
 	// Concatenate blocks in splitter order, dropping padding.
 	flags := m.Alloc(s * blk)
-	if err := m.ParDoL(s*blk, "ssort/flags", func(c *machine.Ctx, j int) {
-		if c.Read(arena+j) != inf {
-			c.Write(flags+j, 1)
-		} else {
-			c.Write(flags+j, 0)
+	{
+		b := m.Bulk(s*blk, "ssort/flags")
+		av := b.ReadRange(arena, s*blk, 1, 0, 1)
+		fw := b.Vals(s * blk)
+		for j, v := range av {
+			if v != inf {
+				fw[j] = 1
+			} else {
+				fw[j] = 0
+			}
 		}
-	}); err != nil {
-		return err
+		b.WriteRange(flags, s*blk, 1, 0, 1, fw)
+		if err := b.Commit(); err != nil {
+			return err
+		}
 	}
 	out := m.Alloc(n)
 	cnt, err := prim.Pack(m, flags, arena, out, s*blk)
@@ -265,31 +330,54 @@ func SampleSortQRQW(m *machine.Machine, keys, n int) error {
 }
 
 // segmentedBitonic runs the bitonic network on every blk-cell segment of
-// the region simultaneously (one ParDo per network step).
+// the region simultaneously (one bulk step per network step, using the
+// same pairing argument as prim.BitonicSort: within every segment the
+// pairs (i, i|j) for i with bit j clear partition the segment, so one
+// two-cells-per-processor descriptor charges all reads and the swapping
+// pairs form two ascending scatter lists).
 func segmentedBitonic(m *machine.Machine, base, segs, blk int) error {
 	if blk&(blk-1) != 0 {
 		panic("sortalg: segment size must be a power of two")
 	}
 	total := segs * blk
+	listI := make([]int, 0, total/2)
+	listL := make([]int, 0, total/2)
 	for k := 2; k <= blk; k <<= 1 {
 		for j := k >> 1; j > 0; j >>= 1 {
-			kk, jj := k, j
-			if err := m.ParDoL(total, "ssort/bitonic", func(c *machine.Ctx, g int) {
-				seg := g / blk
-				i := g % blk
-				l := i ^ jj
-				if l <= i {
-					return
+			b := m.Bulk(total, "ssort/bitonic")
+			av := b.ReadRange(base, total, 1, 0, 2)
+			listI, listL = listI[:0], listL[:0]
+			// Across all segments the i with bit j clear are the
+			// runs [g, g+j) for g a multiple of 2j; bit lg(k) of i
+			// is constant on each run, so the sort direction
+			// hoists out of it.
+			for g := 0; g < total; g += 2 * j {
+				up := g&(blk-1)&k == 0
+				for i := g; i < g+j; i++ {
+					l := i + j
+					if (av[i] > av[l]) == up {
+						listI = append(listI, base+i)
+						listL = append(listL, base+l)
+					}
 				}
-				ai := base + seg*blk + i
-				al := base + seg*blk + l
-				a := c.Read(ai)
-				b := c.Read(al)
-				if (a > b) == (i&kk == 0) {
-					c.Write(ai, b)
-					c.Write(al, a)
+			}
+			if sw := len(listI); sw > 0 {
+				wi := b.Vals(sw)
+				wl := b.Vals(sw)
+				for t, a := range listI {
+					g := a - base
+					wi[t] = av[g|j]
+					wl[t] = av[g&^j]
 				}
-			}); err != nil {
+				// Within every segment the i sides carry bit j clear
+				// and the l sides bit j set; segment starts are
+				// multiples of blk >= 2j, so the two lists live in
+				// complementary residue classes mod 2j. Certify them
+				// so settlement skips the merge scan.
+				b.ScatterMod(listI, 0, 1, wi, 2*j, base, j)
+				b.ScatterMod(listL, 0, 1, wl, 2*j, base+j, j)
+			}
+			if err := b.Commit(); err != nil {
 				return err
 			}
 		}
