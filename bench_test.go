@@ -300,3 +300,45 @@ func BenchmarkNative_SortPermutation(b *testing.B) {
 		}
 	}
 }
+
+// --- Step dispatch: the resident-gang hot path ------------------------
+
+// BenchmarkStepDispatch isolates the per-step dispatch cost of the
+// resident execution gang: one machine reused across the whole run (the
+// gang arms once), issuing batches of disjoint-write ParDo steps that
+// take the fused single-barrier path. workers=1 is the serial-inline
+// baseline; workers=4 crosses the gang barrier every step. Charged
+// metrics are reset per iteration so time-units/op, pram-ops/op, and
+// max-contention stay constant at every width — the determinism gate
+// tools/benchcmp enforces. On the 1-CPU CI runner the workers=4 rows
+// measure dispatch overhead (regressions), not speedup; multi-core
+// speedups are reported in the PR.
+func BenchmarkStepDispatch(b *testing.B) {
+	const stepsPerOp = 64
+	for _, p := range []int{1 << 10, 1 << 12, 1 << 14} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("p=%d/workers=%d", p, workers), func(b *testing.B) {
+				m := machine.New(machine.QRQW, p,
+					machine.WithSeed(1),
+					machine.WithWorkers(workers),
+					machine.WithTuning(machine.Tuning{Fixed: true}))
+				defer m.Free()
+				var st machine.Stats
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.ResetStats()
+					for s := 0; s < stepsPerOp; s++ {
+						if err := m.ParDoL(p, "dispatch", func(c *machine.Ctx, j int) {
+							c.Write(j, machine.Word(j))
+						}); err != nil {
+							b.Fatal(err)
+						}
+					}
+					st = m.Stats()
+				}
+				b.StopTimer()
+				report(b, st)
+			})
+		}
+	}
+}

@@ -24,6 +24,14 @@
 //	-check         verify each experiment's expected paper shape after running
 //	-n N           problem size for selftest
 //
+// Execution tuning (host-side only — charged stats never depend on it):
+//
+//	-workers N        step-level host goroutines per machine (0 = auto:
+//	                  1 when cells run concurrently, else GOMAXPROCS)
+//	-serial-cutoff N  processor count below which a step runs serially
+//	-min-chunk N      floor on the dynamically scheduled chunk size
+//	-fixed-tuning     pin the cutoffs (disable adaptive retuning)
+//
 // Sweep flags (after `sweep <experiment>`; global -sizes/-seed/-parallel/
 // -json provide the defaults):
 //
@@ -81,6 +89,10 @@ func run() int {
 	sizesFlag := flag.String("sizes", "", "comma-separated sizes overriding each experiment's defaults")
 	modelFlag := flag.String("model", "", "charge every cell under this contention model instead of the experiment's pinned models")
 	check := flag.Bool("check", false, "verify each experiment's expected paper shape after running")
+	workers := flag.Int("workers", 0, "step-level host goroutines per machine (0 = auto)")
+	serialCutoff := flag.Int("serial-cutoff", 0, "processor count below which a step runs serially (0 = default)")
+	minChunk := flag.Int("min-chunk", 0, "floor on the dynamically scheduled chunk size (0 = default)")
+	fixedTuning := flag.Bool("fixed-tuning", false, "pin the execution cutoffs (disable adaptive retuning)")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -107,8 +119,19 @@ func run() int {
 		par = runtime.GOMAXPROCS(0)
 	}
 	pool := core.NewSessionPool()
-	if par > 1 {
+	if *workers > 0 {
+		pool.Workers = *workers
+	} else if par > 1 {
 		pool.Workers = 1
+	}
+	// Execution tuning rides on every pooled lease. Host-side only:
+	// charged stats and rendered artifacts are identical at any tuning.
+	if *serialCutoff > 0 || *minChunk > 0 || *fixedTuning {
+		pool.Tuning = &core.Tuning{
+			SerialCutoff: *serialCutoff,
+			MinChunk:     *minChunk,
+			Fixed:        *fixedTuning,
+		}
 	}
 	defer pool.Close()
 	runner := &spec.Runner{Parallel: par, Pool: pool, Model: modelOverride}

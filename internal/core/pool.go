@@ -26,6 +26,14 @@ type SessionPool struct {
 	// parallelism. Charged stats are independent of the worker count.
 	Workers int
 
+	// Tuning, when non-nil, is applied to every session the pool hands
+	// out — fresh constructions and reused leases alike — so pooled
+	// machines inherit the caller's execution tuning (serial cutoff,
+	// chunk sizing, gang width). Like Workers it must be set before the
+	// pool is used and is host-side only: charged stats are independent
+	// of it.
+	Tuning *machine.Tuning
+
 	mu   sync.Mutex
 	idle map[poolKey][]*Session
 	st   PoolStats
@@ -45,6 +53,14 @@ type PoolStats struct {
 	Acquires int64 `json:"acquires"` // total Acquire calls
 	Reuses   int64 `json:"reuses"`   // acquires satisfied by an idle session (hits)
 	News     int64 `json:"news"`     // acquires that constructed a fresh session (misses)
+
+	// Dispatch-path traffic aggregated from released sessions (Release
+	// harvests machine.GangStats before Reset clears it): resident-gang
+	// barrier crossings, fused dispatches that settled member-locally,
+	// and steps that ran on a single host goroutine.
+	GangDispatches   int64 `json:"gang_dispatches"`
+	GangFusedSettles int64 `json:"gang_fused_settles"`
+	SerialSteps      int64 `json:"serial_steps"`
 }
 
 // NewSessionPool constructs an empty pool. The zero value is also ready
@@ -69,6 +85,9 @@ func (p *SessionPool) Acquire(model machine.Model, memWords int, seed uint64) *S
 		p.st.Reuses++
 		p.mu.Unlock()
 		s.Reseed(seed)
+		if p.Tuning != nil {
+			s.SetTuning(*p.Tuning)
+		}
 		return s
 	}
 	p.st.News++
@@ -76,6 +95,9 @@ func (p *SessionPool) Acquire(model machine.Model, memWords int, seed uint64) *S
 	opts := []machine.Option{machine.WithSeed(seed)}
 	if p.Workers > 0 {
 		opts = append(opts, machine.WithWorkers(p.Workers))
+	}
+	if p.Tuning != nil {
+		opts = append(opts, machine.WithTuning(*p.Tuning))
 	}
 	return NewSession(model, memWords, opts...)
 }
@@ -93,11 +115,17 @@ func (p *SessionPool) AcquireProfiled(model machine.Model, memWords int, seed ui
 }
 
 // Release resets s and returns it to the pool for reuse. The caller must
-// not touch s (or any DeviceSlice bound to it) afterwards.
+// not touch s (or any DeviceSlice bound to it) afterwards. The session's
+// dispatch-path counters are harvested into PoolStats before the Reset
+// clears them, so the pool accumulates gang traffic across leases.
 func (p *SessionPool) Release(s *Session) {
+	gd, gf, ser := s.GangStats()
 	s.Reset()
 	key := poolKey{s.Model(), s.memWords}
 	p.mu.Lock()
+	p.st.GangDispatches += gd
+	p.st.GangFusedSettles += gf
+	p.st.SerialSteps += ser
 	if p.idle == nil {
 		p.idle = make(map[poolKey][]*Session)
 	}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"lowcontend/internal/machine"
 	"lowcontend/internal/perm"
@@ -190,5 +192,86 @@ func TestSessionPoolWorkers(t *testing.T) {
 	}
 	if s.Stats() != fresh.Stats() {
 		t.Errorf("Workers=1 stats %v, want %v", s.Stats(), fresh.Stats())
+	}
+}
+
+// sortInput builds a deterministic key slice for the gang-counter test.
+func sortInput(n int, seed Word) []Word {
+	keys := make([]Word, n)
+	v := uint64(seed)
+	for i := range keys {
+		v = v*6364136223846793005 + 1442695040888963407
+		keys[i] = Word((v >> 11) % uint64(n))
+	}
+	return keys
+}
+
+// TestSessionPoolGangCounters: pooled machines running gang-width steps
+// surface their dispatch counters through PoolStats (harvested on
+// Release), charged stats stay identical to a serial fresh session, and
+// Close retires every resident gang without leaking goroutines.
+// SortUniform drives the machine through real ParDo steps at p = n, so
+// the gang engages; descriptor-only Bulk commits (e.g. the perm
+// algorithms) settle serially by design and would not.
+func TestSessionPoolGangCounters(t *testing.T) {
+	base := runtime.NumGoroutine()
+	const n = 4096
+	fresh := NewSession(QRQW, 1<<16, WithSeed(3))
+	if err := fresh.SortUniform(sortInput(n, 3), Word(n)); err != nil {
+		t.Fatal(err)
+	}
+
+	p := &SessionPool{
+		Workers: 4,
+		Tuning:  &machine.Tuning{SerialCutoff: 512, Fixed: true},
+	}
+	s := p.Acquire(QRQW, 1<<16, 3)
+	if got := s.Machine().TuningInEffect().SerialCutoff; got != 512 {
+		t.Fatalf("pooled tuning cutoff = %d, want 512", got)
+	}
+	keys := sortInput(n, 3)
+	if err := s.SortUniform(keys, Word(n)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if keys[i-1] > keys[i] {
+			t.Fatal("gang-width sort produced unsorted output")
+		}
+	}
+	if s.Stats() != fresh.Stats() {
+		t.Errorf("gang-width pooled stats %v, want %v", s.Stats(), fresh.Stats())
+	}
+	p.Release(s)
+
+	st := p.Stats()
+	if st.GangDispatches == 0 {
+		t.Error("PoolStats.GangDispatches = 0 after a gang-width run")
+	}
+	if st.GangFusedSettles == 0 {
+		t.Error("PoolStats.GangFusedSettles = 0 after a gang-width run")
+	}
+	if st.SerialSteps == 0 {
+		t.Error("PoolStats.SerialSteps = 0 — sub-cutoff steps should run serial")
+	}
+
+	// A reused lease keeps accumulating into the pool's totals.
+	s = p.Acquire(QRQW, 1<<16, 4)
+	if err := s.SortUniform(sortInput(n, 4), Word(n)); err != nil {
+		t.Fatal(err)
+	}
+	p.Release(s)
+	if st2 := p.Stats(); st2.GangDispatches <= st.GangDispatches {
+		t.Errorf("GangDispatches did not accumulate: %d -> %d",
+			st.GangDispatches, st2.GangDispatches)
+	}
+
+	p.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool Close leaked gang goroutines: %d, base %d",
+				runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

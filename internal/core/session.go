@@ -44,6 +44,18 @@ func (s *Session) Err() error { return s.m.Err() }
 // recorded and how many of them expanded to element granularity.
 func (s *Session) BulkStats() (descriptors, expanded int64) { return s.m.BulkStats() }
 
+// SetTuning applies execution tuning (serial cutoff, chunk sizing, gang
+// width) to the session's machine. Tuning is a host-side knob: charged
+// stats are independent of it.
+func (s *Session) SetTuning(t machine.Tuning) { s.m.SetTuning(t) }
+
+// GangStats reports the machine's dispatch-path traffic: resident-gang
+// barrier crossings, fused dispatches that settled member-locally, and
+// steps that ran on a single host goroutine.
+func (s *Session) GangStats() (dispatches, fusedSettles, serialSteps int64) {
+	return s.m.GangStats()
+}
+
 // Reset returns the session to a pristine state — memory zeroed,
 // allocations released, stats cleared — while keeping every backing
 // array allocated, so a session can be reused across algorithm runs

@@ -980,6 +980,12 @@ type bulkSettle struct {
 	reads, writes, computes int64
 	simdViol                bool
 	simdCount               int64
+	simdProc                int // lowest processor violating the SIMD rule
+	// expanded records that at least one descriptor expanded into the
+	// scalar buffers this step. A fused gang step must then take the
+	// sharded path: expansion splices cells the per-chunk bounds never
+	// saw, so the chunk-disjointness proof no longer covers them.
+	expanded bool
 }
 
 // settleBulk processes every recorded descriptor of the step: it
@@ -990,6 +996,7 @@ type bulkSettle struct {
 // elements flow through the per-cell counters exactly like scalar code.
 func (m *Machine) settleBulk(workers []*worker, bs *bulkSettle) {
 	bs.maxRAddr, bs.maxWAddr = -1, -1
+	bs.simdProc = -1
 	nd := 0
 	for _, w := range workers {
 		m.bulkDescs += w.bulkRecN
@@ -1079,6 +1086,7 @@ func (m *Machine) settleBulk(workers []*worker, bs *bulkSettle) {
 					// the processor scalar replay would report.
 					bs.simdViol = true
 					bs.simdCount = mo
+					bs.simdProc = p
 				}
 			}
 		}
@@ -1095,13 +1103,31 @@ func (m *Machine) settleBulk(workers []*worker, bs *bulkSettle) {
 	wForbidden := m.cm.violation(1, 2) != ""
 	rItems := m.bulkR[:0]
 	wItems := m.bulkW[:0]
+	if m.gangActive {
+		// Fused gang step: the workers' scalar bounds are stale
+		// chunk-locals (reset around every claimed chunk), so the opaque
+		// scalar intervals come from the per-chunk bounds instead — one
+		// interval per touched chunk, independent of the chunk schedule.
+		for i := range m.chunkB {
+			b := &m.chunkB[i]
+			if b.rHi >= b.rLo {
+				rItems = append(rItems, bulkItem{nil, b.rLo, b.rHi})
+			}
+			if b.wHi >= b.wLo {
+				wItems = append(wItems, bulkItem{nil, b.wLo, b.wHi})
+			}
+		}
+	} else {
+		for _, w := range workers {
+			if w.rHi >= w.rLo {
+				rItems = append(rItems, bulkItem{nil, w.rLo, w.rHi})
+			}
+			if w.wHi >= w.wLo {
+				wItems = append(wItems, bulkItem{nil, w.wLo, w.wHi})
+			}
+		}
+	}
 	for _, w := range workers {
-		if w.rHi >= w.rLo {
-			rItems = append(rItems, bulkItem{nil, w.rLo, w.rHi})
-		}
-		if w.wHi >= w.wLo {
-			wItems = append(wItems, bulkItem{nil, w.wLo, w.wHi})
-		}
 		for i := range w.descs {
 			d := &w.descs[i]
 			if !d.kind.cells() {
@@ -1144,6 +1170,7 @@ func (m *Machine) settleBulk(workers []*worker, bs *bulkSettle) {
 			}
 			if d.expand {
 				expand = true
+				bs.expanded = true
 				m.bulkExpanded++
 				continue
 			}
@@ -1151,12 +1178,15 @@ func (m *Machine) settleBulk(workers []*worker, bs *bulkSettle) {
 			if d.stride == 0 {
 				k = int64(d.nprocs())
 			}
+			// Count ties break toward the smallest address (a charge-only
+			// sentinel at -1 never wins one), so the arg-max is the same
+			// whatever order the workers hold the descriptors in.
 			if d.kind == bulkRead {
-				if k > bs.maxR {
+				if k > bs.maxR || (k == bs.maxR && (bs.maxRAddr < 0 || d.lo < bs.maxRAddr)) {
 					bs.maxR, bs.maxRAddr = k, d.lo
 				}
 			} else {
-				if k > bs.maxW {
+				if k > bs.maxW || (k == bs.maxW && (bs.maxWAddr < 0 || d.lo < bs.maxWAddr)) {
 					bs.maxW, bs.maxWAddr = k, d.lo
 				}
 				m.applyDesc(d)

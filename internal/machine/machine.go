@@ -25,13 +25,17 @@
 // Each model's cost and legality rules live behind the costModel
 // interface in model.go; the step loop in step.go is model-agnostic.
 //
-// The simulator is itself a parallel Go program: the virtual processors
-// of a step are sharded over GOMAXPROCS goroutines, and contention
+// The simulator is itself a parallel Go program: steps at or above the
+// serial cutoff execute on the machine's resident gang (gang.go) — worker
+// goroutines parked on an epoch barrier between steps that claim
+// fixed-size processor chunks from an atomic cursor — and contention
 // counting uses atomic per-cell counters that are reset via touched-address
 // lists so that cost is proportional to the operations actually performed.
-// Steps whose shards provably touch disjoint address ranges (and every
+// Steps whose chunks provably touch disjoint address ranges (and every
 // single-worker step) settle on a contention-free fast path with no
-// atomics and no inter-phase barriers.
+// atomics: gang members settle their own cells inside the same dispatch
+// that ran the bodies, one barrier per step. Charged stats are
+// bit-identical at any worker count and any chunk schedule.
 package machine
 
 import (
@@ -90,6 +94,31 @@ type Machine struct {
 	bulkDescs    int64
 	bulkExpanded int64
 	noBulkFast   bool
+
+	// Resident execution gang state (gang.go): the lazily armed worker
+	// goroutines, the fused step descriptor they share, per-chunk bounds
+	// and scratch, and the dispatch-path counters. effCutoff/effMinChunk/
+	// chunksPer are the execution tuning in effect — defaults from the
+	// package constants, overridable via Tuning, adapted from measured
+	// step timings unless fixedTuning.
+	gang        *gang
+	gstep       gangStep
+	gangBS      bulkSettle
+	gangActive  bool // a fused gang step is settling (settleBulk uses per-chunk intervals)
+	chunkB      []chunkBounds
+	ivScratch   []addrIv
+	contScratch []writeOp
+	finalized   bool // the retire-on-GC finalizer is installed
+
+	effCutoff   int
+	effMinChunk int
+	chunksPer   int
+	fixedTuning bool
+	ad          adaptState
+
+	gangDispatches int64 // gang barrier crossings (fused steps + sharded phases)
+	gangFused      int64 // fused dispatches that settled member-locally
+	serialSteps    int64 // steps settled on a single host goroutine
 }
 
 // Option configures a Machine at construction time.
@@ -170,10 +199,13 @@ func New(model Model, memWords int, opts ...Option) *Machine {
 		panic("machine: negative memory size")
 	}
 	m := &Machine{
-		model:      model,
-		cm:         model.rules(),
-		seed:       1,
-		maxWorkers: runtime.GOMAXPROCS(0),
+		model:       model,
+		cm:          model.rules(),
+		seed:        1,
+		maxWorkers:  runtime.GOMAXPROCS(0),
+		effCutoff:   serialCutoff,
+		effMinChunk: minChunk,
+		chunksPer:   defaultChunksPerWorker,
 	}
 	for _, o := range opts {
 		o(m)
@@ -317,12 +349,14 @@ func (m *Machine) ResetStats() {
 	m.err = nil
 	m.stepIndex = 0
 	m.bulkDescs, m.bulkExpanded = 0, 0
+	m.gangDispatches, m.gangFused, m.serialSteps = 0, 0, 0
 }
 
 // Reset zeroes memory, releases all allocations, clears statistics and
 // the trace, and restores the construction-time profiling settings,
 // keeping every backing array (mem, the contention scratch, and the
-// pooled step workers) at its current capacity. It is the cheap way to
+// pooled step workers) at its current capacity — and the resident gang,
+// if armed, stays parked and re-arms nothing. It is the cheap way to
 // reuse one Machine across algorithm runs without reallocating, and the
 // reason pooled sessions can never leak a previous run's trace or
 // tracing cost.
@@ -334,13 +368,16 @@ func (m *Machine) Reset() {
 }
 
 // Free releases the machine's backing stores: shared memory, the
-// contention-accounting scratch arrays, and the per-step worker buffers
-// (which return to a package-level pool for other machines to reuse).
+// contention-accounting scratch arrays, the per-step worker buffers
+// (which return to a package-level pool for other machines to reuse),
+// and the resident execution gang — its goroutines exit before Free
+// returns, so a freed machine holds no host resources at all.
 // The machine stays valid — allocation restarts at address zero and the
 // arrays are re-grown on demand — but unlike Reset nothing is retained,
 // so Free is the right call when a machine becomes idle for a long time
 // or was sized for a much larger workload than what follows.
 func (m *Machine) Free() {
+	m.retireGang() // synchronously: no resident goroutines survive Free
 	m.mem, m.countsR, m.countsW = nil, nil, nil
 	m.brk = 0
 	for _, w := range m.pool {
@@ -350,6 +387,7 @@ func (m *Machine) Free() {
 	m.hotMerge = nil
 	m.bulkB = Bulk{}
 	m.bulkEv, m.bulkR, m.bulkW = nil, nil, nil
+	m.chunkB, m.ivScratch, m.contScratch = nil, nil, nil
 	m.DisableProfiling()
 	m.ResetStats()
 }

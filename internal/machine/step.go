@@ -7,16 +7,17 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lowcontend/internal/xrand"
 )
 
-// serialCutoff is the processor count below which a step runs on a single
-// host goroutine.
+// serialCutoff is the default processor count below which a step runs on
+// a single host goroutine (Tuning.SerialCutoff overrides or adapts it).
 const serialCutoff = 2048
 
-// minChunk is the smallest shard of virtual processors assigned to one
-// host goroutine.
+// minChunk is the default floor on the size of one dynamically scheduled
+// processor chunk (Tuning.MinChunk overrides or adapts it).
 const minChunk = 1024
 
 type writeOp struct {
@@ -32,14 +33,13 @@ type worker struct {
 	readAddrs []int
 	writes    []writeOp
 
-	// lo/hi bound every shared-memory address this shard touched in the
-	// current step. Pairwise-disjoint shard intervals prove that no cell
-	// is shared across shards, which licenses the contention-free fast
-	// path in parDoLabeled. They are derived at settlement from the
-	// per-kind bounds below (the bulk layer needs reads and writes
-	// bounded separately: a read descriptor only competes with other
-	// reads).
-	lo, hi             int
+	// rLo/rHi and wLo/wHi bound the shared-memory addresses this shard's
+	// scalar accesses touched, per access kind (the bulk layer needs
+	// reads and writes bounded separately: a read descriptor only
+	// competes with other reads). On the serial path they bound the whole
+	// step; on the gang path they are reset around each claimed chunk and
+	// recorded per chunk in Machine.chunkB, so the fast-path disjointness
+	// proof is independent of which member ran which chunk.
 	rLo, rHi, wLo, wHi int
 
 	// descs holds the step's bulk access descriptors (see bulk.go);
@@ -77,6 +77,11 @@ type worker struct {
 	maxWAddr  int
 	simdViol  bool
 	simdCount int64
+	simdProc  int // lowest processor index violating the SIMD rule
+
+	// contended queues this shard's writes to cells other shards also
+	// wrote, for the sharded path's processor-order arbitration pass.
+	contended []writeOp
 
 	// hotR/hotW hold this shard's hot-cell candidates — its top-K
 	// addresses by read and by write contention — when hot-cell
@@ -116,7 +121,6 @@ func putWorker(w *worker) {
 func (w *worker) reset() {
 	w.readAddrs = w.readAddrs[:0]
 	w.writes = w.writes[:0]
-	w.lo, w.hi = math.MaxInt, -1
 	w.rLo, w.rHi = math.MaxInt, -1
 	w.wLo, w.wHi = math.MaxInt, -1
 	w.descs = w.descs[:0]
@@ -131,6 +135,8 @@ func (w *worker) reset() {
 	w.maxRAddr, w.maxWAddr = -1, -1
 	w.simdViol = false
 	w.simdCount = 0
+	w.simdProc = -1
+	w.contended = w.contended[:0]
 	w.hotR = w.hotR[:0]
 	w.hotW = w.hotW[:0]
 }
@@ -340,8 +346,13 @@ func (w *worker) afterProc(c *Ctx, simd bool) {
 	w.writesN += c.wr
 	w.computes += c.cp
 	if simd && (c.r > 1 || c.wr > 1 || c.cp > 1) && !w.simdViol {
+		// Processors run in ascending index order within a shard (and
+		// within each gang chunk, with chunks claimed in ascending
+		// order), so the first violation seen is this shard's
+		// lowest-indexed violator — the merge picks the global minimum.
 		w.simdViol = true
 		w.simdCount = max(c.r, c.wr, c.cp)
+		w.simdProc = c.proc
 	}
 }
 
@@ -351,6 +362,14 @@ func (w *worker) runProcs(m *Machine, lo, hi int, simd bool, body func(c *Ctx, i
 	w.reset()
 	c := &w.ctx
 	c.m, c.w, c.step = m, w, m.stepIndex
+	w.runRange(lo, hi, simd, body)
+}
+
+// runRange executes the processor bodies of [lo, hi) against the
+// shard's Ctx without resetting the shard; the gang's chunk loop calls
+// it once per claimed chunk.
+func (w *worker) runRange(lo, hi int, simd bool, body func(c *Ctx, i int)) {
+	c := &w.ctx
 	for i := lo; i < hi; i++ {
 		c.proc = i
 		c.r, c.wr, c.cp = 0, 0, 0
@@ -385,111 +404,97 @@ func (m *Machine) parDoLabeled(p int, label string, body func(c *Ctx, i int)) er
 		return fmt.Errorf("machine: ParDo with %d processors", p)
 	}
 	m.stepIndex++
+	simd := m.model.SIMD()
 
-	nw := 1
-	if p >= serialCutoff && m.maxWorkers > 1 {
-		nw = (p + minChunk - 1) / minChunk
-		if nw > m.maxWorkers {
-			nw = m.maxWorkers
-		}
+	// Route: steps at or above the serial cutoff go to the resident gang
+	// (gang.go) when one can engage; everything else runs inline on a
+	// single host goroutine — no dispatch, no closures, no allocation.
+	if m.maxWorkers > 1 && p >= m.effCutoff {
+		return m.gangRun(p, label, simd, body)
 	}
-	for len(m.pool) < nw {
+	if len(m.pool) < 1 {
 		m.pool = append(m.pool, getWorker())
 	}
-	workers := m.pool[:nw]
-	chunk := (p + nw - 1) / nw
-
-	// Phase 0: run all processor bodies. Writes are buffered, so reads
-	// observe pre-step memory. The single-worker case runs inline — no
-	// shard closure, no goroutines — so an untraced step allocates
-	// nothing.
-	simd := m.model.SIMD()
-	if nw == 1 {
-		workers[0].runProcs(m, 0, p, simd, body)
-	} else {
-		runShards(nw, func(s int) {
-			lo, hi := s*chunk, (s+1)*chunk
-			if hi > p {
-				hi = p
-			}
-			workers[s].runProcs(m, lo, hi, simd, body)
-		})
+	adapt := m.adaptive()
+	var t0 time.Time
+	if adapt {
+		t0 = time.Now()
 	}
-	return m.finishStep(p, label, workers)
+	m.pool[0].runProcs(m, 0, p, simd, body)
+	if adapt {
+		m.observeSerial(p, time.Since(t0))
+	}
+	return m.finishStep(p, label, m.pool[:1])
 }
 
-// finishStep settles one executed step — bulk descriptors first, then
-// the scalar buffers — merges the accounting, checks model legality,
-// and charges the step. It is shared by ParDo (after Phase 0 ran the
-// bodies) and Bulk.Commit (descriptor-only steps, no bodies).
+// finishStep settles one step executed on a single worker — bulk
+// descriptors first, then the scalar buffers — and merges, polices, and
+// charges it. It is shared by the serial ParDo route and Bulk.Commit
+// (descriptor-only steps, no bodies); gang steps settle inside the fused
+// dispatch (gang.go) and merge through the same mergeAndCharge.
 func (m *Machine) finishStep(p int, label string, workers []*worker) error {
-	nw := len(workers)
-
-	// Bulk settlement runs before everything else: descriptors it can
-	// prove disjoint settle analytically here, and the rest expand into
-	// the scalar buffers so the passes below see them as ordinary
-	// elements.
+	m.serialSteps++
 	var bs bulkSettle
 	m.settleBulk(workers, &bs)
-	for _, w := range workers {
-		w.lo = min(w.rLo, w.wLo)
-		w.hi = max(w.rHi, w.wHi)
-	}
-
-	// Fast path: when the shards' touched-address intervals are pairwise
-	// disjoint (trivially so on a single worker), no cell is shared
-	// across shards, so contention can be counted and writes applied
-	// shard-locally — one parallel pass, no atomics, no barriers between
-	// counting, applying, and resetting.
-	if !m.noFastPath && shardsDisjoint(workers) {
+	// A single worker owns every cell it touched, so the contention-free
+	// local settlement is always legal (noFastPath still forces the
+	// sharded machinery, for testing that both paths charge identically).
+	if !m.noFastPath {
 		m.fastSteps++
-		if nw == 1 {
-			workers[0].settleLocal(m)
-		} else {
-			runShards(nw, func(s int) { workers[s].settleLocal(m) })
-		}
+		workers[0].settleLocal(m)
 	} else {
-		m.settleSharded(nw, workers)
+		m.settleSharded(1, workers)
 	}
+	return m.mergeAndCharge(p, label, workers, &bs)
+}
 
-	// Merge accounting.
+// mergeAndCharge merges the workers' and the bulk layer's accounting,
+// checks model legality, and charges the step. Every fold is
+// order-independent — sums, maxima with a smallest-address (or
+// lowest-processor) tie-break — so the result is identical whatever
+// partition of the step's processors produced the workers' buffers.
+func (m *Machine) mergeAndCharge(p int, label string, workers []*worker, bs *bulkSettle) error {
 	var maxOps, maxR, maxW int64
 	maxRAddr, maxWAddr := -1, -1
 	var reads, writes, computes int64
 	simdViol := false
 	var simdCount int64
+	simdProc := math.MaxInt
 	for _, w := range workers {
 		if w.maxOps > maxOps {
 			maxOps = w.maxOps
 		}
-		if w.maxR > maxR {
+		if w.maxR > maxR || (w.maxR == maxR && maxR > 0 && w.maxRAddr < maxRAddr) {
 			maxR, maxRAddr = w.maxR, w.maxRAddr
 		}
-		if w.maxW > maxW {
+		if w.maxW > maxW || (w.maxW == maxW && maxW > 0 && w.maxWAddr < maxWAddr) {
 			maxW, maxWAddr = w.maxW, w.maxWAddr
 		}
 		reads += w.reads
 		writes += w.writesN
 		computes += w.computes
-		if w.simdViol && !simdViol {
+		if w.simdViol && w.simdProc < simdProc {
 			simdViol = true
 			simdCount = w.simdCount
+			simdProc = w.simdProc
 		}
 	}
 	// Fold in the bulk layer's analytic contributions (uncharged
 	// descriptor totals, per-processor load, and the contention of
-	// descriptors that settled without expansion).
+	// descriptors that settled without expansion). bs.maxRAddr/maxWAddr
+	// may be the -1 sentinel (charge-only descriptors); a sentinel never
+	// wins a tie against a real address.
 	maxOps = max(maxOps, bs.maxOps)
-	if bs.maxR > maxR {
+	if bs.maxR > maxR || (bs.maxR == maxR && maxR > 0 && bs.maxRAddr >= 0 && bs.maxRAddr < maxRAddr) {
 		maxR, maxRAddr = bs.maxR, bs.maxRAddr
 	}
-	if bs.maxW > maxW {
+	if bs.maxW > maxW || (bs.maxW == maxW && maxW > 0 && bs.maxWAddr >= 0 && bs.maxWAddr < maxWAddr) {
 		maxW, maxWAddr = bs.maxW, bs.maxWAddr
 	}
 	reads += bs.reads
 	writes += bs.writes
 	computes += bs.computes
-	if bs.simdViol && !simdViol {
+	if bs.simdViol && bs.simdProc < simdProc {
 		simdViol = true
 		simdCount = bs.simdCount
 	}
@@ -549,35 +554,15 @@ func (m *Machine) finishStep(p int, label string, workers []*worker) error {
 	return nil
 }
 
-// shardsDisjoint reports whether the workers' touched-address intervals
-// are pairwise disjoint. Workers that touched nothing (hi < lo) never
-// overlap. Worker counts are bounded by GOMAXPROCS, so the quadratic
-// pairwise check is a handful of comparisons.
-func shardsDisjoint(workers []*worker) bool {
-	for i := 1; i < len(workers); i++ {
-		a := workers[i]
-		if a.hi < a.lo {
-			continue
-		}
-		for j := 0; j < i; j++ {
-			b := workers[j]
-			if b.hi < b.lo {
-				continue
-			}
-			if a.lo <= b.hi && b.lo <= a.hi {
-				return false
-			}
-		}
-	}
-	return true
-}
-
 // settleLocal counts contention, extracts the shard's maxima, applies the
 // shard's writes, and resets the scratch counters — all without atomics,
 // legal only when no other shard touches this shard's cells. Writes are
 // applied in buffer order: processors run in increasing index order
-// within a shard, so the last buffered write to a cell is the
-// highest-indexed writer, preserving the machine's arbitration invariant.
+// within a shard (gang members claim chunks in ascending order), so the
+// last buffered write to a cell is the highest-indexed writer, preserving
+// the machine's arbitration invariant. The kappa arg-max breaks count
+// ties toward the smallest address, so the reported address is the same
+// whatever partition produced the shards.
 func (w *worker) settleLocal(m *Machine) {
 	for _, a := range w.readAddrs {
 		m.countsR[a]++
@@ -586,12 +571,12 @@ func (w *worker) settleLocal(m *Machine) {
 		m.countsW[op.addr]++
 	}
 	for _, a := range w.readAddrs {
-		if c := int64(m.countsR[a]); c > w.maxR {
+		if c := int64(m.countsR[a]); c > w.maxR || (c == w.maxR && a < w.maxRAddr) {
 			w.maxR, w.maxRAddr = c, a
 		}
 	}
 	for _, op := range w.writes {
-		if c := int64(m.countsW[op.addr]); c > w.maxW {
+		if c := int64(m.countsW[op.addr]); c > w.maxW || (c == w.maxW && op.addr < w.maxWAddr) {
 			w.maxW, w.maxWAddr = c, op.addr
 		}
 		m.mem[op.addr] = op.val
@@ -609,10 +594,11 @@ func (w *worker) settleLocal(m *Machine) {
 
 // settleSharded is the general path: cells may be shared across shards,
 // so contention is counted with atomic per-cell counters and contended
-// writes are arbitrated centrally.
+// writes are arbitrated centrally. Fan-out goes through the resident
+// gang (runPar), or runs inline when nw == 1.
 func (m *Machine) settleSharded(nw int, workers []*worker) {
 	// Phase A: count contention per cell.
-	runShards(nw, func(s int) {
+	m.runPar(nw, func(s int) {
 		w := workers[s]
 		for _, a := range w.readAddrs {
 			atomic.AddInt32(&m.countsR[a], 1)
@@ -622,29 +608,27 @@ func (m *Machine) settleSharded(nw int, workers []*worker) {
 		}
 	})
 
-	// Phase B: extract per-shard contention maxima; apply sole-writer
-	// writes directly (no other shard can touch that cell) and queue
-	// contended ones for arbitration.
-	contended := make([][]writeOp, nw)
-	runShards(nw, func(s int) {
+	// Phase B: extract per-shard contention maxima (count ties break
+	// toward the smallest address, so the arg-max is independent of the
+	// chunk schedule); apply sole-writer writes directly (no other shard
+	// can touch that cell) and queue contended ones for arbitration.
+	m.runPar(nw, func(s int) {
 		w := workers[s]
 		for _, a := range w.readAddrs {
-			if c := int64(m.countsR[a]); c > w.maxR {
+			if c := int64(m.countsR[a]); c > w.maxR || (c == w.maxR && a < w.maxRAddr) {
 				w.maxR, w.maxRAddr = c, a
 			}
 		}
-		var queued []writeOp
 		for _, op := range w.writes {
-			if c := int64(m.countsW[op.addr]); c > w.maxW {
+			if c := int64(m.countsW[op.addr]); c > w.maxW || (c == w.maxW && op.addr < w.maxWAddr) {
 				w.maxW, w.maxWAddr = c, op.addr
 			}
 			if m.countsW[op.addr] == 1 {
 				m.mem[op.addr] = op.val
 			} else {
-				queued = append(queued, op)
+				w.contended = append(w.contended, op)
 			}
 		}
-		contended[s] = queued
 		// The counters still hold every cell's final count (they reset
 		// in phase C), so hot-cell candidates collected here carry
 		// global contention, exactly as on the fast path.
@@ -653,24 +637,32 @@ func (m *Machine) settleSharded(nw int, workers []*worker) {
 		}
 	})
 
-	// Arbitrate contended writes serially. Shards cover increasing
-	// processor ranges and each shard buffers writes in increasing
-	// processor order, so applying in shard-then-buffer order makes the
-	// highest-indexed writer win each cell (the machine's documented
-	// arbitration invariant). Contention is what the paper's algorithms
-	// are designed to avoid, so this list is short on every hot path —
-	// and its length is already charged to the simulated step cost.
-	for _, q := range contended {
-		for _, op := range q {
+	// Arbitrate contended writes serially, in ascending processor order:
+	// a stable sort by processor index makes the highest-indexed writer
+	// win each cell (the machine's documented arbitration invariant)
+	// regardless of which shard buffered which write — the property that
+	// keeps memory contents identical under dynamic chunk scheduling.
+	// Within one processor the stable sort preserves buffer order, i.e.
+	// program order. Contention is what the paper's algorithms are
+	// designed to avoid, so this list is short on every hot path — and
+	// its length is already charged to the simulated step cost.
+	cont := m.contScratch[:0]
+	for s := 0; s < nw; s++ {
+		cont = append(cont, workers[s].contended...)
+	}
+	if len(cont) > 0 {
+		slices.SortStableFunc(cont, func(a, b writeOp) int { return cmp.Compare(a.proc, b.proc) })
+		for _, op := range cont {
 			m.mem[op.addr] = op.val
 		}
 	}
+	m.contScratch = cont[:0]
 
 	// Phase C: reset the scratch arrays via the touched-address lists.
 	// Shards may share cells here, so the stores must be atomic (they
 	// all write zero, but racing plain writes are undefined under the
 	// Go memory model).
-	runShards(nw, func(s int) {
+	m.runPar(nw, func(s int) {
 		w := workers[s]
 		for _, a := range w.readAddrs {
 			atomic.StoreInt32(&m.countsR[a], 0)
@@ -767,21 +759,4 @@ func (m *Machine) mergeHotCells(workers []*worker) []HotCell {
 	out := slices.Clone(sc)
 	m.hotMerge = sc[:0] // keep the (possibly grown) scratch capacity
 	return out
-}
-
-// runShards executes f(0..n-1) on up to n goroutines and waits.
-func runShards(n int, f func(shard int)) {
-	if n == 1 {
-		f(0)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for s := 0; s < n; s++ {
-		go func(s int) {
-			defer wg.Done()
-			f(s)
-		}(s)
-	}
-	wg.Wait()
 }

@@ -72,6 +72,13 @@ func (m *metrics) snapshot(pool *core.SessionPool, cacheEntries int) map[string]
 
 		"bulk_descriptors":     m.bulkDescriptors.Load(),
 		"expanded_descriptors": m.bulkExpanded.Load(),
+
+		// Dispatch-path traffic of the pooled machines (harvested by the
+		// session pool on every release): resident-gang barrier
+		// crossings, fused single-barrier settles, and serial steps.
+		"gang_dispatches":    ps.GangDispatches,
+		"gang_fused_settles": ps.GangFusedSettles,
+		"serial_steps":       ps.SerialSteps,
 	}
 	m.runs.fill(out, "jobs")
 	m.sweeps.fill(out, "sweeps")
