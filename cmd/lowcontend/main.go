@@ -23,6 +23,9 @@
 //	               counters — so output is byte-comparable across -parallel
 //	-check         verify each experiment's expected paper shape after running
 //	-n N           problem size for selftest
+//	-timing        print per-cell wall-clock and engine execution telemetry
+//	               (gang dispatches, settlement routes, cursor claims/steals,
+//	               cutoff retunes) to stderr after each run
 //
 // Execution tuning (host-side only — charged stats never depend on it):
 //
@@ -63,10 +66,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"lowcontend/internal/core"
 	"lowcontend/internal/exp"
@@ -93,6 +100,7 @@ func run() int {
 	serialCutoff := flag.Int("serial-cutoff", 0, "processor count below which a step runs serially (0 = default)")
 	minChunk := flag.Int("min-chunk", 0, "floor on the dynamically scheduled chunk size (0 = default)")
 	fixedTuning := flag.Bool("fixed-tuning", false, "pin the execution cutoffs (disable adaptive retuning)")
+	timing := flag.Bool("timing", false, "print per-cell wall-clock and engine execution telemetry to stderr after each run")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -136,6 +144,15 @@ func run() int {
 	defer pool.Close()
 	runner := &spec.Runner{Parallel: par, Pool: pool, Model: modelOverride}
 	profRunner := &spec.Runner{Parallel: par, Pool: pool, Profile: true, Model: modelOverride}
+	// -timing taps the runners' cell observer: wall-clock and engine
+	// telemetry go to stderr, so text artifacts and -json documents stay
+	// byte-identical with and without the flag.
+	var sink *timingSink
+	if *timing {
+		sink = &timingSink{}
+		runner.CellObserver = sink.observe
+		profRunner.CellObserver = sink.observe
+	}
 
 	// Resolve the argument list into an ordered action plan first, so
 	// argument errors abort before any work runs, then execute the plan
@@ -213,6 +230,9 @@ func run() int {
 			r = profRunner
 		}
 		res := r.Run(e, sz, *seed)
+		if sink != nil {
+			sink.flush(os.Stderr, res.Experiment)
+		}
 		for _, c := range res.Cells {
 			if c.Err != nil {
 				fmt.Fprintf(os.Stderr, "lowcontend: %s/%s: %v\n", res.Experiment, c.Cell, c.Err)
@@ -261,7 +281,60 @@ func run() int {
 			return code
 		}
 	}
+	if sink != nil {
+		sink.summary(os.Stderr, pool)
+	}
 	return exit
+}
+
+// timingSink collects per-cell timing spans when -timing is set; cells
+// may finish concurrently, so appends are mutex-guarded and flush sorts
+// rows back into declaration order.
+type timingSink struct {
+	mu   sync.Mutex
+	rows []timingRow
+}
+
+type timingRow struct {
+	cell          string
+	idx           int
+	wall, acquire time.Duration
+	ex            machine.ExecStats
+}
+
+func (t *timingSink) observe(res spec.CellResult, ct spec.CellTiming) {
+	t.mu.Lock()
+	t.rows = append(t.rows, timingRow{res.Cell, res.Index, ct.Wall, ct.Acquire, res.Exec})
+	t.mu.Unlock()
+}
+
+// flush prints and clears the rows collected since the previous run.
+func (t *timingSink) flush(w io.Writer, name string) {
+	t.mu.Lock()
+	rows := t.rows
+	t.rows = nil
+	t.mu.Unlock()
+	sort.Slice(rows, func(a, b int) bool { return rows[a].idx < rows[b].idx })
+	fmt.Fprintf(w, "timing: %s\n", name)
+	fmt.Fprintf(w, "  %-36s %12s %12s %6s %6s %6s %6s %7s %6s %5s\n",
+		"cell", "wall", "acquire", "disp", "fused", "shard", "serial", "chunks", "steal", "cut+-")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-36s %12v %12v %6d %6d %6d %6d %7d %6d %2d/%-2d\n",
+			r.cell, r.wall.Round(time.Microsecond), r.acquire.Round(time.Microsecond),
+			r.ex.GangDispatches, r.ex.GangFusedSettles, r.ex.GangShardedSettles,
+			r.ex.SerialSteps, r.ex.ChunksClaimed, r.ex.CursorSteals,
+			r.ex.CutoffRaises, r.ex.CutoffLowers)
+	}
+}
+
+// summary prints the invocation-wide pool and engine totals.
+func (t *timingSink) summary(w io.Writer, pool *core.SessionPool) {
+	ps, ex := pool.StatsLive()
+	fmt.Fprintf(w, "timing: pool acquires=%d reuses=%d news=%d\n", ps.Acquires, ps.Reuses, ps.News)
+	fmt.Fprintf(w, "timing: exec dispatches=%d fused=%d sharded=%d serial=%d chunks=%d steals=%d cutoff=+%d/-%d bulk=%d expanded=%d\n",
+		ex.GangDispatches, ex.GangFusedSettles, ex.GangShardedSettles, ex.SerialSteps,
+		ex.ChunksClaimed, ex.CursorSteals, ex.CutoffRaises, ex.CutoffLowers,
+		ex.BulkDescriptors, ex.BulkExpanded)
 }
 
 // sweepInvocation is a fully validated sweep subcommand, ready to run.

@@ -16,6 +16,16 @@
 //	-parallel N       per-job cell/grid parallelism when a request omits it (default 1)
 //	-max-size N       largest accepted problem size per request (default 1<<20)
 //	-drain D          graceful-shutdown drain timeout (default 30s)
+//	-debug-addr A     when set, serve net/http/pprof on a second
+//	                  listener at A; the service address never exposes it
+//
+// Every request is traced: an X-Request-ID header is accepted (or
+// minted), echoed on the response, threaded into the job it submits,
+// and logged in the structured request log on stderr. GET /metrics
+// serves flat JSON counters by default and the Prometheus text
+// exposition — latency histograms included — under ?format=prometheus;
+// GET /v1/runs/{id}/timeline (sweeps alike) serves the job's recorded
+// lifecycle timeline.
 //
 // Endpoints: GET /v1/experiments, GET /v1/runs (listing, ?state=
 // filter), POST /v1/runs (with optional "model" override and
@@ -32,6 +42,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -54,6 +65,7 @@ func run() int {
 	parallel := flag.Int("parallel", 1, "per-job cell/grid parallelism when a request omits it")
 	maxSize := flag.Int("max-size", serve.DefaultLimits().MaxSize, "largest accepted problem size per request")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this second listener (empty = disabled)")
 	flag.Parse()
 
 	// serve.Config gives negative Workers a tests-only meaning (zero
@@ -70,6 +82,7 @@ func run() int {
 		QueueDepth:   *queue,
 		Parallel:     *parallel,
 		Limits:       serve.Limits{MaxSize: *maxSize},
+		Logger:       slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	})
 
 	// Listen explicitly (rather than ListenAndServe) so -addr :0 binds
@@ -95,6 +108,25 @@ func run() int {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
+	// The profiling surface is opt-in and lives on its own listener so
+	// operators can bind it to loopback while the service address is
+	// public. Best-effort: the daemon outlives its debug listener.
+	var ds *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lowcontendd: debug listener: %v\n", err)
+			return 1
+		}
+		fmt.Printf("lowcontendd debug (pprof) on %s\n", dln.Addr())
+		ds = &http.Server{Handler: serve.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := ds.Serve(dln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "lowcontendd: debug server: %v\n", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
@@ -111,6 +143,9 @@ func run() int {
 	hctx, hcancel := context.WithTimeout(context.Background(), *drain)
 	if err := hs.Shutdown(hctx); err != nil {
 		fmt.Fprintf(os.Stderr, "lowcontendd: http shutdown: %v\n", err)
+	}
+	if ds != nil {
+		ds.Shutdown(hctx)
 	}
 	hcancel()
 	jctx, jcancel := context.WithTimeout(context.Background(), *drain)

@@ -34,9 +34,11 @@ type SessionPool struct {
 	// of it.
 	Tuning *machine.Tuning
 
-	mu   sync.Mutex
-	idle map[poolKey][]*Session
-	st   PoolStats
+	mu     sync.Mutex
+	idle   map[poolKey][]*Session
+	leased map[*Session]struct{} // sessions out on lease, for live-stat scrapes
+	st     PoolStats
+	ex     machine.ExecStats // exec telemetry harvested from released leases
 }
 
 type poolKey struct {
@@ -79,10 +81,14 @@ func (p *SessionPool) Acquire(model machine.Model, memWords int, seed uint64) *S
 	if p.idle == nil {
 		p.idle = make(map[poolKey][]*Session)
 	}
+	if p.leased == nil {
+		p.leased = make(map[*Session]struct{})
+	}
 	if ss := p.idle[key]; len(ss) > 0 {
 		s := ss[len(ss)-1]
 		p.idle[key] = ss[:len(ss)-1]
 		p.st.Reuses++
+		p.leased[s] = struct{}{}
 		p.mu.Unlock()
 		s.Reseed(seed)
 		if p.Tuning != nil {
@@ -99,7 +105,11 @@ func (p *SessionPool) Acquire(model machine.Model, memWords int, seed uint64) *S
 	if p.Tuning != nil {
 		opts = append(opts, machine.WithTuning(*p.Tuning))
 	}
-	return NewSession(model, memWords, opts...)
+	s := NewSession(model, memWords, opts...)
+	p.mu.Lock()
+	p.leased[s] = struct{}{}
+	p.mu.Unlock()
+	return s
 }
 
 // AcquireProfiled is Acquire returning a session with per-step tracing
@@ -119,13 +129,20 @@ func (p *SessionPool) AcquireProfiled(model machine.Model, memWords int, seed ui
 // dispatch-path counters are harvested into PoolStats before the Reset
 // clears them, so the pool accumulates gang traffic across leases.
 func (p *SessionPool) Release(s *Session) {
-	gd, gf, ser := s.GangStats()
-	s.Reset()
+	ex := s.ExecStats()
 	key := poolKey{s.Model(), s.memWords}
+	// Fold the harvest and drop the lease in one critical section, so a
+	// concurrent StatsLive scrape never sees the session both in the
+	// leased set and already folded into the harvested totals.
 	p.mu.Lock()
-	p.st.GangDispatches += gd
-	p.st.GangFusedSettles += gf
-	p.st.SerialSteps += ser
+	p.ex = p.ex.Add(ex)
+	p.st.GangDispatches += ex.GangDispatches
+	p.st.GangFusedSettles += ex.GangFusedSettles
+	p.st.SerialSteps += ex.SerialSteps
+	delete(p.leased, s)
+	p.mu.Unlock()
+	s.Reset()
+	p.mu.Lock()
 	if p.idle == nil {
 		p.idle = make(map[poolKey][]*Session)
 	}
@@ -133,11 +150,39 @@ func (p *SessionPool) Release(s *Session) {
 	p.mu.Unlock()
 }
 
-// Stats returns a snapshot of the pool's traffic counters.
+// Stats returns a snapshot of the pool's traffic counters. The
+// dispatch-path fields cover released leases only; StatsLive adds the
+// sessions currently out on lease.
 func (p *SessionPool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.st
+}
+
+// StatsLive returns the pool's traffic counters and aggregated
+// execution telemetry including the sessions currently out on lease,
+// whose atomic machine counters are read without waiting for Release.
+// This is the scrape-time view: a run in flight for seconds shows its
+// gang/bulk traffic immediately instead of appearing all at once when
+// the lease ends. Live values are monotone between scrapes modulo lease
+// turnover — a concurrent Release can make one scrape lag (never
+// double-count) the session it is folding in.
+func (p *SessionPool) StatsLive() (PoolStats, machine.ExecStats) {
+	p.mu.Lock()
+	st, ex := p.st, p.ex
+	leased := make([]*Session, 0, len(p.leased))
+	for s := range p.leased {
+		leased = append(leased, s)
+	}
+	p.mu.Unlock()
+	for _, s := range leased {
+		le := s.ExecStats()
+		ex = ex.Add(le)
+		st.GangDispatches += le.GangDispatches
+		st.GangFusedSettles += le.GangFusedSettles
+		st.SerialSteps += le.SerialSteps
+	}
+	return st, ex
 }
 
 // Idle returns the number of sessions currently parked in the pool,

@@ -275,3 +275,27 @@ func TestSessionPoolGangCounters(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestStatsLiveSeesLeasedSessions: the engine counters of a session
+// still out on lease are visible to StatsLive at scrape time, exactly
+// match the session's own view, and Release folds them into the pool's
+// totals without double-counting.
+func TestStatsLiveSeesLeasedSessions(t *testing.T) {
+	p := NewSessionPool()
+	defer p.Close()
+	s := p.Acquire(QRQW, 1<<12, 1)
+	if err := s.SortUniform(sortInput(1024, 1), Word(1024)); err != nil {
+		t.Fatal(err)
+	}
+	want := s.ExecStats()
+	if want.BulkDescriptors == 0 && want.SerialSteps == 0 {
+		t.Fatalf("session recorded no engine work: %+v", want)
+	}
+	if _, exLive := p.StatsLive(); exLive != want {
+		t.Errorf("live exec stats %+v != leased session's %+v", exLive, want)
+	}
+	p.Release(s)
+	if _, exAfter := p.StatsLive(); exAfter != want {
+		t.Errorf("exec stats after release %+v, want %+v (no double count)", exAfter, want)
+	}
+}

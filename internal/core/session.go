@@ -56,6 +56,14 @@ func (s *Session) GangStats() (dispatches, fusedSettles, serialSteps int64) {
 	return s.m.GangStats()
 }
 
+// ExecStats snapshots the machine's full host-execution telemetry:
+// dispatch routing, fused-vs-sharded settlement, cursor utilization,
+// adaptive-cutoff moves, and bulk descriptor traffic. Safe to call from
+// another goroutine while the session is running a program — the
+// counters are atomic — which is what lets a metrics scrape observe
+// in-flight sessions without waiting for Release.
+func (s *Session) ExecStats() machine.ExecStats { return s.m.ExecStats() }
+
 // Reset returns the session to a pristine state — memory zeroed,
 // allocations released, stats cleared — while keeping every backing
 // array allocated, so a session can be reused across algorithm runs

@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"lowcontend/internal/core"
 	"lowcontend/internal/machine"
@@ -56,12 +57,13 @@ type Ctx struct {
 	// independent of execution order.
 	Seed uint64
 
-	pool     *core.SessionPool
-	model    *machine.Model // non-nil: override every requested model
-	profiled bool           // profile every acquired session
-	hotK     int            // hot-cell top-K when profiling (0 = none)
-	sessions []*core.Session
-	meas     []Measurement
+	pool      *core.SessionPool
+	model     *machine.Model // non-nil: override every requested model
+	profiled  bool           // profile every acquired session
+	hotK      int            // hot-cell top-K when profiling (0 = none)
+	sessions  []*core.Session
+	meas      []Measurement
+	acquireNs int64 // summed wall time spent acquiring sessions
 }
 
 // Session acquires a pooled session with the given model, memory
@@ -75,12 +77,14 @@ func (c *Ctx) Session(model machine.Model, memWords int, seed uint64) *core.Sess
 	if c.model != nil {
 		model = *c.model
 	}
+	t0 := time.Now()
 	var s *core.Session
 	if c.profiled {
 		s = c.pool.AcquireProfiled(model, memWords, seed, c.hotK)
 	} else {
 		s = c.pool.Acquire(model, memWords, seed)
 	}
+	c.acquireNs += int64(time.Since(t0))
 	c.sessions = append(c.sessions, s)
 	return s
 }
@@ -121,7 +125,15 @@ type CellResult struct {
 	// BulkDescriptors is the descriptor hit rate.
 	BulkDescriptors int64
 	BulkExpanded    int64
-	Err             error
+	// Exec aggregates the host-execution telemetry of every session the
+	// cell acquired (dispatch routing, settlement paths, cursor
+	// utilization). Deliberately absent from MarshalJSON: at gang widths
+	// > 1 its values depend on the worker count, which would break the
+	// renderer's parallel-invariant JSON artifacts. Deterministic — and
+	// safe to embed in reproducible documents — only when the pool pins
+	// Workers to 1, as the daemon's pool does.
+	Exec machine.ExecStats
+	Err  error
 }
 
 // MarshalJSON renders the result with the error (if any) as a string.
@@ -206,6 +218,13 @@ type Runner struct {
 	// run concurrently, so the hook must be safe for concurrent use.
 	// Servers use it to gauge in-flight cells; it must not block.
 	CellHook func(cell string, start bool)
+	// CellObserver, when non-nil, receives each cell's finished result
+	// and wall-clock timing, after the result (measurements, exec
+	// telemetry, error) is fully assembled. Like CellHook it may be
+	// called concurrently and must not block; the timeline recorder is
+	// its consumer. The CellResult is passed by value — observers must
+	// not mutate the slices it shares with the runner's Result.
+	CellObserver func(res CellResult, t CellTiming)
 	// Profile enables per-session step tracing with hot-cell
 	// attribution: every session a cell acquires is profiled, and the
 	// aggregated profiles attach to the cell's result in acquisition
@@ -278,7 +297,28 @@ func (r *Runner) Run(e Experiment, sizes []int, seed uint64) Result {
 	return res
 }
 
+// CellTiming is the wall-clock side of one executed cell, reported to
+// CellObserver separately from the deterministic CellResult: total
+// cell duration and the portion spent acquiring pooled sessions (the
+// remainder is simulation proper).
+type CellTiming struct {
+	Wall    time.Duration
+	Acquire time.Duration
+}
+
 func (r *Runner) runCell(pool *core.SessionPool, c Cell, index int, seed uint64) (out CellResult) {
+	start := time.Now()
+	acquire := new(int64)
+	if r.CellObserver != nil {
+		// Registered first so it runs last: the aggregation defer below
+		// must finish assembling out before the observer reads it.
+		defer func() {
+			r.CellObserver(out, CellTiming{
+				Wall:    time.Since(start),
+				Acquire: time.Duration(*acquire),
+			})
+		}()
+	}
 	if r.CellHook != nil {
 		r.CellHook(c.Name, true)
 		defer r.CellHook(c.Name, false)
@@ -293,6 +333,7 @@ func (r *Runner) runCell(pool *core.SessionPool, c Cell, index int, seed uint64)
 		}
 	}
 	ctx := &Ctx{Seed: seed, pool: pool, model: r.Model, profiled: r.Profile, hotK: hotK}
+	acquire = &ctx.acquireNs
 	out = CellResult{Cell: c.Name, Index: index}
 	defer func() {
 		for _, s := range ctx.sessions {
@@ -305,6 +346,7 @@ func (r *Runner) runCell(pool *core.SessionPool, c Cell, index int, seed uint64)
 			d, x := s.BulkStats()
 			out.BulkDescriptors += d
 			out.BulkExpanded += x
+			out.Exec = out.Exec.Add(s.ExecStats())
 			pool.Release(s)
 		}
 		out.Measurements = ctx.meas

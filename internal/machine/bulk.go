@@ -999,15 +999,15 @@ func (m *Machine) settleBulk(workers []*worker, bs *bulkSettle) {
 	bs.simdProc = -1
 	nd := 0
 	for _, w := range workers {
-		m.bulkDescs += w.bulkRecN
-		m.bulkExpanded += w.bulkExpN
+		m.bulkDescs.Add(w.bulkRecN)
+		m.bulkExpanded.Add(w.bulkExpN)
 		w.bulkRecN, w.bulkExpN = 0, 0
 		nd += len(w.descs)
 	}
 	if nd == 0 {
 		return
 	}
-	m.bulkDescs += int64(nd)
+	m.bulkDescs.Add(int64(nd))
 
 	// Per-processor operation sweep over uncharged descriptors (charged
 	// ones already went through afterProc). Each descriptor contributes
@@ -1171,7 +1171,7 @@ func (m *Machine) settleBulk(workers []*worker, bs *bulkSettle) {
 			if d.expand {
 				expand = true
 				bs.expanded = true
-				m.bulkExpanded++
+				m.bulkExpanded.Add(1)
 				continue
 			}
 			k := int64(1)
@@ -1387,5 +1387,5 @@ func (w *worker) buildReplay() {
 // recording-time fallbacks). Their difference is the analytic-settle
 // hit count; a low expansion share is what makes the bulk layer pay.
 func (m *Machine) BulkStats() (descriptors, expanded int64) {
-	return m.bulkDescs, m.bulkExpanded
+	return m.bulkDescs.Load(), m.bulkExpanded.Load()
 }

@@ -102,7 +102,7 @@ func (m *Machine) TuningInEffect() Tuning {
 // for the whole step), and steps that ran on a single host goroutine.
 // ResetStats zeroes them with the rest of the counters.
 func (m *Machine) GangStats() (dispatches, fusedSettles, serialSteps int64) {
-	return m.gangDispatches, m.gangFused, m.serialSteps
+	return m.gangDispatches.Load(), m.gangFused.Load(), m.serialSteps.Load()
 }
 
 // ---------------------------------------------------------------------
@@ -317,7 +317,7 @@ func (m *Machine) gangRun(p int, label string, simd bool, body func(c *Ctx, i in
 	st.modeCh = make(chan struct{})
 
 	m.gangActive = true
-	m.gangDispatches++
+	m.gangDispatches.Add(1)
 	var t0 time.Time
 	adapt := m.adaptive()
 	if adapt {
@@ -325,8 +325,22 @@ func (m *Machine) gangRun(p int, label string, simd bool, body func(c *Ctx, i in
 	}
 	g.dispatch(m.stepMember)
 	if st.mode.Load() == gangModeSlow {
+		m.gangSharded.Add(1)
 		m.settleSharded(nw, m.pool[:nw])
 	}
+	// Utilization fold: dispatch completion orders the members' claim
+	// counters before these reads. A member's fair share is the even
+	// chunk split; claims above it are chunks stolen from slower members.
+	fair := int64((nChunks + nw - 1) / nw)
+	var claimed, steals int64
+	for _, w := range m.pool[:nw] {
+		claimed += w.claims
+		if w.claims > fair {
+			steals += w.claims - fair
+		}
+	}
+	m.chunksClaimed.Add(claimed)
+	m.cursorSteals.Add(steals)
 	m.gangActive = false
 	st.body = nil // don't pin the closure until the next step
 	err := m.mergeAndCharge(p, label, m.pool[:nw], &m.gangBS)
@@ -353,6 +367,7 @@ func (m *Machine) stepMember(member int) {
 		if ck >= st.nChunks {
 			break
 		}
+		w.claims++
 		lo := ck * cs
 		hi := min(p, lo+cs)
 		// Bounds are recorded per *chunk*: reset the per-kind bounds
@@ -412,7 +427,7 @@ func (m *Machine) decideMode() int32 {
 		return gangModeSlow
 	}
 	m.fastSteps++
-	m.gangFused++
+	m.gangFused.Add(1)
 	return gangModeFast
 }
 
@@ -471,7 +486,7 @@ func (m *Machine) runPar(n int, f func(shard int)) {
 		f(0)
 		return
 	}
-	m.gangDispatches++
+	m.gangDispatches.Add(1)
 	m.gangEnsure().dispatch(func(member int) {
 		if member < n {
 			f(member)
@@ -539,6 +554,7 @@ func (m *Machine) observeParallel(p int, d time.Duration) {
 		if m.ad.losses >= adaptLossLimit {
 			m.ad.losses = 0
 			m.effCutoff = min(2*m.effCutoff, maxSerialCutoff)
+			m.cutoffRaises.Add(1)
 		}
 	} else {
 		m.ad.losses = 0
@@ -557,5 +573,6 @@ func (m *Machine) retune() {
 		// so mid-size steps parallelize too (floored, and re-raised by
 		// the loss counter if that turns out to be a mistake).
 		m.effCutoff = max(m.effCutoff/2, minSerialCutoff)
+		m.cutoffLowers.Add(1)
 	}
 }

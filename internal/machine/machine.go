@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"runtime"
 	"slices"
+	"sync/atomic"
 )
 
 // Word is the shared-memory cell type. The PRAM convention of O(lg n)-bit
@@ -91,8 +92,8 @@ type Machine struct {
 	bulkB        Bulk
 	bulkEv       []bulkEvent
 	bulkR, bulkW []bulkItem
-	bulkDescs    int64
-	bulkExpanded int64
+	bulkDescs    atomic.Int64
+	bulkExpanded atomic.Int64
 	noBulkFast   bool
 
 	// Resident execution gang state (gang.go): the lazily armed worker
@@ -116,9 +117,17 @@ type Machine struct {
 	fixedTuning bool
 	ad          adaptState
 
-	gangDispatches int64 // gang barrier crossings (fused steps + sharded phases)
-	gangFused      int64 // fused dispatches that settled member-locally
-	serialSteps    int64 // steps settled on a single host goroutine
+	// Dispatch-path telemetry. Atomic so observers (a metrics scrape
+	// over a leased session) may read a consistent value while a step
+	// is in flight; the owning goroutine is still the only writer.
+	gangDispatches atomic.Int64 // gang barrier crossings (fused steps + sharded phases)
+	gangFused      atomic.Int64 // fused dispatches that settled member-locally
+	gangSharded    atomic.Int64 // fused dispatches routed to the sharded settlement
+	serialSteps    atomic.Int64 // steps settled on a single host goroutine
+	chunksClaimed  atomic.Int64 // cursor chunks claimed across fused dispatches
+	cursorSteals   atomic.Int64 // claims above a member's fair share (work stolen)
+	cutoffRaises   atomic.Int64 // adaptive serial-cutoff raises (gang losing)
+	cutoffLowers   atomic.Int64 // adaptive serial-cutoff halvings (gang winning)
 }
 
 // Option configures a Machine at construction time.
@@ -348,8 +357,16 @@ func (m *Machine) ResetStats() {
 	m.trace = nil
 	m.err = nil
 	m.stepIndex = 0
-	m.bulkDescs, m.bulkExpanded = 0, 0
-	m.gangDispatches, m.gangFused, m.serialSteps = 0, 0, 0
+	m.bulkDescs.Store(0)
+	m.bulkExpanded.Store(0)
+	m.gangDispatches.Store(0)
+	m.gangFused.Store(0)
+	m.gangSharded.Store(0)
+	m.serialSteps.Store(0)
+	m.chunksClaimed.Store(0)
+	m.cursorSteals.Store(0)
+	m.cutoffRaises.Store(0)
+	m.cutoffLowers.Store(0)
 }
 
 // Reset zeroes memory, releases all allocations, clears statistics and

@@ -83,6 +83,11 @@ type worker struct {
 	// wrote, for the sharded path's processor-order arbitration pass.
 	contended []writeOp
 
+	// claims counts the cursor chunks this member claimed in the current
+	// fused dispatch; gangRun folds it into the machine's utilization
+	// telemetry after the dispatch barrier.
+	claims int64
+
 	// hotR/hotW hold this shard's hot-cell candidates — its top-K
 	// addresses by read and by write contention — when hot-cell
 	// attribution is enabled. Empty (and never touched) otherwise.
@@ -129,6 +134,7 @@ func (w *worker) reset() {
 	w.retBuf = w.retBuf[:0]
 	w.bulkOnly = false
 	w.bulkRecN, w.bulkExpN = 0, 0
+	w.claims = 0
 	w.maxOps = 0
 	w.reads, w.writesN, w.computes = 0, 0, 0
 	w.maxR, w.maxW = 0, 0
@@ -433,7 +439,7 @@ func (m *Machine) parDoLabeled(p int, label string, body func(c *Ctx, i int)) er
 // (descriptor-only steps, no bodies); gang steps settle inside the fused
 // dispatch (gang.go) and merge through the same mergeAndCharge.
 func (m *Machine) finishStep(p int, label string, workers []*worker) error {
-	m.serialSteps++
+	m.serialSteps.Add(1)
 	var bs bulkSettle
 	m.settleBulk(workers, &bs)
 	// A single worker owns every cell it touched, so the contention-free

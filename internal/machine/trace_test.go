@@ -111,6 +111,34 @@ func TestUntracedParDoAllocsZero(t *testing.T) {
 	}
 }
 
+// TestUntracedGangParDoAllocBudget extends the zero-overhead-off guard
+// across the gang dispatch path with the execution-telemetry counters
+// live. The gang's own dispatch machinery allocates a fixed 6 objects
+// per step (the next epoch-chain link plus its two channels, and the
+// per-step arrival/mode barrier channels — inherent to the epoch
+// design); the telemetry — atomic counter bumps and the per-member
+// claim fold — must not raise that budget by even one object.
+func TestUntracedGangParDoAllocBudget(t *testing.T) {
+	const n = 1 << 15 // above the serial cutoff, so steps dispatch to the gang
+	m := New(QRQW, n, WithWorkers(4), WithTuning(Tuning{SerialCutoff: 256, Fixed: true}))
+	base := m.Alloc(n)
+	body := func(c *Ctx, i int) {
+		c.Read(base + i)
+		c.Write(base+i, Word(i))
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if err := m.ParDo(n, body); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 6 {
+		t.Errorf("untraced gang ParDo allocates %.1f objects/step, want <= 6 (the dispatch machinery's own budget)", avg)
+	}
+	ex := m.ExecStats()
+	if ex.GangDispatches == 0 || ex.ChunksClaimed == 0 {
+		t.Errorf("telemetry missed the gang dispatches: %+v", ex)
+	}
+}
+
 // TestStepTracesReturnsCopy: the returned slice must not alias the live
 // internal trace, and must survive Reset.
 func TestStepTracesReturnsCopy(t *testing.T) {

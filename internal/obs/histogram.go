@@ -1,0 +1,175 @@
+// Package obs provides the repo's dependency-free observability
+// primitives: fixed-bucket latency histograms safe for concurrent
+// observation, a labeled histogram family, and a writer for the
+// Prometheus text exposition format. It deliberately implements the
+// small subset of the Prometheus data model the daemon needs — no
+// client library, no registry, no dynamic bucket schemes — so the
+// module keeps its zero-dependency contract.
+package obs
+
+import (
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets are the upper bounds (seconds) used for every
+// latency histogram unless a caller supplies its own: half-millisecond
+// resolution at the fast end (cache hits, render), decade coverage up
+// to 10s for queue waits and full sweep cells. Observations above the
+// last bound land in the implicit +Inf bucket.
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram of duration observations.
+// Observe is lock-free (one atomic add per bucket/sum/count) and safe
+// for concurrent use; snapshots are consistent enough for scraping —
+// bucket counts are read individually, so a scrape racing an Observe
+// may lag it, but cumulative bucket counts are always monotone.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds, seconds
+	counts []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	sumNs  atomic.Int64
+}
+
+// NewHistogram constructs a histogram with the given ascending upper
+// bounds in seconds. Passing nil uses DefaultLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be ascending")
+	}
+	return &Histogram{
+		bounds: slices.Clone(bounds),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// HistogramSnapshot is a point-in-time read of a Histogram, with
+// bucket counts already accumulated into Prometheus's cumulative form:
+// Cumulative[i] counts observations <= Bounds[i], and the final entry
+// (the +Inf bucket) equals Count.
+type HistogramSnapshot struct {
+	Bounds     []float64
+	Cumulative []uint64
+	SumSeconds float64
+	Count      uint64
+}
+
+// Snapshot reads the histogram. Count is derived from the bucket
+// counts, so Cumulative is monotone and its +Inf entry equals Count by
+// construction even when observations race the read.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	cum := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+		cum[i] = total
+	}
+	return HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: cum,
+		SumSeconds: float64(h.sumNs.Load()) / 1e9,
+		Count:      total,
+	}
+}
+
+// HistogramVec is a family of Histograms distinguished by label values
+// — the obs analogue of a Prometheus metric with labels. Children are
+// created on first use and never expire; label sets must therefore be
+// low-cardinality (route patterns and status codes, not request IDs).
+type HistogramVec struct {
+	Name   string // metric name, e.g. "lowcontend_http_request_duration_seconds"
+	Help   string
+	Labels []string // label names, in exposition order
+	bounds []float64
+
+	mu       sync.RWMutex
+	children map[string]*vecChild
+}
+
+type vecChild struct {
+	values []string
+	h      *Histogram
+}
+
+// NewHistogramVec constructs a labeled histogram family. Nil bounds
+// use DefaultLatencyBuckets.
+func NewHistogramVec(name, help string, labels []string, bounds []float64) *HistogramVec {
+	return &HistogramVec{
+		Name:     name,
+		Help:     help,
+		Labels:   slices.Clone(labels),
+		bounds:   bounds,
+		children: make(map[string]*vecChild),
+	}
+}
+
+// vecKey joins label values with a separator that cannot appear in
+// them after sanitization; it only keys the internal map.
+const vecKeySep = "\x1f"
+
+// With returns the child histogram for the given label values,
+// creating it on first use. len(values) must equal len(vec.Labels).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.Labels) {
+		panic("obs: label value count mismatch for " + v.Name)
+	}
+	key := strings.Join(values, vecKeySep)
+	v.mu.RLock()
+	c := v.children[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return c.h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.children[key]; c != nil {
+		return c.h
+	}
+	c = &vecChild{values: slices.Clone(values), h: NewHistogram(v.bounds)}
+	v.children[key] = c
+	return c.h
+}
+
+// VecSnapshot is one child's snapshot with its label values attached.
+type VecSnapshot struct {
+	LabelValues []string
+	HistogramSnapshot
+}
+
+// Snapshot reads every child, sorted by label values so exposition
+// output is stable across scrapes.
+func (v *HistogramVec) Snapshot() []VecSnapshot {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]VecSnapshot, 0, len(keys))
+	for _, k := range keys {
+		c := v.children[k]
+		out = append(out, VecSnapshot{LabelValues: c.values, HistogramSnapshot: c.h.Snapshot()})
+	}
+	v.mu.RUnlock()
+	return out
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketPlacement: an observation lands in the first
+// bucket whose upper bound is >= the value (boundary values inclusive),
+// and one above every bound lands in +Inf.
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // <= 0.001
+	h.Observe(1 * time.Millisecond)   // == 0.001, inclusive
+	h.Observe(5 * time.Millisecond)   // <= 0.01
+	h.Observe(50 * time.Millisecond)  // <= 0.1
+	h.Observe(2 * time.Second)        // +Inf
+
+	s := h.Snapshot()
+	want := []uint64{2, 3, 4, 5} // cumulative, +Inf last
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, s.Cumulative[i], w)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	wantSum := (0.0005 + 0.001 + 0.005 + 0.05 + 2.0)
+	if diff := s.SumSeconds - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("sum = %v, want %v", s.SumSeconds, wantSum)
+	}
+}
+
+// TestHistogramCumulativeMonotone: under concurrent observation, every
+// snapshot stays monotone and its +Inf entry equals Count — the
+// invariants Prometheus requires of a histogram scrape.
+func TestHistogramCumulativeMonotone(t *testing.T) {
+	h := NewHistogram(nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := time.Duration(w+1) * time.Millisecond
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(d)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		for j := 1; j < len(s.Cumulative); j++ {
+			if s.Cumulative[j] < s.Cumulative[j-1] {
+				t.Fatalf("snapshot %d not monotone at bucket %d: %v", i, j, s.Cumulative)
+			}
+		}
+		if s.Cumulative[len(s.Cumulative)-1] != s.Count {
+			t.Fatalf("snapshot %d: +Inf bucket %d != count %d",
+				i, s.Cumulative[len(s.Cumulative)-1], s.Count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestNewHistogramPanicsOnUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram accepted descending bounds")
+		}
+	}()
+	NewHistogram([]float64{0.1, 0.01})
+}
+
+// TestHistogramVecStableOrder: children snapshot in sorted label-value
+// order regardless of creation order, so exposition output is stable.
+func TestHistogramVecStableOrder(t *testing.T) {
+	v := NewHistogramVec("x_seconds", "test.", []string{"endpoint", "status"}, []float64{1})
+	v.With("GET /b", "200").Observe(time.Millisecond)
+	v.With("GET /a", "500").Observe(time.Millisecond)
+	v.With("GET /a", "200").Observe(time.Millisecond)
+
+	snaps := v.Snapshot()
+	if len(snaps) != 3 {
+		t.Fatalf("children = %d, want 3", len(snaps))
+	}
+	wantOrder := [][]string{{"GET /a", "200"}, {"GET /a", "500"}, {"GET /b", "200"}}
+	for i, w := range wantOrder {
+		got := snaps[i].LabelValues
+		if got[0] != w[0] || got[1] != w[1] {
+			t.Errorf("snapshot[%d] labels = %v, want %v", i, got, w)
+		}
+	}
+	// Same child back on repeated With.
+	if v.With("GET /a", "200") != v.With("GET /a", "200") {
+		t.Error("With returned distinct children for identical labels")
+	}
+}
+
+// TestExpositionHistogram: the rendered family carries HELP/TYPE, the
+// cumulative le series with a +Inf terminator, and _sum/_count, with
+// label values escaped.
+func TestExpositionHistogram(t *testing.T) {
+	v := NewHistogramVec("d_seconds", "latency.", []string{"q"}, []float64{0.5, 1})
+	v.With("runs").Observe(250 * time.Millisecond)
+	v.With("runs").Observe(2 * time.Second)
+
+	var e Exposition
+	e.HistogramVec(v)
+	out := e.String()
+	for _, want := range []string{
+		"# HELP d_seconds latency.\n",
+		"# TYPE d_seconds histogram\n",
+		`d_seconds_bucket{q="runs",le="0.5"} 1` + "\n",
+		`d_seconds_bucket{q="runs",le="1"} 1` + "\n",
+		`d_seconds_bucket{q="runs",le="+Inf"} 2` + "\n",
+		`d_seconds_sum{q="runs"} 2.25` + "\n",
+		`d_seconds_count{q="runs"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionEscaping(t *testing.T) {
+	var e Exposition
+	e.Header("m", "line one\nwith \\ backslash", "gauge")
+	e.Int("m", []Label{{Name: "l", Value: `a"b\c` + "\n"}}, 7)
+	out := e.String()
+	if !strings.Contains(out, `# HELP m line one\nwith \\ backslash`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `m{l="a\"b\\c\n"} 7`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}

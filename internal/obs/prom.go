@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+)
+
+// This file renders the Prometheus text exposition format (version
+// 0.0.4): # HELP / # TYPE headers, label escaping, cumulative le
+// buckets with the +Inf terminator, and _sum/_count companions. Output
+// ordering is fully caller-determined and the helpers emit label sets
+// in a fixed order, so two scrapes of the same state are byte-equal —
+// the property the daemon's tests pin.
+
+// Label is one name="value" pair of an exposition sample.
+type Label struct {
+	Name, Value string
+}
+
+// Exposition accumulates rendered metric families.
+type Exposition struct {
+	b bytes.Buffer
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double-quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Header emits the # HELP and # TYPE lines of one metric family.
+func (e *Exposition) Header(name, help, typ string) {
+	e.b.WriteString("# HELP ")
+	e.b.WriteString(name)
+	e.b.WriteByte(' ')
+	e.b.WriteString(escapeHelp(help))
+	e.b.WriteString("\n# TYPE ")
+	e.b.WriteString(name)
+	e.b.WriteByte(' ')
+	e.b.WriteString(typ)
+	e.b.WriteByte('\n')
+}
+
+func (e *Exposition) sampleName(name string, labels []Label) {
+	e.b.WriteString(name)
+	if len(labels) == 0 {
+		return
+	}
+	e.b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			e.b.WriteByte(',')
+		}
+		e.b.WriteString(l.Name)
+		e.b.WriteString(`="`)
+		e.b.WriteString(escapeLabel(l.Value))
+		e.b.WriteByte('"')
+	}
+	e.b.WriteByte('}')
+}
+
+// Int emits one sample line with an integer value.
+func (e *Exposition) Int(name string, labels []Label, v int64) {
+	e.sampleName(name, labels)
+	e.b.WriteByte(' ')
+	e.b.WriteString(strconv.FormatInt(v, 10))
+	e.b.WriteByte('\n')
+}
+
+// Uint emits one sample line with an unsigned integer value.
+func (e *Exposition) Uint(name string, labels []Label, v uint64) {
+	e.sampleName(name, labels)
+	e.b.WriteByte(' ')
+	e.b.WriteString(strconv.FormatUint(v, 10))
+	e.b.WriteByte('\n')
+}
+
+// Float emits one sample line with a float value.
+func (e *Exposition) Float(name string, labels []Label, v float64) {
+	e.sampleName(name, labels)
+	e.b.WriteByte(' ')
+	e.b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	e.b.WriteByte('\n')
+}
+
+// HistogramVec renders one labeled histogram family: headers once,
+// then per child (in the vec's sorted label order) the cumulative
+// le-bucket series, the +Inf terminator, and the _sum/_count pair.
+func (e *Exposition) HistogramVec(v *HistogramVec) {
+	e.Header(v.Name, v.Help, "histogram")
+	for _, c := range v.Snapshot() {
+		base := make([]Label, len(v.Labels))
+		for i, n := range v.Labels {
+			base[i] = Label{Name: n, Value: c.LabelValues[i]}
+		}
+		for i, ub := range c.Bounds {
+			e.Uint(v.Name+"_bucket", append(base[:len(base):len(base)],
+				Label{Name: "le", Value: strconv.FormatFloat(ub, 'g', -1, 64)}), c.Cumulative[i])
+		}
+		e.Uint(v.Name+"_bucket", append(base[:len(base):len(base)],
+			Label{Name: "le", Value: "+Inf"}), c.Count)
+		e.Float(v.Name+"_sum", base, c.SumSeconds)
+		e.Uint(v.Name+"_count", base, c.Count)
+	}
+}
+
+// String returns the accumulated exposition text.
+func (e *Exposition) String() string { return e.b.String() }
+
+// Bytes returns the accumulated exposition text.
+func (e *Exposition) Bytes() []byte { return e.b.Bytes() }

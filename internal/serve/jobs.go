@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -41,19 +42,22 @@ type JobStatus struct {
 	Sizes      []int    `json:"sizes,omitempty"`
 	// Seed is set for runs (always on the wire, even an explicit
 	// seed 0); sweeps carry Seeds instead and omit it.
-	Seed     *uint64       `json:"seed,omitempty"`
-	Model    string        `json:"model,omitempty"`
-	Models   []string      `json:"models,omitempty"`
-	Seeds    []uint64      `json:"seeds,omitempty"`
-	Parallel int           `json:"parallel,omitempty"`
-	Profile  bool          `json:"profile,omitempty"`
-	CacheHit bool          `json:"cache_hit,omitempty"`
-	Error    string        `json:"error,omitempty"`
-	Created  time.Time     `json:"created"`
-	Started  *time.Time    `json:"started,omitempty"`
-	Finished *time.Time    `json:"finished,omitempty"`
-	Result   *spec.Result  `json:"result,omitempty"`
-	Sweep    *sweep.Result `json:"sweep,omitempty"`
+	Seed     *uint64  `json:"seed,omitempty"`
+	Model    string   `json:"model,omitempty"`
+	Models   []string `json:"models,omitempty"`
+	Seeds    []uint64 `json:"seeds,omitempty"`
+	Parallel int      `json:"parallel,omitempty"`
+	Profile  bool     `json:"profile,omitempty"`
+	// RequestID is the X-Request-ID of the submission that created this
+	// record (idempotent resubmissions keep the original's).
+	RequestID string        `json:"request_id,omitempty"`
+	CacheHit  bool          `json:"cache_hit,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	Created   time.Time     `json:"created"`
+	Started   *time.Time    `json:"started,omitempty"`
+	Finished  *time.Time    `json:"finished,omitempty"`
+	Result    *spec.Result  `json:"result,omitempty"`
+	Sweep     *sweep.Result `json:"sweep,omitempty"`
 }
 
 // outcome is what executing (or cache-serving) a job yields: the
@@ -81,6 +85,10 @@ type job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	// tl is the job's lifecycle timeline, recorded from submission on
+	// and served by GET /v1/{runs,sweeps}/{id}/timeline. The pointer is
+	// immutable after creation; the recorder locks internally.
+	tl *timeline
 }
 
 // manager owns one bounded job queue, the worker pool that drains it,
@@ -93,9 +101,12 @@ type manager struct {
 	cache    *artifactCache
 	met      *metrics    // shared cache/cell counters
 	ctr      *counterSet // this queue's own accounting
-	idPrefix string      // job id namespace ("run", "sweep")
-	parallel int         // per-job parallelism when the request says 0
-	maxJobs  int         // retained job records (finished jobs beyond this are evicted)
+	sobs     *serverObs  // shared latency histograms
+	log      *slog.Logger
+	idPrefix string // job id namespace ("run", "sweep")
+	qlabel   string // histogram queue label ("runs", "sweeps")
+	parallel int    // per-job parallelism when the request says 0
+	maxJobs  int    // retained job records (finished jobs beyond this are evicted)
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -124,13 +135,17 @@ type flight struct {
 }
 
 func newManager(pool *core.SessionPool, cache *artifactCache, met *metrics, ctr *counterSet,
+	sobs *serverObs, log *slog.Logger,
 	idPrefix string, workers, queueDepth, parallel, maxJobs int) *manager {
 	m := &manager{
 		pool:     pool,
 		cache:    cache,
 		met:      met,
 		ctr:      ctr,
+		sobs:     sobs,
+		log:      log,
 		idPrefix: idPrefix,
+		qlabel:   idPrefix + "s",
 		parallel: parallel,
 		maxJobs:  maxJobs,
 		jobs:     make(map[string]*job),
@@ -182,9 +197,9 @@ func (m *manager) safeRun(j *job) {
 			delete(m.flights, j.params.key)
 		}
 		m.mu.Unlock()
-		m.finish(j, out, false)
+		m.finish(j, out, "")
 		for _, wj := range waiters {
-			m.finish(wj, out, false)
+			m.finish(wj, out, "")
 		}
 	}()
 	m.run(j)
@@ -222,11 +237,16 @@ func (m *manager) submit(p jobParams) (JobStatus, *httpError) {
 				st.CacheHit = true
 				st.Parallel = p.parallel
 				m.mu.Unlock()
+				m.log.Info("job resubmitted", "queue", m.qlabel, "id", st.ID,
+					"request_id", p.requestID, "experiment", p.exp.Name)
 				return st, nil
 			}
 		}
 		now := time.Now().UTC()
 		m.nextID++
+		tl := newTimeline(p.requestID)
+		tl.setVia("cache")
+		tl.events = []string{"submitted", "cache_hit", "finished"}
 		j := &job{
 			id:       fmt.Sprintf("%s-%d", m.idPrefix, m.nextID),
 			params:   p,
@@ -236,6 +256,7 @@ func (m *manager) submit(p jobParams) (JobStatus, *httpError) {
 			created:  now,
 			started:  now,
 			finished: now,
+			tl:       tl,
 		}
 		m.jobs[j.id] = j
 		m.order = append(m.order, j.id)
@@ -243,14 +264,19 @@ func (m *manager) submit(p jobParams) (JobStatus, *httpError) {
 		m.evictLocked()
 		st := m.statusLocked(j)
 		m.mu.Unlock()
+		m.log.Info("job served from cache", "queue", m.qlabel, "id", j.id,
+			"request_id", p.requestID, "experiment", p.exp.Name)
 		return st, nil
 	}
 	m.nextID++
+	tl := newTimeline(p.requestID)
+	tl.events = []string{"submitted"}
 	j := &job{
 		id:      fmt.Sprintf("%s-%d", m.idPrefix, m.nextID),
 		params:  p,
 		state:   JobQueued,
 		created: time.Now().UTC(),
+		tl:      tl,
 	}
 	if m.live >= m.maxLive {
 		m.mu.Unlock()
@@ -275,6 +301,8 @@ func (m *manager) submit(p jobParams) (JobStatus, *httpError) {
 	m.ctr.submitted.Add(1)
 	m.ctr.queued.Add(1)
 	m.mu.Unlock()
+	m.log.Info("job queued", "queue", m.qlabel, "id", j.id,
+		"request_id", p.requestID, "experiment", p.exp.Name)
 	return st, nil
 }
 
@@ -314,11 +342,16 @@ func (m *manager) run(j *job) {
 	// endpoint (also under this lock) can never catch /metrics lagging.
 	m.ctr.queued.Add(-1)
 	m.ctr.running.Add(1)
+	wait := j.started.Sub(j.created)
 	m.mu.Unlock()
+	m.sobs.queueWait.With(m.qlabel).Observe(wait)
+	j.tl.setQueueWait(wait)
+	j.tl.event("dequeued")
 
 	if e, ok := m.cache.get(p.key); ok {
 		m.met.cacheHits.Add(1)
-		m.finish(j, e.out, true)
+		j.tl.event("cache_hit")
+		m.finish(j, e.out, "cache")
 		return
 	}
 
@@ -330,6 +363,7 @@ func (m *manager) run(j *job) {
 	if f, ok := m.flights[p.key]; ok {
 		f.waiters = append(f.waiters, j)
 		m.mu.Unlock()
+		j.tl.event("coalesced")
 		return
 	}
 	m.flights[p.key] = &flight{leader: j}
@@ -340,17 +374,18 @@ func (m *manager) run(j *job) {
 		// A previous leader finished — cache.put, flight deregistered —
 		// between our cache miss and registering; don't re-simulate.
 		m.met.cacheHits.Add(1)
+		j.tl.event("cache_hit")
 		out = e.out
-		m.finish(j, out, true)
+		m.finish(j, out, "cache")
 	} else {
 		m.met.cacheMisses.Add(1)
-		out = m.simulate(p)
+		out = m.simulate(p, j.tl)
 		if out.err == nil {
 			// Only fully successful outcomes are cached: a partial
 			// result must never be replayed as the canonical artifact.
 			m.cache.put(p.key, &cacheEntry{out: out})
 		}
-		m.finish(j, out, false)
+		m.finish(j, out, "")
 	}
 
 	// Complete the coalesced waiters with the identical outcome. After
@@ -362,12 +397,14 @@ func (m *manager) run(j *job) {
 	m.mu.Unlock()
 	shared := out.err == nil
 	for _, wj := range waiters {
+		via := ""
 		if shared {
 			// Coalescing, not a cache lookup — counted separately so
 			// /metrics doesn't conflate the two zero-simulation paths.
 			m.ctr.coalesced.Add(1)
+			via = "coalesce"
 		}
-		m.finish(wj, out, shared)
+		m.finish(wj, out, via)
 	}
 }
 
@@ -382,27 +419,47 @@ func (m *manager) cellHook(_ string, start bool) {
 	}
 }
 
-// simulate executes one submission and renders its artifact(s).
-func (m *manager) simulate(p jobParams) outcome {
+// simulate executes one submission and renders its artifact(s),
+// recording per-cell (or per-point) spans and render timing onto the
+// leader's timeline. Cell wall-clock durations also feed the shared
+// cell-duration histogram.
+func (m *manager) simulate(p jobParams, tl *timeline) outcome {
 	par := p.parallel
 	if par == 0 {
 		par = m.parallel
 	}
+	observeCell := func(res spec.CellResult, ct spec.CellTiming) {
+		m.sobs.cellDur.With(m.qlabel).Observe(ct.Wall)
+		tl.observeCell(res, ct)
+	}
 	switch p.kind {
 	case sweepJob:
-		runner := &sweep.Runner{Parallel: par, Pool: m.pool, CellHook: m.cellHook}
+		runner := &sweep.Runner{
+			Parallel:      par,
+			Pool:          m.pool,
+			CellHook:      m.cellHook,
+			PointObserver: tl.observePoint,
+		}
 		plan := p.plan
 		plan.Parallel = par
 		res := runner.Run(p.exp, plan)
+		tl.event("simulated")
+		t0 := time.Now()
+		artifact := sweep.RenderText(res) + "\n"
+		d := time.Since(t0)
+		m.sobs.renderDur.With(m.qlabel).Observe(d)
+		tl.addRender(d)
+		tl.event("rendered")
 		// Violating grid cells are the sweep's comparative payload, so
 		// they never fail the job; the artifact renders them.
-		return outcome{artifact: sweep.RenderText(res) + "\n", sweepRes: &res}
+		return outcome{artifact: artifact, sweepRes: &res}
 	default:
 		runner := &spec.Runner{
-			Parallel: par,
-			Pool:     m.pool,
-			Profile:  p.profile,
-			CellHook: m.cellHook,
+			Parallel:     par,
+			Pool:         m.pool,
+			Profile:      p.profile,
+			CellHook:     m.cellHook,
+			CellObserver: observeCell,
 		}
 		if p.model != "" {
 			// Validation canonicalized the name, so it always parses.
@@ -410,14 +467,16 @@ func (m *manager) simulate(p jobParams) outcome {
 			runner.Model = &model
 		}
 		res := runner.Run(p.exp, p.sizes, p.seed)
-		for _, c := range res.Cells {
-			m.met.bulkDescriptors.Add(c.BulkDescriptors)
-			m.met.bulkExpanded.Add(c.BulkExpanded)
-		}
+		tl.event("simulated")
+		t0 := time.Now()
 		out := outcome{artifact: renderArtifact(p.exp, res), result: &res, err: res.FirstErr()}
 		if p.profile {
 			out.profText = renderProfile(res)
 		}
+		d := time.Since(t0)
+		m.sobs.renderDur.With(m.qlabel).Observe(d)
+		tl.addRender(d)
+		tl.event("rendered")
 		return out
 	}
 }
@@ -438,7 +497,12 @@ func renderProfile(res spec.Result) string {
 	return spec.RenderProfiles(res) + "\n"
 }
 
-func (m *manager) finish(j *job, out outcome, hit bool) {
+// finish settles a job. via records how the submission was served
+// without simulating — "cache" (artifact cache) or "coalesce"
+// (completed by an identical in-flight leader) — and is empty for
+// simulated jobs; any non-empty via reports as cache_hit on the wire,
+// while the timeline keeps the distinction.
+func (m *manager) finish(j *job, out outcome, via string) {
 	errMsg := ""
 	state := JobDone
 	if out.err != nil {
@@ -454,7 +518,7 @@ func (m *manager) finish(j *job, out outcome, hit bool) {
 	}
 	j.state = state
 	j.out = out
-	j.cacheHit = hit
+	j.cacheHit = via != ""
 	j.errMsg = errMsg
 	j.finished = time.Now().UTC()
 	// Counters settle with the state transition (see run): the running
@@ -468,7 +532,15 @@ func (m *manager) finish(j *job, out outcome, hit bool) {
 		m.ctr.done.Add(1)
 		m.byKey[j.params.key] = j.id
 	}
+	elapsed := j.finished.Sub(j.created)
 	m.mu.Unlock()
+	if via != "" {
+		j.tl.setVia(via)
+	}
+	j.tl.event("finished")
+	m.log.Info("job finished", "queue", m.qlabel, "id", j.id,
+		"request_id", j.params.requestID, "state", string(state),
+		"via", via, "elapsed", elapsed, "error", errMsg)
 }
 
 // status returns the wire form of the job with the given id.
@@ -489,6 +561,7 @@ func (m *manager) statusLocked(j *job) JobStatus {
 		Experiment: j.params.exp.Name,
 		Sizes:      j.params.sizes,
 		Parallel:   j.params.parallel,
+		RequestID:  j.params.requestID,
 		CacheHit:   j.cacheHit,
 		Error:      j.errMsg,
 		Created:    j.created,

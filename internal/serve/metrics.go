@@ -44,21 +44,17 @@ type metrics struct {
 	cacheMisses   atomic.Int64 // submissions that had to simulate
 	cellsInflight atomic.Int64 // gauge: experiment cells executing now
 	cellsRun      atomic.Int64 // cells started since boot
-
-	// Bulk access descriptor traffic across every simulated run: how
-	// many descriptors the engine recorded and how many of them fell
-	// back to element expansion. Their difference over the total is the
-	// descriptor hit rate that makes the bulk layer pay.
-	bulkDescriptors atomic.Int64
-	bulkExpanded    atomic.Int64
 }
 
 // snapshot renders the counters, the artifact-cache occupancy, and the
 // shared session pool's traffic (hit/miss/idle) as one flat document.
 // Run-queue counters keep their historical jobs_* keys; the sweep queue
-// reports under sweeps_*.
+// reports under sweeps_*. The engine-side counters (gang and bulk
+// traffic) come from the pool's live view, so sessions still out on
+// lease — a sweep minutes into its grid — are counted at scrape time
+// rather than appearing all at once on release.
 func (m *metrics) snapshot(pool *core.SessionPool, cacheEntries int) map[string]int64 {
-	ps := pool.Stats()
+	ps, ex := pool.StatsLive()
 	out := map[string]int64{
 		"cache_hits":     m.cacheHits.Load(),
 		"cache_misses":   m.cacheMisses.Load(),
@@ -70,12 +66,12 @@ func (m *metrics) snapshot(pool *core.SessionPool, cacheEntries int) map[string]
 		"pool_news":      ps.News,
 		"pool_idle":      int64(pool.Idle()),
 
-		"bulk_descriptors":     m.bulkDescriptors.Load(),
-		"expanded_descriptors": m.bulkExpanded.Load(),
+		"bulk_descriptors":     ex.BulkDescriptors,
+		"expanded_descriptors": ex.BulkExpanded,
 
-		// Dispatch-path traffic of the pooled machines (harvested by the
-		// session pool on every release): resident-gang barrier
-		// crossings, fused single-barrier settles, and serial steps.
+		// Dispatch-path traffic of the pooled machines: resident-gang
+		// barrier crossings, fused single-barrier settles, and serial
+		// steps, live across released and leased sessions alike.
 		"gang_dispatches":    ps.GangDispatches,
 		"gang_fused_settles": ps.GangFusedSettles,
 		"serial_steps":       ps.SerialSteps,

@@ -37,7 +37,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"lowcontend/internal/core"
@@ -74,6 +77,10 @@ type Config struct {
 	// pool (step-level parallelism stays 1 so concurrent jobs are not
 	// multiplied by step-level workers) and closes it on Shutdown.
 	Pool *core.SessionPool
+	// Logger receives the daemon's structured log lines (request
+	// traces, job lifecycle). Nil discards them, which is what tests
+	// and library embedders want; cmd/lowcontendd wires stderr.
+	Logger *slog.Logger
 }
 
 // Server is the HTTP simulation service. Construct with New, mount
@@ -83,6 +90,8 @@ type Server struct {
 	ownPool bool
 	cache   *artifactCache
 	met     *metrics
+	obs     *serverObs
+	log     *slog.Logger
 	jobs    *manager // run queue
 	sweeps  *manager // sweep queue
 	mux     *http.ServeMux
@@ -116,10 +125,15 @@ func New(cfg Config) *Server {
 	if cfg.Parallel <= 0 {
 		cfg.Parallel = 1
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		pool:    cfg.Pool,
 		cache:   newArtifactCache(cfg.CacheEntries),
 		met:     &metrics{},
+		obs:     newServerObs(),
+		log:     cfg.Logger,
 		limits:  cfg.Limits.withDefaults(),
 		started: time.Now().UTC(),
 	}
@@ -128,9 +142,9 @@ func New(cfg Config) *Server {
 		s.pool.Workers = 1
 		s.ownPool = true
 	}
-	s.jobs = newManager(s.pool, s.cache, s.met, &s.met.runs,
+	s.jobs = newManager(s.pool, s.cache, s.met, &s.met.runs, s.obs, s.log,
 		"run", cfg.Workers, cfg.QueueDepth, cfg.Parallel, cfg.MaxJobs)
-	s.sweeps = newManager(s.pool, s.cache, s.met, &s.met.sweeps,
+	s.sweeps = newManager(s.pool, s.cache, s.met, &s.met.sweeps, s.obs, s.log,
 		"sweep", cfg.SweepWorkers, cfg.QueueDepth, cfg.Parallel, cfg.MaxJobs)
 	s.routes()
 	return s
@@ -146,16 +160,20 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus(s.jobs))
 	s.mux.HandleFunc("GET /v1/runs/{id}/artifact", s.handleArtifact(s.jobs))
 	s.mux.HandleFunc("GET /v1/runs/{id}/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /v1/runs/{id}/timeline", s.handleTimeline(s.jobs))
 	s.mux.HandleFunc("GET /v1/sweeps", s.handleList(s.sweeps))
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus(s.sweeps))
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/artifact", s.handleArtifact(s.sweeps))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/timeline", s.handleTimeline(s.sweeps))
+	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the route mux wrapped in
+// the tracing/latency middleware.
+func (s *Server) Handler() http.Handler { return s.withObs(s.mux) }
 
 // Shutdown drains the server: new submissions are refused with 503,
 // queued and running jobs of both queues finish (cells are never
@@ -211,6 +229,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr)
 		return
 	}
+	p.requestID = RequestIDFrom(r.Context())
 	st, herr := s.jobs.submit(p)
 	if herr != nil {
 		writeError(w, herr)
@@ -231,6 +250,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr)
 		return
 	}
+	p.requestID = RequestIDFrom(r.Context())
 	st, herr := s.sweeps.submit(p)
 	if herr != nil {
 		writeError(w, herr)
@@ -301,14 +321,72 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte(profText))
 }
 
+// handleTimeline serves one job's recorded lifecycle timeline.
+func (s *Server) handleTimeline(m *manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		doc, herr := m.timeline(r.PathValue("id"))
+		if herr != nil {
+			writeError(w, herr)
+			return
+		}
+		writeJSON(w, http.StatusOK, doc)
+	}
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, versionInfo())
+}
+
+// versionInfo assembles the build identity served by GET /v1/version
+// and echoed by /healthz: module path+version and VCS stamp when the
+// binary was built from a checkout, plus the toolchain.
+func versionInfo() map[string]any {
+	info := map[string]any{
+		"go":      runtime.Version(),
+		"module":  "lowcontend",
+		"version": "devel",
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info["module"] = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info["version"] = bi.Main.Version
+	}
+	for _, set := range bi.Settings {
+		switch set.Key {
+		case "vcs.revision":
+			info["vcs_revision"] = set.Value
+		case "vcs.time":
+			info["vcs_time"] = set.Value
+		case "vcs.modified":
+			info["vcs_modified"] = set.Value == "true"
+		}
+	}
+	return info
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+		"go":             runtime.Version(),
+		"version":        versionInfo()["version"],
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the flat JSON counter document by default and
+// the Prometheus text exposition under ?format=prometheus.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", promContentType)
+		w.WriteHeader(http.StatusOK)
+		w.Write(s.renderProm())
+		return
+	}
 	writeJSON(w, http.StatusOK, s.met.snapshot(s.pool, s.cache.len()))
 }
 

@@ -389,7 +389,7 @@ func TestFailedJobSurfacesCellErrors(t *testing.T) {
 	m.mu.Lock()
 	j := m.jobs[st.ID]
 	m.mu.Unlock()
-	m.finish(j, outcome{artifact: "partial artifact\n", result: res, err: res.FirstErr()}, false)
+	m.finish(j, outcome{artifact: "partial artifact\n", result: res, err: res.FirstErr()}, "")
 
 	fin, ok := m.status(st.ID)
 	if !ok || fin.State != JobFailed {

@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"lowcontend/internal/exp/spec"
+	"lowcontend/internal/machine"
+	"lowcontend/internal/sweep"
+)
+
+// This file implements request timelines: every submitted run or sweep
+// records its lifecycle — submission, queue wait, per-cell (or
+// per-grid-point) spans with engine telemetry deltas, cache/coalesce
+// outcomes — and serves it on GET /v1/runs/{id}/timeline (sweeps
+// alike). The document is split in two on purpose:
+//
+//   - Core is deterministic: for a given submission against the
+//     daemon's single-worker session pool it is byte-identical at any
+//     job parallelism and any worker count, because it contains only
+//     parallel-invariant facts (cell identity, measurement counts,
+//     settlement routes, exec counter deltas, lifecycle event order)
+//     with spans sorted into declaration/plan order. CI pins it with a
+//     golden file.
+//   - Timing carries every wall-clock field (timestamps, durations),
+//     parallel to Core's span order, and is never byte-compared.
+
+// Timeline is the wire form of GET /v1/{runs,sweeps}/{id}/timeline.
+type Timeline struct {
+	ID     string         `json:"id"`
+	Core   TimelineCore   `json:"core"`
+	Timing TimelineTiming `json:"timing"`
+}
+
+// TimelineCore is the deterministic half of a timeline.
+type TimelineCore struct {
+	Kind       string   `json:"kind"` // "run" | "sweep"
+	Experiment string   `json:"experiment"`
+	RequestID  string   `json:"request_id,omitempty"`
+	State      JobState `json:"state"`
+	// Via records how the submission was served without simulating:
+	// "cache" (artifact cache) or "coalesce" (completed by an identical
+	// in-flight leader). Empty for simulated jobs.
+	Via    string      `json:"via,omitempty"`
+	Error  string      `json:"error,omitempty"`
+	Events []string    `json:"events"`
+	Cells  []CellSpan  `json:"cells,omitempty"`
+	Points []PointSpan `json:"points,omitempty"`
+}
+
+// CellSpan is one experiment cell's deterministic span: identity,
+// outcome shape, the settlement route its steps took, and the engine
+// telemetry delta attributable to the cell's sessions.
+type CellSpan struct {
+	Cell         string `json:"cell"`
+	Index        int    `json:"index"`
+	Measurements int    `json:"measurements"`
+	// Settlement summarizes the dispatch route of the cell's steps:
+	// "serial" (single host goroutine throughout), "fused" (every gang
+	// dispatch settled member-locally), "sharded" (every gang dispatch
+	// took the sharded path), or "mixed".
+	Settlement string            `json:"settlement"`
+	Exec       machine.ExecStats `json:"exec"`
+	Error      string            `json:"error,omitempty"`
+}
+
+// PointSpan is one sweep grid point's deterministic span.
+type PointSpan struct {
+	Model      string `json:"model"`
+	Size       int    `json:"size"`
+	Seed       uint64 `json:"seed"`
+	Cells      int    `json:"cells"`
+	Violations int    `json:"violations"`
+	Errors     int    `json:"errors"`
+	Time       int64  `json:"time"` // charged time units, summed over the point's cells
+}
+
+// TimelineTiming is the wall-clock half of a timeline. Cells and
+// Points parallel the Core spans index-for-index.
+type TimelineTiming struct {
+	Created          time.Time         `json:"created"`
+	Started          *time.Time        `json:"started,omitempty"`
+	Finished         *time.Time        `json:"finished,omitempty"`
+	QueueWaitSeconds float64           `json:"queue_wait_seconds"`
+	RenderSeconds    float64           `json:"render_seconds"`
+	TotalSeconds     float64           `json:"total_seconds,omitempty"`
+	Cells            []CellTimingSpan  `json:"cells,omitempty"`
+	Points           []PointTimingSpan `json:"points,omitempty"`
+}
+
+// CellTimingSpan is one cell's wall-clock split: total duration, the
+// portion spent acquiring pooled sessions, and the remainder
+// (simulation proper).
+type CellTimingSpan struct {
+	Cell            string  `json:"cell"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	AcquireSeconds  float64 `json:"acquire_seconds"`
+	SimulateSeconds float64 `json:"simulate_seconds"`
+}
+
+// PointTimingSpan is one grid point's wall-clock duration.
+type PointTimingSpan struct {
+	Model       string  `json:"model"`
+	Size        int     `json:"size"`
+	Seed        uint64  `json:"seed"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// timeline is a job's in-flight lifecycle recorder. Span observers run
+// concurrently at job parallelism > 1, so appends are mutex-guarded;
+// the snapshot sorts spans into declaration/plan order, which is what
+// keeps the rendered Core independent of completion order.
+type timeline struct {
+	mu        sync.Mutex
+	requestID string
+	via       string
+	events    []string
+	cells     []cellSpanRec
+	points    []pointSpanRec
+	queueWait time.Duration
+	render    time.Duration
+}
+
+type cellSpanRec struct {
+	core          CellSpan
+	wall, acquire time.Duration
+}
+
+type pointSpanRec struct {
+	core PointSpan
+	wall time.Duration
+}
+
+func newTimeline(requestID string) *timeline {
+	return &timeline{requestID: requestID}
+}
+
+// event appends one lifecycle event. Events are appended only at
+// single-goroutine sequence points of the job's life (submit, dequeue,
+// simulate, render, finish), so their order is deterministic.
+func (t *timeline) event(kind string) {
+	t.mu.Lock()
+	t.events = append(t.events, kind)
+	t.mu.Unlock()
+}
+
+func (t *timeline) setVia(via string) {
+	t.mu.Lock()
+	t.via = via
+	t.mu.Unlock()
+}
+
+func (t *timeline) setQueueWait(d time.Duration) {
+	t.mu.Lock()
+	t.queueWait = d
+	t.mu.Unlock()
+}
+
+func (t *timeline) addRender(d time.Duration) {
+	t.mu.Lock()
+	t.render += d
+	t.mu.Unlock()
+}
+
+// settlementRoute classifies a cell's exec delta into the Settlement
+// label of its span.
+func settlementRoute(ex machine.ExecStats) string {
+	switch {
+	case ex.GangDispatches == 0:
+		return "serial"
+	case ex.GangShardedSettles == 0 && ex.SerialSteps == 0:
+		return "fused"
+	case ex.GangFusedSettles == 0 && ex.SerialSteps == 0:
+		return "sharded"
+	default:
+		return "mixed"
+	}
+}
+
+// observeCell is the spec.Runner CellObserver for a traced run job.
+func (t *timeline) observeCell(res spec.CellResult, ct spec.CellTiming) {
+	errText := ""
+	if res.Err != nil {
+		errText = res.Err.Error()
+	}
+	rec := cellSpanRec{
+		core: CellSpan{
+			Cell:         res.Cell,
+			Index:        res.Index,
+			Measurements: len(res.Measurements),
+			Settlement:   settlementRoute(res.Exec),
+			Exec:         res.Exec,
+			Error:        errText,
+		},
+		wall:    ct.Wall,
+		acquire: ct.Acquire,
+	}
+	t.mu.Lock()
+	t.cells = append(t.cells, rec)
+	t.mu.Unlock()
+}
+
+// observePoint is the sweep.Runner PointObserver for a traced sweep.
+func (t *timeline) observePoint(pt sweep.Point, wall time.Duration) {
+	rec := pointSpanRec{
+		core: PointSpan{
+			Model:      pt.Model,
+			Size:       pt.Size,
+			Seed:       pt.Seed,
+			Cells:      len(pt.Cells),
+			Violations: pt.Violations,
+			Errors:     pt.Errors,
+			Time:       pt.Time,
+		},
+		wall: wall,
+	}
+	t.mu.Lock()
+	t.points = append(t.points, rec)
+	t.mu.Unlock()
+}
+
+// timeline builds the wire document for the job with the given id.
+func (m *manager) timeline(id string) (Timeline, *httpError) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return Timeline{}, errf(http.StatusNotFound, "unknown %s %q", m.idPrefix, id)
+	}
+	doc := Timeline{
+		ID: j.id,
+		Core: TimelineCore{
+			Kind:       m.idPrefix,
+			Experiment: j.params.exp.Name,
+			State:      j.state,
+			Error:      j.errMsg,
+		},
+		Timing: TimelineTiming{Created: j.created},
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		doc.Timing.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		doc.Timing.Finished = &t
+		doc.Timing.TotalSeconds = j.finished.Sub(j.created).Seconds()
+	}
+	tl := j.tl
+	plan := j.params.plan
+	m.mu.Unlock()
+	if tl == nil {
+		return doc, nil
+	}
+
+	tl.mu.Lock()
+	doc.Core.RequestID = tl.requestID
+	doc.Core.Via = tl.via
+	doc.Core.Events = append([]string(nil), tl.events...)
+	cells := append([]cellSpanRec(nil), tl.cells...)
+	points := append([]pointSpanRec(nil), tl.points...)
+	doc.Timing.QueueWaitSeconds = tl.queueWait.Seconds()
+	doc.Timing.RenderSeconds = tl.render.Seconds()
+	tl.mu.Unlock()
+
+	// Spans into declaration order: completion order varies with job
+	// parallelism, declaration order does not.
+	sort.Slice(cells, func(a, b int) bool { return cells[a].core.Index < cells[b].core.Index })
+	for _, c := range cells {
+		doc.Core.Cells = append(doc.Core.Cells, c.core)
+		doc.Timing.Cells = append(doc.Timing.Cells, CellTimingSpan{
+			Cell:            c.core.Cell,
+			WallSeconds:     c.wall.Seconds(),
+			AcquireSeconds:  c.acquire.Seconds(),
+			SimulateSeconds: (c.wall - c.acquire).Seconds(),
+		})
+	}
+
+	// Grid points into plan order (model-major, then size, then seed).
+	rank := planRank(plan)
+	sort.Slice(points, func(a, b int) bool {
+		return rank[pointKey{points[a].core.Model, points[a].core.Size, points[a].core.Seed}] <
+			rank[pointKey{points[b].core.Model, points[b].core.Size, points[b].core.Seed}]
+	})
+	for _, p := range points {
+		doc.Core.Points = append(doc.Core.Points, p.core)
+		doc.Timing.Points = append(doc.Timing.Points, PointTimingSpan{
+			Model:       p.core.Model,
+			Size:        p.core.Size,
+			Seed:        p.core.Seed,
+			WallSeconds: p.wall.Seconds(),
+		})
+	}
+	return doc, nil
+}
+
+type pointKey struct {
+	model string
+	size  int
+	seed  uint64
+}
+
+func planRank(p sweep.Plan) map[pointKey]int {
+	rank := make(map[pointKey]int, len(p.Models)*len(p.Sizes)*len(p.Seeds))
+	i := 0
+	for _, model := range p.Models {
+		for _, size := range p.Sizes {
+			for _, seed := range p.Seeds {
+				rank[pointKey{model, size, seed}] = i
+				i++
+			}
+		}
+	}
+	return rank
+}

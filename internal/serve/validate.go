@@ -124,6 +124,10 @@ type jobParams struct {
 	profile  bool
 	plan     sweep.Plan // normalized plan (sweepJob only)
 	key      string
+	// requestID is the tracing ID of the submitting HTTP request. It is
+	// never part of the cache key: identical submissions coalesce and
+	// cache-share whatever requests carried them.
+	requestID string
 }
 
 // validate checks a run request against the registry and the limits and

@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"lowcontend/internal/core"
 	"lowcontend/internal/exp/spec"
@@ -184,6 +185,11 @@ type Runner struct {
 	// CellHook is forwarded to every grid point's spec.Runner; servers
 	// gauge in-flight cells with it. Must be safe for concurrent use.
 	CellHook func(cell string, start bool)
+	// PointObserver, when non-nil, receives each finished grid point
+	// (fully reduced, by value) and its wall-clock duration. Points may
+	// run concurrently, so the observer must be safe for concurrent use
+	// and must not block; the daemon's timeline recorder consumes it.
+	PointObserver func(pt Point, wall time.Duration)
 }
 
 // Run executes every grid point of a normalized plan (see Normalize)
@@ -261,6 +267,10 @@ func (r *Runner) Run(e spec.Experiment, p Plan) Result {
 // Time sums exact, and skips failed cells' partial traces entirely,
 // mirroring how spec.Result.Measurements gates artifacts.
 func (r *Runner) runPoint(e spec.Experiment, pool *core.SessionPool, pt *Point) {
+	if r.PointObserver != nil {
+		start := time.Now()
+		defer func() { r.PointObserver(*pt, time.Since(start)) }()
+	}
 	model, ok := machine.ParseModel(pt.Model)
 	if !ok {
 		// Normalize canonicalized the plan; an unknown model here is a

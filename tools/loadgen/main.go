@@ -1,0 +1,290 @@
+// Command loadgen drives a live lowcontendd daemon with a weighted
+// request mix and reports client-side latency percentiles and
+// throughput, then cross-checks its own observations against the
+// daemon's Prometheus histograms.
+//
+// Usage:
+//
+//	go run ./tools/loadgen -addr http://127.0.0.1:8080 [flags]
+//
+// Flags:
+//
+//	-addr URL       daemon base URL (default http://127.0.0.1:8080)
+//	-duration D     how long to generate load (default 5s)
+//	-concurrency N  concurrent client goroutines (default 4)
+//	-mix a,b,c      weights for cached-run : uncached-run : status
+//	                requests (default 6,2,2)
+//	-experiment E   registry experiment submitted by run requests
+//	                (default fig1, the cheapest cell)
+//
+// The generator first primes one cache key (a POST that simulates once
+// and lands in the artifact cache), then issues the weighted mix:
+// "cached" resubmits that exact key (served at zero simulation cost),
+// "uncached" submits a fresh seed each time (real simulation work), and
+// "status" polls GET endpoints. Every response's X-Request-ID echo is
+// required, making loadgen an end-to-end check of the tracing
+// middleware as well. At the end it scrapes GET /metrics?format=
+// prometheus and compares the daemon's recorded HTTP request count
+// against its own completed-request count: the daemon must have seen at
+// least as many requests as loadgen completed, tying the client-side
+// view to the server-side histograms.
+//
+// Exit status: 0 on success, 1 when no request completed, when any
+// response lacked the X-Request-ID echo, or when the cross-check fails.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+type result struct {
+	kind    string
+	latency time.Duration
+	status  int
+	noEcho  bool // response lacked the X-Request-ID echo
+}
+
+func run() int {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	duration := flag.Duration("duration", 5*time.Second, "how long to generate load")
+	concurrency := flag.Int("concurrency", 4, "concurrent client goroutines")
+	mix := flag.String("mix", "6,2,2", "weights for cached:uncached:status requests")
+	experiment := flag.String("experiment", "fig1", "registry experiment submitted by run requests")
+	flag.Parse()
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 2
+	}
+	if *concurrency < 1 || *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -concurrency must be >= 1 and -duration positive")
+		return 2
+	}
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Prime one cache key so the "cached" mix component measures the
+	// daemon's cache path rather than repeated simulation.
+	primed := fmt.Sprintf(`{"experiment":%q,"seed":1}`, *experiment)
+	if _, _, err := post(client, base+"/v1/runs", primed); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: priming submission failed: %v\n", err)
+		return 1
+	}
+
+	var (
+		mu      sync.Mutex
+		results []result
+		seq     atomic.Uint64
+	)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			// Deterministic per-worker schedule over the weighted mix:
+			// each worker walks the expanded weight table round-robin
+			// from its own offset, so the mix holds at any concurrency.
+			table := expand(weights)
+			i := worker
+			for time.Now().Before(deadline) {
+				kind := table[i%len(table)]
+				i++
+				r := issue(client, base, kind, *experiment, &seq)
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: no request completed")
+		return 1
+	}
+	exit := 0
+	byKind := map[string][]time.Duration{}
+	var completed int
+	for _, r := range results {
+		if r.status == 0 {
+			continue
+		}
+		completed++
+		byKind[r.kind] = append(byKind[r.kind], r.latency)
+		if r.noEcho {
+			fmt.Fprintf(os.Stderr, "loadgen: %s response missing X-Request-ID echo\n", r.kind)
+			exit = 1
+		}
+	}
+	if completed == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: no request completed")
+		return 1
+	}
+
+	fmt.Printf("loadgen: %d requests in %v (%.1f req/s, concurrency %d)\n",
+		completed, duration.Round(time.Millisecond), float64(completed)/duration.Seconds(), *concurrency)
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		lat := byKind[k]
+		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+		fmt.Printf("  %-9s n=%-6d p50=%-10v p99=%-10v max=%v\n",
+			k, len(lat), pct(lat, 50), pct(lat, 99), lat[len(lat)-1])
+	}
+
+	// Cross-check: the daemon's own histogram must account for at least
+	// every request this client completed (it also sees the priming
+	// request and anything else hitting the daemon, hence "at least").
+	seen, err := scrapeRequestCount(client, base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: prometheus cross-check: %v\n", err)
+		return 1
+	}
+	fmt.Printf("  daemon http_request_duration count=%d (client completed %d)\n", seen, completed)
+	if seen < uint64(completed) {
+		fmt.Fprintf(os.Stderr, "loadgen: daemon histograms recorded %d requests < client's %d\n", seen, completed)
+		exit = 1
+	}
+	return exit
+}
+
+// issue performs one request of the given kind and times it.
+func issue(client *http.Client, base, kind, experiment string, seq *atomic.Uint64) result {
+	start := time.Now()
+	var (
+		status int
+		echo   string
+	)
+	switch kind {
+	case "cached":
+		body := fmt.Sprintf(`{"experiment":%q,"seed":1}`, experiment)
+		status, echo, _ = post(client, base+"/v1/runs", body)
+	case "uncached":
+		// Unique seeds defeat both the artifact cache and coalescing,
+		// so every one of these submissions simulates.
+		seed := 1_000_000 + seq.Add(1)
+		body := fmt.Sprintf(`{"experiment":%q,"seed":%d}`, experiment, seed)
+		status, echo, _ = post(client, base+"/v1/runs", body)
+	default: // "status"
+		resp, err := client.Get(base + "/v1/runs")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			status = resp.StatusCode
+			echo = resp.Header.Get("X-Request-ID")
+		}
+	}
+	return result{kind: kind, latency: time.Since(start), status: status, noEcho: status != 0 && echo == ""}
+}
+
+// post submits one JSON body and returns (status, request-id echo).
+func post(client *http.Client, url, body string) (int, string, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode >= 400 {
+		return resp.StatusCode, "", fmt.Errorf("POST %s: HTTP %d", url, resp.StatusCode)
+	}
+	return resp.StatusCode, resp.Header.Get("X-Request-ID"), nil
+}
+
+// scrapeRequestCount sums lowcontend_http_request_duration_seconds_count
+// across every label combination of the daemon's Prometheus exposition.
+func scrapeRequestCount(client *http.Client, base string) (uint64, error) {
+	resp, err := client.Get(base + "/metrics?format=prometheus")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	var total uint64
+	var found bool
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, "lowcontend_http_request_duration_seconds_count") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseUint(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad count line %q: %v", line, err)
+		}
+		total += v
+		found = true
+	}
+	if !found {
+		return 0, fmt.Errorf("no lowcontend_http_request_duration_seconds_count series in the scrape")
+	}
+	return total, nil
+}
+
+// parseMix resolves -mix into named weights.
+func parseMix(s string) (map[string]int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("bad -mix %q: want three comma-separated weights (cached,uncached,status)", s)
+	}
+	names := []string{"cached", "uncached", "status"}
+	out := make(map[string]int, 3)
+	sum := 0
+	for i, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad -mix weight %q", p)
+		}
+		out[names[i]] = w
+		sum += w
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("bad -mix %q: all weights zero", s)
+	}
+	return out, nil
+}
+
+// expand turns weights into a round-robin schedule table.
+func expand(weights map[string]int) []string {
+	var table []string
+	for _, k := range []string{"cached", "uncached", "status"} {
+		for i := 0; i < weights[k]; i++ {
+			table = append(table, k)
+		}
+	}
+	return table
+}
+
+// pct reads the p-th percentile from an ascending latency slice.
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}
