@@ -16,8 +16,19 @@
 //	-parallel N       per-job cell/grid parallelism when a request omits it (default 1)
 //	-max-size N       largest accepted problem size per request (default 1<<20)
 //	-drain D          graceful-shutdown drain timeout (default 30s)
-//	-debug-addr A     when set, serve net/http/pprof on a second
-//	                  listener at A; the service address never exposes it
+//	-debug-addr A     when set, serve net/http/pprof and the flight-recorder
+//	                  dump (/debug/flight) on a second listener at A; the
+//	                  service address never exposes them
+//	-slo SPEC         repeatable per-endpoint SLO objective, e.g.
+//	                  "POST /v1/runs,p=0.99,latency=250ms,errors=0.01";
+//	                  served at GET /v1/slo, exported as burn-rate gauges,
+//	                  and arming the latency-breach incident trigger
+//	-flight N         flight-recorder ring size in events (default 256)
+//	-incident-burst N 503 rejections within 10s that constitute a
+//	                  backpressure incident (default 10)
+//	-contention-sample N  profile every Nth run job into the rolling
+//	                  contention view at GET /v1/contention (default 0 =
+//	                  off; sampled runs bypass the artifact cache)
 //
 // Every request is traced: an X-Request-ID header is accepted (or
 // minted), echoed on the response, threaded into the job it submits,
@@ -50,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"lowcontend/internal/obs"
 	"lowcontend/internal/serve"
 )
 
@@ -65,7 +77,20 @@ func run() int {
 	parallel := flag.Int("parallel", 1, "per-job cell/grid parallelism when a request omits it")
 	maxSize := flag.Int("max-size", serve.DefaultLimits().MaxSize, "largest accepted problem size per request")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
-	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this second listener (empty = disabled)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /debug/flight on this second listener (empty = disabled)")
+	flightEvents := flag.Int("flight", obs.DefaultFlightEvents, "flight-recorder ring size in events")
+	incidentBurst := flag.Int("incident-burst", 10, "503 rejections within the burst window that constitute an incident")
+	contentionSample := flag.Int("contention-sample", 0, "profile every Nth run job into /v1/contention (0 = off)")
+	var slos []obs.Objective
+	flag.Func("slo", `per-endpoint SLO objective, repeatable (e.g. "POST /v1/runs,p=0.99,latency=250ms,errors=0.01")`,
+		func(v string) error {
+			o, err := obs.ParseObjective(v)
+			if err != nil {
+				return err
+			}
+			slos = append(slos, o)
+			return nil
+		})
 	flag.Parse()
 
 	// serve.Config gives negative Workers a tests-only meaning (zero
@@ -75,14 +100,22 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "lowcontendd: -workers, -sweep-workers, -queue, -parallel, -max-size must be >= 1 and -drain positive\n")
 		return 2
 	}
+	if *flightEvents < 1 || *incidentBurst < 1 || *contentionSample < 0 {
+		fmt.Fprintf(os.Stderr, "lowcontendd: -flight and -incident-burst must be >= 1 and -contention-sample >= 0\n")
+		return 2
+	}
 
 	srv := serve.New(serve.Config{
-		Workers:      *workers,
-		SweepWorkers: *sweepWorkers,
-		QueueDepth:   *queue,
-		Parallel:     *parallel,
-		Limits:       serve.Limits{MaxSize: *maxSize},
-		Logger:       slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		Workers:           *workers,
+		SweepWorkers:      *sweepWorkers,
+		QueueDepth:        *queue,
+		Parallel:          *parallel,
+		Limits:            serve.Limits{MaxSize: *maxSize},
+		Logger:            slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		FlightEvents:      *flightEvents,
+		BackpressureBurst: *incidentBurst,
+		ContentionSample:  *contentionSample,
+		SLOs:              slos,
 	})
 
 	// Listen explicitly (rather than ListenAndServe) so -addr :0 binds
@@ -119,7 +152,7 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("lowcontendd debug (pprof) on %s\n", dln.Addr())
-		ds = &http.Server{Handler: serve.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		ds = &http.Server{Handler: srv.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
 		go func() {
 			if err := ds.Serve(dln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "lowcontendd: debug server: %v\n", err)

@@ -34,6 +34,14 @@ type SessionPool struct {
 	// of it.
 	Tuning *machine.Tuning
 
+	// EventHook, when non-nil, is installed on every session the pool
+	// hands out (machine.SetExecEventHook) so a service can fold rare
+	// execution control events — adaptive cutoff moves — into its own
+	// recorders. Like Tuning it must be set before the pool is used,
+	// must be safe for concurrent calls (sessions run on many
+	// goroutines), and never affects charged stats.
+	EventHook func(machine.ExecEvent)
+
 	mu     sync.Mutex
 	idle   map[poolKey][]*Session
 	leased map[*Session]struct{} // sessions out on lease, for live-stat scrapes
@@ -94,6 +102,9 @@ func (p *SessionPool) Acquire(model machine.Model, memWords int, seed uint64) *S
 		if p.Tuning != nil {
 			s.SetTuning(*p.Tuning)
 		}
+		if p.EventHook != nil {
+			s.SetExecEventHook(p.EventHook)
+		}
 		return s
 	}
 	p.st.News++
@@ -106,6 +117,9 @@ func (p *SessionPool) Acquire(model machine.Model, memWords int, seed uint64) *S
 		opts = append(opts, machine.WithTuning(*p.Tuning))
 	}
 	s := NewSession(model, memWords, opts...)
+	if p.EventHook != nil {
+		s.SetExecEventHook(p.EventHook)
+	}
 	p.mu.Lock()
 	p.leased[s] = struct{}{}
 	p.mu.Unlock()

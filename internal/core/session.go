@@ -64,6 +64,12 @@ func (s *Session) GangStats() (dispatches, fusedSettles, serialSteps int64) {
 // in-flight sessions without waiting for Release.
 func (s *Session) ExecStats() machine.ExecStats { return s.m.ExecStats() }
 
+// SetExecEventHook installs fn to observe rare execution control
+// events (adaptive serial-cutoff moves) on the session's machine; nil
+// disables. Host-side wiring like SetTuning: it survives Reset and
+// never affects charged stats.
+func (s *Session) SetExecEventHook(fn func(machine.ExecEvent)) { s.m.SetExecEventHook(fn) }
+
 // Reset returns the session to a pristine state — memory zeroed,
 // allocations released, stats cleared — while keeping every backing
 // array allocated, so a session can be reused across algorithm runs

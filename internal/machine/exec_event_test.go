@@ -1,0 +1,52 @@
+package machine
+
+import "testing"
+
+// TestExecEventHookOnCutoffMoves drives the adaptive tuner's decision
+// sites directly (the timings that trigger them in production are
+// host-dependent) and checks the hook observes each move with the
+// cutoff then in effect, that counters stay in step, and that Reset
+// keeps the hook installed.
+func TestExecEventHookOnCutoffMoves(t *testing.T) {
+	m := New(QRQW, 1024, WithWorkers(4))
+	defer m.Free()
+	var got []ExecEvent
+	m.SetExecEventHook(func(ev ExecEvent) { got = append(got, ev) })
+
+	// Gang winning: retune halves the cutoff.
+	m.ad.serialNs = 100
+	m.ad.parallelNs = 10
+	before := m.effCutoff
+	m.retune()
+	if len(got) != 1 || got[0].Kind != ExecCutoffLower || got[0].Cutoff != max(before/2, minSerialCutoff) {
+		t.Fatalf("after retune: events %+v, want one %s at cutoff %d", got, ExecCutoffLower, max(before/2, minSerialCutoff))
+	}
+	if m.cutoffLowers.Load() != 1 {
+		t.Errorf("cutoffLowers = %d, want 1", m.cutoffLowers.Load())
+	}
+
+	// Gang losing near the cutoff for adaptLossLimit observations:
+	// observeParallel raises it.
+	m.Reset()
+	got = nil
+	m.ad = adaptState{serialNs: 10}
+	for i := 0; i < adaptLossLimit; i++ {
+		m.observeParallel(m.effCutoff, 1e6)
+	}
+	if len(got) != 1 || got[0].Kind != ExecCutoffRaise || got[0].Cutoff != m.effCutoff {
+		t.Fatalf("after losses: events %+v, want one %s at cutoff %d", got, ExecCutoffRaise, m.effCutoff)
+	}
+	if m.cutoffRaises.Load() != 1 {
+		t.Errorf("cutoffRaises = %d, want 1", m.cutoffRaises.Load())
+	}
+
+	// nil disables without disturbing the counters.
+	m.SetExecEventHook(nil)
+	got = nil
+	m.ad.serialNs = 100
+	m.ad.parallelNs = 10
+	m.retune()
+	if len(got) != 0 {
+		t.Errorf("hook fired after being cleared: %+v", got)
+	}
+}

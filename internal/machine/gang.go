@@ -555,6 +555,9 @@ func (m *Machine) observeParallel(p int, d time.Duration) {
 			m.ad.losses = 0
 			m.effCutoff = min(2*m.effCutoff, maxSerialCutoff)
 			m.cutoffRaises.Add(1)
+			if m.execHook != nil {
+				m.execHook(ExecEvent{Kind: ExecCutoffRaise, Cutoff: m.effCutoff})
+			}
 		}
 	} else {
 		m.ad.losses = 0
@@ -574,5 +577,8 @@ func (m *Machine) retune() {
 		// the loss counter if that turns out to be a mistake).
 		m.effCutoff = max(m.effCutoff/2, minSerialCutoff)
 		m.cutoffLowers.Add(1)
+		if m.execHook != nil {
+			m.execHook(ExecEvent{Kind: ExecCutoffLower, Cutoff: m.effCutoff})
+		}
 	}
 }

@@ -128,6 +128,12 @@ type Machine struct {
 	cursorSteals   atomic.Int64 // claims above a member's fair share (work stolen)
 	cutoffRaises   atomic.Int64 // adaptive serial-cutoff raises (gang losing)
 	cutoffLowers   atomic.Int64 // adaptive serial-cutoff halvings (gang winning)
+
+	// execHook, when set, observes rare execution control events (the
+	// adaptive cutoff moving). Host-side wiring like Workers/Tuning:
+	// it persists across Reset and is never consulted on the per-step
+	// dispatch path.
+	execHook func(ExecEvent)
 }
 
 // Option configures a Machine at construction time.

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFlightRecordAndTail: events come back in sequence order, the
+// ring retains only the newest size entries, and Tail bounds the view.
+func TestFlightRecordAndTail(t *testing.T) {
+	f := NewFlight(4)
+	for i := 0; i < 10; i++ {
+		f.Record("tick", FInt("i", int64(i)))
+	}
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(6 + i)
+		if ev.Seq != wantSeq || ev.Kind != "tick" || ev.Fields[0].Int != int64(wantSeq) {
+			t.Errorf("event %d = seq %d kind %q fields %v, want seq %d", i, ev.Seq, ev.Kind, ev.Fields, wantSeq)
+		}
+	}
+	if tail := f.Tail(2); len(tail) != 2 || tail[0].Seq != 8 || tail[1].Seq != 9 {
+		t.Errorf("Tail(2) = %+v, want seqs 8,9", tail)
+	}
+	if got := f.Recorded(); got != 10 {
+		t.Errorf("Recorded() = %d, want 10", got)
+	}
+}
+
+// TestFlightNilSafe: a nil recorder accepts records and reads.
+func TestFlightNilSafe(t *testing.T) {
+	var f *Flight
+	f.Record("x")
+	if evs := f.Events(); evs != nil {
+		t.Errorf("nil flight Events() = %v, want nil", evs)
+	}
+	if f.Recorded() != 0 {
+		t.Error("nil flight Recorded() != 0")
+	}
+}
+
+// TestFlightConcurrent: concurrent writers never tear an event — every
+// event read back is internally consistent (field matches seq parity
+// of its writer) and sequence numbers are unique.
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlight(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.Record("w", FInt("writer", int64(w)), FInt("i", int64(i)))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			evs := f.Events()
+			seen := map[uint64]bool{}
+			for _, ev := range evs {
+				if seen[ev.Seq] {
+					t.Fatalf("duplicate seq %d", ev.Seq)
+				}
+				seen[ev.Seq] = true
+				if len(ev.Fields) != 2 || ev.Fields[0].Key != "writer" || ev.Fields[1].Key != "i" {
+					t.Fatalf("torn event: %+v", ev)
+				}
+			}
+			if len(evs) != 64 {
+				t.Fatalf("retained %d, want full ring of 64", len(evs))
+			}
+			return
+		default:
+			for _, ev := range f.Events() {
+				if ev.Kind != "w" || len(ev.Fields) != 2 {
+					t.Fatalf("torn event mid-flight: %+v", ev)
+				}
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package obs
 
 import (
+	"cmp"
 	"slices"
 	"sort"
 	"strings"
@@ -92,18 +93,37 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 }
 
+// DefaultMaxChildren bounds a HistogramVec's label cardinality when
+// the caller does not choose a limit of its own.
+const DefaultMaxChildren = 256
+
+// OverflowLabel is the label value shared by every observation routed
+// to a vec's overflow child once the cardinality cap is reached.
+const OverflowLabel = "_overflow"
+
 // HistogramVec is a family of Histograms distinguished by label values
 // — the obs analogue of a Prometheus metric with labels. Children are
 // created on first use and never expire; label sets must therefore be
 // low-cardinality (route patterns and status codes, not request IDs).
+// As a backstop against a hostile or buggy label source, the family
+// refuses to grow past MaxChildren distinct children: further novel
+// label sets all share one overflow child whose label values are
+// OverflowLabel, so the exposition stays bounded no matter what the
+// caller feeds With.
 type HistogramVec struct {
 	Name   string // metric name, e.g. "lowcontend_http_request_duration_seconds"
 	Help   string
 	Labels []string // label names, in exposition order
 	bounds []float64
 
+	// MaxChildren caps the number of distinct label-set children
+	// (not counting the overflow child). Zero means
+	// DefaultMaxChildren; set it before the first With call.
+	MaxChildren int
+
 	mu       sync.RWMutex
 	children map[string]*vecChild
+	overflow *vecChild
 }
 
 type vecChild struct {
@@ -145,6 +165,16 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 	if c = v.children[key]; c != nil {
 		return c.h
 	}
+	if max := v.MaxChildren; len(v.children) >= cmp.Or(max, DefaultMaxChildren) {
+		if v.overflow == nil {
+			ov := make([]string, len(v.Labels))
+			for i := range ov {
+				ov[i] = OverflowLabel
+			}
+			v.overflow = &vecChild{values: ov, h: NewHistogram(v.bounds)}
+		}
+		return v.overflow.h
+	}
 	c = &vecChild{values: slices.Clone(values), h: NewHistogram(v.bounds)}
 	v.children[key] = c
 	return c.h
@@ -157,7 +187,8 @@ type VecSnapshot struct {
 }
 
 // Snapshot reads every child, sorted by label values so exposition
-// output is stable across scrapes.
+// output is stable across scrapes. The overflow child, if any novel
+// label set ever spilled into it, is listed last.
 func (v *HistogramVec) Snapshot() []VecSnapshot {
 	v.mu.RLock()
 	keys := make([]string, 0, len(v.children))
@@ -165,10 +196,13 @@ func (v *HistogramVec) Snapshot() []VecSnapshot {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	out := make([]VecSnapshot, 0, len(keys))
+	out := make([]VecSnapshot, 0, len(keys)+1)
 	for _, k := range keys {
 		c := v.children[k]
 		out = append(out, VecSnapshot{LabelValues: c.values, HistogramSnapshot: c.h.Snapshot()})
+	}
+	if v.overflow != nil {
+		out = append(out, VecSnapshot{LabelValues: v.overflow.values, HistogramSnapshot: v.overflow.h.Snapshot()})
 	}
 	v.mu.RUnlock()
 	return out

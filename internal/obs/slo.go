@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Objective is one service-level objective for an endpoint: "Quantile
+// of requests complete within LatencySeconds, and at most MaxErrorRate
+// of requests fail". Either leg may be disabled: LatencySeconds <= 0
+// disables the latency leg, MaxErrorRate <= 0 disables the error leg
+// (at least one must be active — ParseObjective enforces that).
+type Objective struct {
+	Endpoint       string  `json:"endpoint"` // route pattern, e.g. "POST /v1/runs"
+	Quantile       float64 `json:"quantile"`
+	LatencySeconds float64 `json:"latency_seconds,omitempty"`
+	MaxErrorRate   float64 `json:"max_error_rate,omitempty"`
+}
+
+// ParseObjective parses the daemon's -slo flag syntax:
+//
+//	ENDPOINT,p=0.99,latency=250ms,errors=0.01
+//
+// The endpoint comes first (route patterns never contain commas); the
+// remaining comma-separated k=v pairs may appear in any order. p
+// defaults to 0.99; latency and errors default to disabled.
+func ParseObjective(s string) (Objective, error) {
+	parts := strings.Split(s, ",")
+	obj := Objective{Endpoint: strings.TrimSpace(parts[0]), Quantile: 0.99}
+	if obj.Endpoint == "" {
+		return obj, fmt.Errorf("obs: slo %q: empty endpoint", s)
+	}
+	for _, kv := range parts[1:] {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return obj, fmt.Errorf("obs: slo %q: %q is not key=value", s, kv)
+		}
+		switch k {
+		case "p":
+			q, err := strconv.ParseFloat(v, 64)
+			if err != nil || q <= 0 || q >= 1 {
+				return obj, fmt.Errorf("obs: slo %q: quantile %q must be in (0,1)", s, v)
+			}
+			obj.Quantile = q
+		case "latency":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return obj, fmt.Errorf("obs: slo %q: bad latency %q", s, v)
+			}
+			obj.LatencySeconds = d.Seconds()
+		case "errors":
+			e, err := strconv.ParseFloat(v, 64)
+			if err != nil || e <= 0 || e >= 1 {
+				return obj, fmt.Errorf("obs: slo %q: error rate %q must be in (0,1)", s, v)
+			}
+			obj.MaxErrorRate = e
+		default:
+			return obj, fmt.Errorf("obs: slo %q: unknown key %q", s, k)
+		}
+	}
+	if obj.LatencySeconds <= 0 && obj.MaxErrorRate <= 0 {
+		return obj, fmt.Errorf("obs: slo %q: needs latency= or errors=", s)
+	}
+	return obj, nil
+}
+
+// DefaultSLOWindows are the rolling evaluation windows when the caller
+// does not choose its own: a fast window for paging-speed burn and a
+// slow one for sustained burn.
+var DefaultSLOWindows = []time.Duration{5 * time.Minute, 30 * time.Minute}
+
+// sloCounts are the cumulative per-objective tallies extracted from a
+// histogram-vec snapshot: requests seen, requests that were "good"
+// (non-5xx and within the latency threshold, bucket-conservatively),
+// and requests that were errors (status >= 500).
+type sloCounts struct {
+	total, good, errors uint64
+}
+
+// sloSample is one timestamped reading of every objective's cumulative
+// counts; window attainment is the difference between two samples.
+type sloSample struct {
+	at     time.Time
+	counts []sloCounts
+}
+
+// SLOEngine evaluates objectives against a labeled latency histogram
+// whose label values are [endpoint, status]. It keeps a bounded ring
+// of timestamped cumulative counts (fed by periodic Tick calls) and
+// reports rolling-window attainment and burn rates by differencing
+// the current counts against the sample just outside each window.
+// Report is a pure function of the samples, the snapshot, and the
+// clock passed in, so fixed fixtures produce byte-stable reports.
+type SLOEngine struct {
+	objectives []Objective
+	windows    []time.Duration
+
+	mu      sync.Mutex
+	samples []sloSample // ascending by time
+}
+
+// NewSLOEngine constructs an engine for the given objectives and
+// windows (nil windows selects DefaultSLOWindows; windows are sorted
+// ascending).
+func NewSLOEngine(objectives []Objective, windows []time.Duration) *SLOEngine {
+	if len(windows) == 0 {
+		windows = DefaultSLOWindows
+	}
+	ws := make([]time.Duration, len(windows))
+	copy(ws, windows)
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j] < ws[j-1]; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+	objs := make([]Objective, len(objectives))
+	copy(objs, objectives)
+	return &SLOEngine{objectives: objs, windows: ws}
+}
+
+// Objectives returns the engine's objectives in declaration order.
+func (e *SLOEngine) Objectives() []Objective { return e.objectives }
+
+// countsAt tallies one objective's cumulative counts from a snapshot
+// of a [endpoint, status] labeled histogram. "Good" is
+// bucket-conservative: only observations in buckets whose upper bound
+// is <= the latency threshold count as within-threshold, so attainment
+// is a deterministic function of bucket counts, never an interpolation.
+func countsAt(obj Objective, snaps []VecSnapshot) sloCounts {
+	var c sloCounts
+	for _, s := range snaps {
+		if len(s.LabelValues) != 2 || s.LabelValues[0] != obj.Endpoint {
+			continue
+		}
+		c.total += s.Count
+		status, err := strconv.Atoi(s.LabelValues[1])
+		isErr := err == nil && status >= 500
+		if isErr {
+			c.errors += s.Count
+			continue
+		}
+		if obj.LatencySeconds <= 0 {
+			c.good += s.Count
+			continue
+		}
+		var within uint64
+		for i, b := range s.Bounds {
+			if b <= obj.LatencySeconds {
+				within = s.Cumulative[i]
+			}
+		}
+		if len(s.Bounds) > 0 && obj.LatencySeconds >= s.Bounds[len(s.Bounds)-1] {
+			within = s.Count
+		}
+		c.good += within
+	}
+	return c
+}
+
+// Tick records one cumulative sample at the given time and prunes
+// samples that can no longer serve as a window base.
+func (e *SLOEngine) Tick(now time.Time, snaps []VecSnapshot) {
+	counts := make([]sloCounts, len(e.objectives))
+	for i, obj := range e.objectives {
+		counts[i] = countsAt(obj, snaps)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.samples = append(e.samples, sloSample{at: now, counts: counts})
+	if len(e.windows) == 0 {
+		return
+	}
+	oldest := now.Add(-e.windows[len(e.windows)-1])
+	// Keep the newest sample at or before the window start so every
+	// window always has a base to difference against.
+	for len(e.samples) >= 2 && !e.samples[1].at.After(oldest) {
+		e.samples = e.samples[1:]
+	}
+}
+
+// WindowReport is one objective's attainment over one rolling window.
+type WindowReport struct {
+	WindowSeconds  float64 `json:"window_seconds"`
+	CoveredSeconds float64 `json:"covered_seconds"`
+	Total          uint64  `json:"total"`
+	Good           uint64  `json:"good"`
+	Errors         uint64  `json:"errors"`
+	Attainment     float64 `json:"attainment"`
+	ErrorRate      float64 `json:"error_rate"`
+	// LatencyBurnRate is (1-attainment)/(1-quantile): the rate at
+	// which the latency error budget is being consumed (1.0 = exactly
+	// on budget). ErrorBurnRate is error_rate/max_error_rate.
+	LatencyBurnRate float64 `json:"latency_burn_rate"`
+	ErrorBurnRate   float64 `json:"error_burn_rate"`
+	OK              bool    `json:"ok"`
+}
+
+// ObjectiveReport is one objective's report across every window.
+type ObjectiveReport struct {
+	Objective Objective      `json:"objective"`
+	OK        bool           `json:"ok"`
+	Windows   []WindowReport `json:"windows"`
+}
+
+// SLOReport is the full /v1/slo document.
+type SLOReport struct {
+	Objectives []ObjectiveReport `json:"objectives"`
+}
+
+// Report evaluates every objective over every window against the
+// current snapshot, differencing against the recorded samples. A
+// window with no traffic is vacuously met. An engine with no recorded
+// samples reports lifetime counts with zero covered seconds.
+func (e *SLOEngine) Report(now time.Time, snaps []VecSnapshot) SLOReport {
+	cur := make([]sloCounts, len(e.objectives))
+	for i, obj := range e.objectives {
+		cur[i] = countsAt(obj, snaps)
+	}
+	e.mu.Lock()
+	samples := e.samples
+	e.mu.Unlock()
+
+	rep := SLOReport{Objectives: make([]ObjectiveReport, 0, len(e.objectives))}
+	for i, obj := range e.objectives {
+		or := ObjectiveReport{Objective: obj, OK: true, Windows: make([]WindowReport, 0, len(e.windows))}
+		for _, w := range e.windows {
+			start := now.Add(-w)
+			var base sloCounts
+			covered := 0.0
+			for j := len(samples) - 1; j >= 0; j-- {
+				if !samples[j].at.After(start) {
+					base = samples[j].counts[i]
+					covered = w.Seconds()
+					break
+				}
+			}
+			if covered == 0 && len(samples) > 0 {
+				// No sample old enough: difference against the
+				// oldest and report the span actually covered.
+				base = samples[0].counts[i]
+				covered = now.Sub(samples[0].at).Seconds()
+			}
+			d := sloCounts{
+				total:  cur[i].total - base.total,
+				good:   cur[i].good - base.good,
+				errors: cur[i].errors - base.errors,
+			}
+			wr := WindowReport{
+				WindowSeconds:  w.Seconds(),
+				CoveredSeconds: covered,
+				Total:          d.total,
+				Good:           d.good,
+				Errors:         d.errors,
+				Attainment:     1,
+				OK:             true,
+			}
+			if d.total > 0 {
+				wr.Attainment = float64(d.good) / float64(d.total)
+				wr.ErrorRate = float64(d.errors) / float64(d.total)
+			}
+			if obj.Quantile < 1 {
+				wr.LatencyBurnRate = (1 - wr.Attainment) / (1 - obj.Quantile)
+			}
+			if obj.MaxErrorRate > 0 {
+				wr.ErrorBurnRate = wr.ErrorRate / obj.MaxErrorRate
+			}
+			if obj.LatencySeconds > 0 && wr.Attainment < obj.Quantile {
+				wr.OK = false
+			}
+			if obj.MaxErrorRate > 0 && wr.ErrorRate > obj.MaxErrorRate {
+				wr.OK = false
+			}
+			or.OK = or.OK && wr.OK
+			or.Windows = append(or.Windows, wr)
+		}
+		rep.Objectives = append(rep.Objectives, or)
+	}
+	return rep
+}

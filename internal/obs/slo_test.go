@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureSnaps builds a deterministic [endpoint, status] histogram-vec
+// snapshot: 90 fast requests, 8 slow ones, 2 server errors on
+// POST /v1/runs, plus unrelated traffic on another endpoint.
+func fixtureSnaps(fast, slow, errs int) []VecSnapshot {
+	v := NewHistogramVec("t_seconds", "test.", []string{"endpoint", "status"},
+		[]float64{0.1, 0.25, 1})
+	for i := 0; i < fast; i++ {
+		v.With("POST /v1/runs", "200").Observe(50 * time.Millisecond)
+	}
+	for i := 0; i < slow; i++ {
+		v.With("POST /v1/runs", "200").Observe(800 * time.Millisecond)
+	}
+	for i := 0; i < errs; i++ {
+		v.With("POST /v1/runs", "500").Observe(10 * time.Millisecond)
+	}
+	v.With("GET /healthz", "200").Observe(time.Millisecond)
+	return v.Snapshot()
+}
+
+// TestParseObjective: flag syntax round-trips and bad inputs fail.
+func TestParseObjective(t *testing.T) {
+	obj, err := ParseObjective("POST /v1/runs,p=0.95,latency=250ms,errors=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Objective{Endpoint: "POST /v1/runs", Quantile: 0.95, LatencySeconds: 0.25, MaxErrorRate: 0.01}
+	if obj != want {
+		t.Errorf("parsed %+v, want %+v", obj, want)
+	}
+	if obj, err = ParseObjective("GET /healthz,latency=10ms"); err != nil || obj.Quantile != 0.99 {
+		t.Errorf("default quantile: obj %+v err %v", obj, err)
+	}
+	for _, bad := range []string{
+		"", ",p=0.9,latency=1s", "GET /x", "GET /x,p=1.5,latency=1s",
+		"GET /x,latency=-3ms", "GET /x,errors=2", "GET /x,nope=1", "GET /x,p",
+	} {
+		if _, err := ParseObjective(bad); err == nil {
+			t.Errorf("ParseObjective(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSLOCountsBucketConservative: only buckets whose bound is <= the
+// threshold count as good, errors are excluded from good regardless of
+// latency, and a threshold at/above the top bound counts everything.
+func TestSLOCountsBucketConservative(t *testing.T) {
+	snaps := fixtureSnaps(90, 8, 2)
+	obj := Objective{Endpoint: "POST /v1/runs", Quantile: 0.9, LatencySeconds: 0.25}
+	c := countsAt(obj, snaps)
+	if c.total != 100 || c.good != 90 || c.errors != 2 {
+		t.Errorf("counts = %+v, want total 100 good 90 errors 2", c)
+	}
+	// Threshold between bounds 0.25 and 1: conservative, still 90 good.
+	obj.LatencySeconds = 0.5
+	if c = countsAt(obj, snaps); c.good != 90 {
+		t.Errorf("mid-bucket threshold good = %d, want 90 (conservative)", c.good)
+	}
+	// Threshold at the top bound: slow requests (<=1s bucket) count.
+	obj.LatencySeconds = 1
+	if c = countsAt(obj, snaps); c.good != 98 {
+		t.Errorf("top-bound threshold good = %d, want 98", c.good)
+	}
+}
+
+// TestSLOReportGolden: a report computed from fixed histogram fixtures
+// at fixed tick times is byte-stable.
+func TestSLOReportGolden(t *testing.T) {
+	objs := []Objective{
+		{Endpoint: "POST /v1/runs", Quantile: 0.9, LatencySeconds: 0.25, MaxErrorRate: 0.05},
+		{Endpoint: "GET /healthz", Quantile: 0.99, LatencySeconds: 0.1},
+	}
+	e := NewSLOEngine(objs, []time.Duration{time.Minute, 5 * time.Minute})
+	t0 := time.Date(2026, 1, 2, 3, 0, 0, 0, time.UTC)
+	// Early traffic: all fast. Later traffic adds the slow/error tail,
+	// so the 1m window (based at t0+4m) sees only the degraded tail
+	// while the 5m window sees the blend.
+	e.Tick(t0, fixtureSnaps(50, 0, 0))
+	e.Tick(t0.Add(2*time.Minute), fixtureSnaps(70, 0, 0))
+	e.Tick(t0.Add(4*time.Minute), fixtureSnaps(80, 2, 0))
+	rep := e.Report(t0.Add(5*time.Minute), fixtureSnaps(90, 8, 2))
+
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "slo_report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("SLO report drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	// Sanity independent of the golden bytes: the 1m window saw the
+	// degraded tail only and must miss the latency objective.
+	w1 := rep.Objectives[0].Windows[0]
+	if w1.OK || w1.Total != 18 || w1.Good != 10 {
+		t.Errorf("1m window = %+v, want total 18 good 10 !ok", w1)
+	}
+	if rep.Objectives[1].OK != true {
+		t.Errorf("healthz objective should be met: %+v", rep.Objectives[1])
+	}
+}
+
+// TestSLOReportVacuousAndPrune: no traffic is vacuously met; pruning
+// keeps a base sample for the largest window.
+func TestSLOReportVacuousAndPrune(t *testing.T) {
+	e := NewSLOEngine([]Objective{{Endpoint: "GET /x", Quantile: 0.99, LatencySeconds: 0.1}},
+		[]time.Duration{time.Minute})
+	t0 := time.Date(2026, 1, 2, 3, 0, 0, 0, time.UTC)
+	rep := e.Report(t0, nil)
+	w := rep.Objectives[0].Windows[0]
+	if !w.OK || w.Attainment != 1 || w.CoveredSeconds != 0 {
+		t.Errorf("vacuous window = %+v", w)
+	}
+	for i := 0; i < 100; i++ {
+		e.Tick(t0.Add(time.Duration(i)*time.Second), nil)
+	}
+	e.mu.Lock()
+	n := len(e.samples)
+	base := e.samples[0].at
+	e.mu.Unlock()
+	if n > 62 {
+		t.Errorf("samples not pruned: %d retained", n)
+	}
+	if cutoff := t0.Add(99*time.Second - time.Minute); base.After(cutoff) {
+		t.Errorf("pruned too far: oldest %v after window start %v", base, cutoff)
+	}
+}
+
+// TestHistogramVecOverflow: past the cardinality cap, novel label sets
+// share one overflow child and the family stops growing.
+func TestHistogramVecOverflow(t *testing.T) {
+	v := NewHistogramVec("x_seconds", "test.", []string{"endpoint"}, []float64{1})
+	v.MaxChildren = 2
+	v.With("a").Observe(time.Millisecond)
+	v.With("b").Observe(time.Millisecond)
+	v.With("c").Observe(time.Millisecond)
+	v.With("d").Observe(time.Millisecond)
+	if v.With("c") != v.With("d") {
+		t.Error("overflow label sets got distinct children")
+	}
+	if v.With("a") == v.With("c") {
+		t.Error("pre-cap child collapsed into overflow")
+	}
+	snaps := v.Snapshot()
+	if len(snaps) != 3 {
+		t.Fatalf("snapshot children = %d, want 2 + overflow", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if last.LabelValues[0] != OverflowLabel || last.Count != 2 {
+		t.Errorf("overflow child = labels %v count %d, want [%s] 2", last.LabelValues, last.Count, OverflowLabel)
+	}
+}

@@ -162,6 +162,93 @@ func FromTrace(model string, trace []machine.StepTrace, topCells int) *Profile {
 	return p
 }
 
+// MixedModel is the Model a merged profile reports when its inputs
+// disagree on the model name.
+const MixedModel = "(mixed)"
+
+// Merge aggregates profiles into one rollup — the daemon's rolling
+// contention view folds many sampled per-run profiles this way. It is
+// deterministic in the input order: totals and histograms sum, phases
+// merge by label in first-occurrence order across the inputs, and hot
+// cells merge by address (per-cell step counts sum; the kappa/reads/
+// writes/label of a cell stay those of the first input attaining its
+// maximum contention, mirroring FromTrace's strictly-greater rule)
+// before re-ranking. topCells bounds the merged ranking (<= 0 means
+// DefaultHotCells). Nil inputs are skipped; merging nothing yields an
+// empty profile with an empty model.
+func Merge(ps []*Profile, topCells int) *Profile {
+	if topCells <= 0 {
+		topCells = DefaultHotCells
+	}
+	out := &Profile{}
+	phaseIdx := make(map[string]int)
+	cellIdx := make(map[int]int)
+	var cells []HotCell
+	first := true
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		if first {
+			out.Model = p.Model
+			first = false
+		} else if out.Model != p.Model {
+			out.Model = MixedModel
+		}
+		out.Steps += p.Steps
+		out.Time += p.Time
+		out.Ops += p.Ops
+		out.SumKappa += p.SumKappa
+		if p.MaxKappa > out.MaxKappa {
+			out.MaxKappa = p.MaxKappa
+		}
+		for _, ph := range p.Phases {
+			i, ok := phaseIdx[ph.Label]
+			if !ok {
+				i = len(out.Phases)
+				phaseIdx[ph.Label] = i
+				out.Phases = append(out.Phases, Phase{Label: ph.Label})
+			}
+			o := &out.Phases[i]
+			o.Steps += ph.Steps
+			o.Time += ph.Time
+			o.Ops += ph.Ops
+			o.SumKappa += ph.SumKappa
+			if ph.MaxKappa > o.MaxKappa {
+				o.MaxKappa = ph.MaxKappa
+			}
+		}
+		// Buckets are positional: bucket b covers the same kappa range
+		// in every profile, so histograms sum index-wise.
+		for b, bk := range p.Histogram {
+			for len(out.Histogram) <= b {
+				lo, hi := bucketRange(len(out.Histogram))
+				out.Histogram = append(out.Histogram, Bucket{Lo: lo, Hi: hi})
+			}
+			out.Histogram[b].Steps += bk.Steps
+		}
+		for _, hc := range p.HotCells {
+			j, ok := cellIdx[hc.Addr]
+			if !ok {
+				j = len(cells)
+				cellIdx[hc.Addr] = j
+				cells = append(cells, HotCell{Addr: hc.Addr})
+			}
+			c := &cells[j]
+			c.Steps += hc.Steps
+			if hc.Kappa > c.Kappa {
+				c.Kappa, c.Reads, c.Writes, c.Label = hc.Kappa, hc.Reads, hc.Writes, hc.Label
+			}
+		}
+	}
+	sortHotCells(cells)
+	if len(cells) > topCells {
+		cells = cells[:topCells]
+	}
+	out.HotCells = cells
+	return out
+}
+
 // bucketOf maps a per-step contention to its log2 bucket: bucket 0 holds
 // kappa = 1 and bucket b > 0 holds 2^(b-1) < kappa <= 2^b.
 func bucketOf(kappa int64) int {

@@ -138,3 +138,75 @@ func TestProfileJSONRoundTrip(t *testing.T) {
 		t.Error("profile did not survive a JSON round trip")
 	}
 }
+
+// TestMerge: totals/phases/histogram/hot-cells aggregate across
+// profiles deterministically, model mixing is flagged, and the merged
+// hot-cell ranking is re-sorted and bounded.
+func TestMerge(t *testing.T) {
+	a := &Profile{
+		Model: "qrqw", Steps: 3, Time: 10, Ops: 42, MaxKappa: 6, SumKappa: 10,
+		Phases: []Phase{
+			{Label: "throw", Steps: 2, Time: 7, Ops: 30, MaxKappa: 6, SumKappa: 7},
+			{Label: "verify", Steps: 1, Time: 3, Ops: 12, MaxKappa: 3, SumKappa: 3},
+		},
+		Histogram: []Bucket{{1, 1, 1}, {2, 2, 1}, {3, 4, 0}, {5, 8, 1}},
+		HotCells: []HotCell{
+			{Addr: 4, Kappa: 6, Reads: 6, Steps: 2, Label: "throw"},
+			{Addr: 9, Kappa: 2, Writes: 2, Steps: 1, Label: "throw"},
+		},
+	}
+	b := &Profile{
+		Model: "qrqw", Steps: 2, Time: 5, Ops: 20, MaxKappa: 9, SumKappa: 10,
+		Phases: []Phase{
+			{Label: "verify", Steps: 1, Time: 2, Ops: 8, MaxKappa: 9, SumKappa: 9},
+			{Label: "compact", Steps: 1, Time: 3, Ops: 12, MaxKappa: 1, SumKappa: 1},
+		},
+		Histogram: []Bucket{{1, 1, 1}, {2, 2, 0}, {3, 4, 0}, {5, 8, 0}, {9, 16, 1}},
+		HotCells: []HotCell{
+			{Addr: 4, Kappa: 9, Reads: 9, Steps: 1, Label: "verify"},
+			{Addr: 2, Kappa: 3, Reads: 3, Steps: 1, Label: "verify"},
+		},
+	}
+	m := Merge([]*Profile{a, nil, b}, 2)
+	if m.Model != "qrqw" || m.Steps != 5 || m.Time != 15 || m.Ops != 62 || m.MaxKappa != 9 || m.SumKappa != 20 {
+		t.Errorf("merged totals = %+v", m)
+	}
+	wantPhases := []Phase{
+		{Label: "throw", Steps: 2, Time: 7, Ops: 30, MaxKappa: 6, SumKappa: 7},
+		{Label: "verify", Steps: 2, Time: 5, Ops: 20, MaxKappa: 9, SumKappa: 12},
+		{Label: "compact", Steps: 1, Time: 3, Ops: 12, MaxKappa: 1, SumKappa: 1},
+	}
+	if len(m.Phases) != len(wantPhases) {
+		t.Fatalf("phases = %+v", m.Phases)
+	}
+	for i, w := range wantPhases {
+		if m.Phases[i] != w {
+			t.Errorf("phase[%d] = %+v, want %+v", i, m.Phases[i], w)
+		}
+	}
+	wantHist := []Bucket{{1, 1, 2}, {2, 2, 1}, {3, 4, 0}, {5, 8, 1}, {9, 16, 1}}
+	if len(m.Histogram) != len(wantHist) {
+		t.Fatalf("histogram = %+v", m.Histogram)
+	}
+	for i, w := range wantHist {
+		if m.Histogram[i] != w {
+			t.Errorf("bucket[%d] = %+v, want %+v", i, m.Histogram[i], w)
+		}
+	}
+	// Cell 4: steps sum, max-kappa entry (from b) wins; ranking is
+	// kappa-desc and bounded to topCells=2, so addr 2 beats addr 9.
+	wantCells := []HotCell{
+		{Addr: 4, Kappa: 9, Reads: 9, Steps: 3, Label: "verify"},
+		{Addr: 2, Kappa: 3, Reads: 3, Steps: 1, Label: "verify"},
+	}
+	if len(m.HotCells) != 2 || m.HotCells[0] != wantCells[0] || m.HotCells[1] != wantCells[1] {
+		t.Errorf("hot cells = %+v, want %+v", m.HotCells, wantCells)
+	}
+
+	if got := Merge([]*Profile{a, {Model: "erew"}}, 0).Model; got != MixedModel {
+		t.Errorf("mixed-model merge = %q, want %q", got, MixedModel)
+	}
+	if got := Merge(nil, 0); got.Model != "" || got.Steps != 0 {
+		t.Errorf("empty merge = %+v", got)
+	}
+}

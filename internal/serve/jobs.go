@@ -11,6 +11,8 @@ import (
 	"lowcontend/internal/core"
 	"lowcontend/internal/exp/spec"
 	"lowcontend/internal/machine"
+	"lowcontend/internal/obs"
+	"lowcontend/internal/profile"
 	"lowcontend/internal/sweep"
 )
 
@@ -70,6 +72,12 @@ type outcome struct {
 	result   *spec.Result  // run jobs
 	sweepRes *sweep.Result // sweep jobs
 	err      error
+	// sampled marks an execution the contention sampler forced under
+	// profiling: its host-side exec telemetry is perturbed (hot-cell
+	// attribution expands bulk descriptors), so it is served to its
+	// own client but never entered into the artifact cache — the
+	// canonical cached bytes always come from an unprofiled execution.
+	sampled bool
 }
 
 // job is the manager's record of one submitted run or sweep. All
@@ -97,16 +105,19 @@ type job struct {
 // and one shared artifact cache (keys are namespaced per kind), so
 // machines allocated for any request are recycled by every other.
 type manager struct {
-	pool     *core.SessionPool
-	cache    *artifactCache
-	met      *metrics    // shared cache/cell counters
-	ctr      *counterSet // this queue's own accounting
-	sobs     *serverObs  // shared latency histograms
-	log      *slog.Logger
-	idPrefix string // job id namespace ("run", "sweep")
-	qlabel   string // histogram queue label ("runs", "sweeps")
-	parallel int    // per-job parallelism when the request says 0
-	maxJobs  int    // retained job records (finished jobs beyond this are evicted)
+	pool       *core.SessionPool
+	cache      *artifactCache
+	met        *metrics    // shared cache/cell counters
+	ctr        *counterSet // this queue's own accounting
+	sobs       *serverObs  // shared latency histograms
+	log        *slog.Logger
+	flight     *obs.Flight     // shared flight recorder (nil-safe)
+	incidents  *incidentStore  // shared incident store (nil-safe)
+	contention *contentionView // shared contention sampler (nil-safe)
+	idPrefix   string          // job id namespace ("run", "sweep")
+	qlabel     string          // histogram queue label ("runs", "sweeps")
+	parallel   int             // per-job parallelism when the request says 0
+	maxJobs    int             // retained job records (finished jobs beyond this are evicted)
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -134,25 +145,27 @@ type flight struct {
 	waiters []*job
 }
 
-func newManager(pool *core.SessionPool, cache *artifactCache, met *metrics, ctr *counterSet,
-	sobs *serverObs, log *slog.Logger,
+func newManager(s *Server, ctr *counterSet,
 	idPrefix string, workers, queueDepth, parallel, maxJobs int) *manager {
 	m := &manager{
-		pool:     pool,
-		cache:    cache,
-		met:      met,
-		ctr:      ctr,
-		sobs:     sobs,
-		log:      log,
-		idPrefix: idPrefix,
-		qlabel:   idPrefix + "s",
-		parallel: parallel,
-		maxJobs:  maxJobs,
-		jobs:     make(map[string]*job),
-		flights:  make(map[string]*flight),
-		byKey:    make(map[string]string),
-		queue:    make(chan *job, queueDepth),
-		drained:  make(chan struct{}),
+		pool:       s.pool,
+		cache:      s.cache,
+		met:        s.met,
+		ctr:        ctr,
+		sobs:       s.obs,
+		log:        s.log,
+		flight:     s.flight,
+		incidents:  s.incidents,
+		contention: s.contention,
+		idPrefix:   idPrefix,
+		qlabel:     idPrefix + "s",
+		parallel:   parallel,
+		maxJobs:    maxJobs,
+		jobs:       make(map[string]*job),
+		flights:    make(map[string]*flight),
+		byKey:      make(map[string]string),
+		queue:      make(chan *job, queueDepth),
+		drained:    make(chan struct{}),
 		// The queue bounds jobs waiting for a worker, but coalesced
 		// waiters leave the queue in microseconds and park on their
 		// leader, so live jobs are bounded separately: room for a full
@@ -198,11 +211,27 @@ func (m *manager) safeRun(j *job) {
 		}
 		m.mu.Unlock()
 		m.finish(j, out, "")
+		m.captureJobIncident(j)
 		for _, wj := range waiters {
 			m.finish(wj, out, "")
 		}
 	}()
 	m.run(j)
+}
+
+// captureJobIncident snapshots a just-failed job into the incident
+// store, evidence-first: the full timeline document carries the
+// deterministic core (per-cell exec deltas, settlement routes, the
+// error) and the wall-clock spans.
+func (m *manager) captureJobIncident(j *job) {
+	if m.incidents == nil {
+		return
+	}
+	doc, herr := m.timeline(j.id)
+	if herr != nil {
+		return // evicted between finish and capture
+	}
+	m.incidents.captureJob(m.idPrefix, doc)
 }
 
 // submit enqueues a validated submission. It refuses with 503 when the
@@ -213,6 +242,8 @@ func (m *manager) submit(p jobParams) (JobStatus, *httpError) {
 	if m.closed {
 		m.mu.Unlock()
 		m.ctr.rejected.Add(1)
+		m.flight.Record("queue_reject", obs.FStr("queue", m.qlabel), obs.FStr("reason", "draining"),
+			obs.FStr("request_id", p.requestID))
 		return JobStatus{}, errf(http.StatusServiceUnavailable, "server is shutting down")
 	}
 	// A cached submission completes inline: it costs zero simulation,
@@ -264,6 +295,8 @@ func (m *manager) submit(p jobParams) (JobStatus, *httpError) {
 		m.evictLocked()
 		st := m.statusLocked(j)
 		m.mu.Unlock()
+		m.flight.Record("job_cache_hit", obs.FStr("queue", m.qlabel), obs.FStr("job", j.id),
+			obs.FStr("experiment", p.exp.Name), obs.FStr("request_id", p.requestID))
 		m.log.Info("job served from cache", "queue", m.qlabel, "id", j.id,
 			"request_id", p.requestID, "experiment", p.exp.Name)
 		return st, nil
@@ -281,6 +314,8 @@ func (m *manager) submit(p jobParams) (JobStatus, *httpError) {
 	if m.live >= m.maxLive {
 		m.mu.Unlock()
 		m.ctr.rejected.Add(1)
+		m.flight.Record("queue_reject", obs.FStr("queue", m.qlabel), obs.FStr("reason", "live_limit"),
+			obs.FStr("request_id", p.requestID), obs.FInt("limit", int64(m.maxLive)))
 		return JobStatus{}, errf(http.StatusServiceUnavailable, "too many in-flight runs (limit %d); retry later", m.maxLive)
 	}
 	select {
@@ -288,6 +323,8 @@ func (m *manager) submit(p jobParams) (JobStatus, *httpError) {
 	default:
 		m.mu.Unlock()
 		m.ctr.rejected.Add(1)
+		m.flight.Record("queue_reject", obs.FStr("queue", m.qlabel), obs.FStr("reason", "queue_full"),
+			obs.FStr("request_id", p.requestID), obs.FInt("depth", int64(cap(m.queue))))
 		return JobStatus{}, errf(http.StatusServiceUnavailable, "job queue is full (depth %d)", cap(m.queue))
 	}
 	m.live++
@@ -301,6 +338,8 @@ func (m *manager) submit(p jobParams) (JobStatus, *httpError) {
 	m.ctr.submitted.Add(1)
 	m.ctr.queued.Add(1)
 	m.mu.Unlock()
+	m.flight.Record("job_queued", obs.FStr("queue", m.qlabel), obs.FStr("job", j.id),
+		obs.FStr("experiment", p.exp.Name), obs.FStr("request_id", p.requestID))
 	m.log.Info("job queued", "queue", m.qlabel, "id", j.id,
 		"request_id", p.requestID, "experiment", p.exp.Name)
 	return st, nil
@@ -379,13 +418,18 @@ func (m *manager) run(j *job) {
 		m.finish(j, out, "cache")
 	} else {
 		m.met.cacheMisses.Add(1)
-		out = m.simulate(p, j.tl)
-		if out.err == nil {
-			// Only fully successful outcomes are cached: a partial
-			// result must never be replayed as the canonical artifact.
+		out = m.simulate(j)
+		if out.err == nil && !out.sampled {
+			// Only fully successful, unsampled outcomes are cached: a
+			// partial result must never be replayed as the canonical
+			// artifact, and a sampled execution's exec telemetry is
+			// perturbed by profiling (see outcome.sampled).
 			m.cache.put(p.key, &cacheEntry{out: out})
 		}
 		m.finish(j, out, "")
+		if out.err != nil {
+			m.captureJobIncident(j)
+		}
 	}
 
 	// Complete the coalesced waiters with the identical outcome. After
@@ -422,8 +466,10 @@ func (m *manager) cellHook(_ string, start bool) {
 // simulate executes one submission and renders its artifact(s),
 // recording per-cell (or per-point) spans and render timing onto the
 // leader's timeline. Cell wall-clock durations also feed the shared
-// cell-duration histogram.
-func (m *manager) simulate(p jobParams, tl *timeline) outcome {
+// cell-duration histogram, and each settled cell drops a flight event
+// carrying its settlement route and exec delta.
+func (m *manager) simulate(j *job) outcome {
+	p, tl := j.params, j.tl
 	par := p.parallel
 	if par == 0 {
 		par = m.parallel
@@ -431,6 +477,10 @@ func (m *manager) simulate(p jobParams, tl *timeline) outcome {
 	observeCell := func(res spec.CellResult, ct spec.CellTiming) {
 		m.sobs.cellDur.With(m.qlabel).Observe(ct.Wall)
 		tl.observeCell(res, ct)
+		m.flight.Record("cell", obs.FStr("job", j.id), obs.FStr("cell", res.Cell),
+			obs.FStr("settlement", settlementRoute(res.Exec)),
+			obs.FInt("gang_dispatches", res.Exec.GangDispatches),
+			obs.FInt("serial_steps", res.Exec.SerialSteps))
 	}
 	switch p.kind {
 	case sweepJob:
@@ -454,10 +504,13 @@ func (m *manager) simulate(p jobParams, tl *timeline) outcome {
 		// they never fail the job; the artifact renders them.
 		return outcome{artifact: artifact, sweepRes: &res}
 	default:
+		// The contention sampler may force profiling onto an unprofiled
+		// run; explicitly profiled runs fold into the view for free.
+		forced := !p.profile && m.contention.shouldSample()
 		runner := &spec.Runner{
 			Parallel:     par,
 			Pool:         m.pool,
-			Profile:      p.profile,
+			Profile:      p.profile || forced,
 			CellHook:     m.cellHook,
 			CellObserver: observeCell,
 		}
@@ -468,8 +521,23 @@ func (m *manager) simulate(p jobParams, tl *timeline) outcome {
 		}
 		res := runner.Run(p.exp, p.sizes, p.seed)
 		tl.event("simulated")
+		if p.profile || forced {
+			var profs []*profile.Profile
+			for i := range res.Cells {
+				profs = append(profs, res.Cells[i].Profiles...)
+			}
+			m.contention.add(j.id, p.exp.Name, profs, forced)
+		}
+		if forced {
+			// The client didn't ask for profiles: strip them so the
+			// served result matches an unprofiled submission's shape.
+			for i := range res.Cells {
+				res.Cells[i].Profiles = nil
+			}
+		}
 		t0 := time.Now()
-		out := outcome{artifact: renderArtifact(p.exp, res), result: &res, err: res.FirstErr()}
+		out := outcome{artifact: renderArtifact(p.exp, res), result: &res,
+			err: res.FirstErr(), sampled: forced}
 		if p.profile {
 			out.profText = renderProfile(res)
 		}
@@ -538,6 +606,8 @@ func (m *manager) finish(j *job, out outcome, via string) {
 		j.tl.setVia(via)
 	}
 	j.tl.event("finished")
+	m.flight.Record("job_finished", obs.FStr("queue", m.qlabel), obs.FStr("job", j.id),
+		obs.FStr("state", string(state)), obs.FStr("via", via), obs.FStr("error", errMsg))
 	m.log.Info("job finished", "queue", m.qlabel, "id", j.id,
 		"request_id", j.params.requestID, "state", string(state),
 		"via", via, "elapsed", elapsed, "error", errMsg)

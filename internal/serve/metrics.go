@@ -1,6 +1,7 @@
 package serve
 
 import (
+	rtmetrics "runtime/metrics"
 	"sync/atomic"
 
 	"lowcontend/internal/core"
@@ -79,4 +80,27 @@ func (m *metrics) snapshot(pool *core.SessionPool, cacheEntries int) map[string]
 	m.runs.fill(out, "jobs")
 	m.sweeps.fill(out, "sweeps")
 	return out
+}
+
+// procGauges adds process-level gauges from runtime/metrics to the
+// /metrics document: goroutine count, live heap bytes, and cumulative
+// GC pauses. Sampled at scrape time; every key is always present (a
+// sample the runtime can't serve reports zero) so the JSON key set
+// stays pinned for scrapers.
+func procGauges(into map[string]int64) {
+	samples := []rtmetrics.Sample{
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+	}
+	rtmetrics.Read(samples)
+	asInt := func(s rtmetrics.Sample) int64 {
+		if s.Value.Kind() == rtmetrics.KindUint64 {
+			return int64(s.Value.Uint64())
+		}
+		return 0
+	}
+	into["proc_goroutines"] = asInt(samples[0])
+	into["proc_heap_objects_bytes"] = asInt(samples[1])
+	into["proc_gc_cycles"] = asInt(samples[2])
 }

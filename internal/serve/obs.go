@@ -123,6 +123,10 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 		}
 		elapsed := time.Since(start)
 		s.obs.httpLatency.With(endpoint, strconv.Itoa(sr.status)).Observe(elapsed)
+		s.flight.Record("http", obs.FStr("endpoint", endpoint),
+			obs.FInt("status", int64(sr.status)), obs.FStr("request_id", rid),
+			obs.FInt("elapsed_us", elapsed.Microseconds()))
+		s.incidents.observeHTTP(endpoint, sr.status, elapsed, rid)
 		s.log.LogAttrs(r.Context(), slog.LevelInfo, "http",
 			slog.String("request_id", rid),
 			slog.String("method", r.Method),
@@ -151,7 +155,7 @@ func (s *Server) renderProm() []byte {
 	e.HistogramVec(s.obs.cellDur)
 	e.HistogramVec(s.obs.renderDur)
 
-	snap := s.met.snapshot(s.pool, s.cache.len())
+	snap := s.metricsSnapshot()
 	keys := make([]string, 0, len(snap))
 	for k := range snap {
 		keys = append(keys, k)
@@ -174,22 +178,75 @@ func (s *Server) renderProm() []byte {
 	execGauge("cursor_steals", "Chunk claims above a gang member's fair share.", ex.CursorSteals)
 	execGauge("cutoff_raises", "Adaptive serial-cutoff raises across pooled machines.", ex.CutoffRaises)
 	execGauge("cutoff_lowers", "Adaptive serial-cutoff halvings across pooled machines.", ex.CutoffLowers)
+
+	if rep := s.sloReport(); len(rep.Objectives) > 0 {
+		e.Header("lowcontend_slo_attainment",
+			"Rolling-window SLO attainment per objective (1 = every request met it).", "gauge")
+		for _, o := range rep.Objectives {
+			for _, w := range o.Windows {
+				e.Float("lowcontend_slo_attainment", sloLabels(o, w), w.Attainment)
+			}
+		}
+		e.Header("lowcontend_slo_latency_burn_rate",
+			"Latency error-budget burn rate per objective and window (1 = exactly on budget).", "gauge")
+		for _, o := range rep.Objectives {
+			for _, w := range o.Windows {
+				e.Float("lowcontend_slo_latency_burn_rate", sloLabels(o, w), w.LatencyBurnRate)
+			}
+		}
+		e.Header("lowcontend_slo_error_burn_rate",
+			"Error-rate budget burn rate per objective and window.", "gauge")
+		for _, o := range rep.Objectives {
+			for _, w := range o.Windows {
+				e.Float("lowcontend_slo_error_burn_rate", sloLabels(o, w), w.ErrorBurnRate)
+			}
+		}
+		e.Header("lowcontend_slo_ok",
+			"Whether the objective currently holds across all windows (1 = ok).", "gauge")
+		for _, o := range rep.Objectives {
+			v := int64(0)
+			if o.OK {
+				v = 1
+			}
+			e.Int("lowcontend_slo_ok", []obs.Label{{Name: "endpoint", Value: o.Objective.Endpoint}}, v)
+		}
+	}
 	return e.Bytes()
+}
+
+// sloLabels labels one objective×window SLO sample.
+func sloLabels(o obs.ObjectiveReport, w obs.WindowReport) []obs.Label {
+	return []obs.Label{
+		{Name: "endpoint", Value: o.Objective.Endpoint},
+		{Name: "window", Value: strconv.FormatInt(int64(w.WindowSeconds), 10) + "s"},
+	}
 }
 
 // --- pprof ------------------------------------------------------------
 
 // DebugHandler returns the daemon's debug mux: the net/http/pprof
-// endpoints under /debug/pprof/. It is deliberately not part of the
-// service Handler — cmd/lowcontendd binds it on a separate listener
-// only when -debug-addr is set, so profiling surface is never exposed
-// on the service address by default.
-func DebugHandler() http.Handler {
+// endpoints under /debug/pprof/ and the flight-recorder dump at
+// /debug/flight. It is deliberately not part of the service Handler —
+// cmd/lowcontendd binds it on a separate listener only when
+// -debug-addr is set, so the profiling and raw-event surface is never
+// exposed on the service address by default.
+func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	return mux
+}
+
+// handleFlight dumps the flight-recorder ring, oldest event first.
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	events := s.flight.Events()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"recorded": s.flight.Recorded(),
+		"count":    len(events),
+		"events":   events,
+	})
 }

@@ -14,6 +14,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"lowcontend/internal/obs"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the timeline golden files in testdata")
@@ -55,11 +57,14 @@ func TestMetricsJSONKeySet(t *testing.T) {
 	sort.Strings(got)
 	want := []string{
 		"bulk_descriptors", "cache_entries", "cache_hits", "cache_misses",
-		"cells_inflight", "cells_run", "expanded_descriptors",
+		"cells_inflight", "cells_run", "contention_jobs_sampled",
+		"expanded_descriptors", "flight_events",
 		"gang_dispatches", "gang_fused_settles",
+		"incidents_captured", "incidents_retained",
 		"jobs_coalesced", "jobs_done", "jobs_failed", "jobs_queued",
 		"jobs_rejected", "jobs_running", "jobs_submitted",
 		"pool_acquires", "pool_idle", "pool_news", "pool_reuses",
+		"proc_gc_cycles", "proc_goroutines", "proc_heap_objects_bytes",
 		"serial_steps",
 		"sweeps_coalesced", "sweeps_done", "sweeps_failed", "sweeps_queued",
 		"sweeps_rejected", "sweeps_running", "sweeps_submitted",
@@ -336,20 +341,40 @@ func TestRequestIDPropagation(t *testing.T) {
 	}
 }
 
-// TestPprofOnlyOnDebugHandler: the service handler never serves pprof;
-// the explicit DebugHandler does.
+// TestPprofOnlyOnDebugHandler: the service handler never serves pprof
+// or the flight dump; the explicit DebugHandler serves both.
 func TestPprofOnlyOnDebugHandler(t *testing.T) {
 	s := newTestServer(t)
 	if w := do(t, s, http.MethodGet, "/debug/pprof/", ""); w.Code != http.StatusNotFound {
 		t.Errorf("service handler served /debug/pprof/ with %d, want 404", w.Code)
 	}
+	if w := do(t, s, http.MethodGet, "/debug/flight", ""); w.Code != http.StatusNotFound {
+		t.Errorf("service handler served /debug/flight with %d, want 404", w.Code)
+	}
 	req := httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil)
 	w := httptest.NewRecorder()
-	DebugHandler().ServeHTTP(w, req)
+	s.DebugHandler().ServeHTTP(w, req)
 	if w.Code != http.StatusOK {
 		t.Errorf("DebugHandler /debug/pprof/: code %d, want 200", w.Code)
 	}
 	if !strings.Contains(w.Body.String(), "pprof") {
 		t.Errorf("DebugHandler index does not look like pprof:\n%.200s", w.Body.String())
+	}
+	req = httptest.NewRequest(http.MethodGet, "/debug/flight", nil)
+	w = httptest.NewRecorder()
+	s.DebugHandler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Errorf("DebugHandler /debug/flight: code %d, want 200", w.Code)
+	}
+	var dump struct {
+		Recorded int         `json:"recorded"`
+		Events   []obs.Event `json:"events"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("flight dump: %v", err)
+	}
+	if dump.Recorded == 0 || len(dump.Events) == 0 {
+		t.Errorf("flight dump empty after traced requests: recorded=%d events=%d",
+			dump.Recorded, len(dump.Events))
 	}
 }

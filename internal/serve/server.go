@@ -41,10 +41,13 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"time"
 
 	"lowcontend/internal/core"
 	"lowcontend/internal/exp"
+	"lowcontend/internal/machine"
+	"lowcontend/internal/obs"
 )
 
 // Config tunes a Server. The zero value serves with sensible defaults.
@@ -81,6 +84,40 @@ type Config struct {
 	// traces, job lifecycle). Nil discards them, which is what tests
 	// and library embedders want; cmd/lowcontendd wires stderr.
 	Logger *slog.Logger
+
+	// FlightEvents bounds the flight-recorder ring dumped at
+	// /debug/flight on the debug handler (default
+	// obs.DefaultFlightEvents).
+	FlightEvents int
+	// MaxIncidents bounds the retained incident store; the oldest
+	// incidents are evicted past it (default 32).
+	MaxIncidents int
+	// IncidentCooldown rate-limits repeated captures of one HTTP-edge
+	// trigger kind, so a persistent anomaly yields periodic evidence
+	// instead of evicting its own history (default 30s). Job-failure
+	// captures are never rate-limited.
+	IncidentCooldown time.Duration
+	// BackpressureBurst is the number of 503 rejections inside
+	// BurstWindow that constitutes a backpressure incident (default 10).
+	BackpressureBurst int
+	// BurstWindow is the sliding window for burst detection (default 10s).
+	BurstWindow time.Duration
+	// SLOs declares per-endpoint latency/error objectives, evaluated
+	// over SLOWindows from the HTTP latency histograms and served at
+	// GET /v1/slo. Empty means no objectives (the endpoint reports an
+	// empty document). An objective's latency threshold also arms the
+	// latency-breach incident trigger for its endpoint.
+	SLOs []obs.Objective
+	// SLOWindows are the rolling evaluation windows (default
+	// obs.DefaultSLOWindows: 5m and 30m).
+	SLOWindows []time.Duration
+	// ContentionSample, when positive, profiles every Nth simulated
+	// run job into the rolling contention view at GET /v1/contention
+	// (default 0: continuous profiling off; see contention.go for the
+	// telemetry perturbation trade-off).
+	ContentionSample int
+	// ContentionWindow bounds the retained samples (default 64).
+	ContentionWindow int
 }
 
 // Server is the HTTP simulation service. Construct with New, mount
@@ -97,6 +134,13 @@ type Server struct {
 	mux     *http.ServeMux
 	limits  Limits
 	started time.Time
+
+	flight     *obs.Flight
+	incidents  *incidentStore
+	slo        *obs.SLOEngine
+	contention *contentionView
+	sloStop    chan struct{}
+	sloOnce    sync.Once
 }
 
 // New constructs a Server and starts its worker pools.
@@ -128,6 +172,18 @@ func New(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
+	if cfg.MaxIncidents <= 0 {
+		cfg.MaxIncidents = 32
+	}
+	if cfg.IncidentCooldown <= 0 {
+		cfg.IncidentCooldown = 30 * time.Second
+	}
+	if cfg.BackpressureBurst <= 0 {
+		cfg.BackpressureBurst = 10
+	}
+	if cfg.BurstWindow <= 0 {
+		cfg.BurstWindow = 10 * time.Second
+	}
 	s := &Server{
 		pool:    cfg.Pool,
 		cache:   newArtifactCache(cfg.CacheEntries),
@@ -136,18 +192,63 @@ func New(cfg Config) *Server {
 		log:     cfg.Logger,
 		limits:  cfg.Limits.withDefaults(),
 		started: time.Now().UTC(),
+		flight:  obs.NewFlight(cfg.FlightEvents),
+		sloStop: make(chan struct{}),
 	}
+	// An objective's latency threshold arms the latency-breach trigger
+	// for its endpoint; with several objectives per endpoint the
+	// strictest one fires first.
+	thresholds := make(map[string]float64)
+	for _, o := range cfg.SLOs {
+		if o.LatencySeconds <= 0 {
+			continue
+		}
+		if cur, ok := thresholds[o.Endpoint]; !ok || o.LatencySeconds < cur {
+			thresholds[o.Endpoint] = o.LatencySeconds
+		}
+	}
+	s.incidents = newIncidentStore(cfg.MaxIncidents, s.flight, cfg.IncidentCooldown,
+		cfg.BackpressureBurst, cfg.BurstWindow, thresholds)
+	s.slo = obs.NewSLOEngine(cfg.SLOs, cfg.SLOWindows)
+	s.contention = newContentionView(cfg.ContentionSample, cfg.ContentionWindow)
 	if s.pool == nil {
 		s.pool = core.NewSessionPool()
 		s.pool.Workers = 1
 		s.ownPool = true
+		// Rare execution control events (adaptive cutoff moves) from
+		// pooled machines land in the flight recorder. Only installed
+		// on the server's own pool: a caller-supplied pool's hook
+		// belongs to the caller.
+		flight := s.flight
+		s.pool.EventHook = func(ev machine.ExecEvent) {
+			flight.Record("exec_"+ev.Kind, obs.FInt("cutoff", int64(ev.Cutoff)))
+		}
 	}
-	s.jobs = newManager(s.pool, s.cache, s.met, &s.met.runs, s.obs, s.log,
-		"run", cfg.Workers, cfg.QueueDepth, cfg.Parallel, cfg.MaxJobs)
-	s.sweeps = newManager(s.pool, s.cache, s.met, &s.met.sweeps, s.obs, s.log,
-		"sweep", cfg.SweepWorkers, cfg.QueueDepth, cfg.Parallel, cfg.MaxJobs)
+	s.jobs = newManager(s, &s.met.runs, "run", cfg.Workers, cfg.QueueDepth, cfg.Parallel, cfg.MaxJobs)
+	s.sweeps = newManager(s, &s.met.sweeps, "sweep", cfg.SweepWorkers, cfg.QueueDepth, cfg.Parallel, cfg.MaxJobs)
 	s.routes()
+	if len(cfg.SLOs) > 0 {
+		go s.sloTicker()
+	}
 	return s
+}
+
+// sloTickInterval is how often the SLO engine records a windowed
+// sample of the HTTP latency histograms.
+const sloTickInterval = 10 * time.Second
+
+// sloTicker feeds the SLO engine until Shutdown.
+func (s *Server) sloTicker() {
+	t := time.NewTicker(sloTickInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sloStop:
+			return
+		case now := <-t.C:
+			s.slo.Tick(now.UTC(), s.obs.httpLatency.Snapshot())
+		}
+	}
 }
 
 // routes wires the endpoint table. Split from New so tests can assemble
@@ -166,6 +267,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus(s.sweeps))
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/artifact", s.handleArtifact(s.sweeps))
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/timeline", s.handleTimeline(s.sweeps))
+	s.mux.HandleFunc("GET /v1/incidents", s.handleIncidents)
+	s.mux.HandleFunc("GET /v1/incidents/{id}", s.handleIncident)
+	s.mux.HandleFunc("GET /v1/slo", s.handleSLO)
+	s.mux.HandleFunc("GET /v1/contention", s.handleContention)
 	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -181,6 +286,7 @@ func (s *Server) Handler() http.Handler { return s.withObs(s.mux) }
 // Callers stop the HTTP listener first (http.Server.Shutdown), then
 // drain jobs here.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.sloOnce.Do(func() { close(s.sloStop) })
 	err := s.jobs.shutdown(ctx)
 	if serr := s.sweeps.shutdown(ctx); err == nil {
 		err = serr
@@ -387,7 +493,53 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		w.Write(s.renderProm())
 		return
 	}
-	writeJSON(w, http.StatusOK, s.met.snapshot(s.pool, s.cache.len()))
+	writeJSON(w, http.StatusOK, s.metricsSnapshot())
+}
+
+// metricsSnapshot is the manager counters plus the observability
+// layer's own accounting and the process gauges.
+func (s *Server) metricsSnapshot() map[string]int64 {
+	out := s.met.snapshot(s.pool, s.cache.len())
+	captured, retained := s.incidents.counts()
+	out["incidents_captured"] = captured
+	out["incidents_retained"] = retained
+	out["contention_jobs_sampled"] = s.contention.sampledTotal()
+	out["flight_events"] = int64(s.flight.Recorded())
+	procGauges(out)
+	return out
+}
+
+// handleIncidents lists retained incidents, newest first.
+func (s *Server) handleIncidents(w http.ResponseWriter, _ *http.Request) {
+	incidents := s.incidents.list()
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(incidents), "incidents": incidents})
+}
+
+// handleIncident serves one incident's full document.
+func (s *Server) handleIncident(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	inc, ok := s.incidents.get(id)
+	if !ok {
+		writeError(w, errf(http.StatusNotFound, "unknown incident %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, inc)
+}
+
+// sloReport evaluates the objectives against the live HTTP latency
+// histograms at the current instant.
+func (s *Server) sloReport() obs.SLOReport {
+	return s.slo.Report(time.Now().UTC(), s.obs.httpLatency.Snapshot())
+}
+
+// handleSLO serves rolling-window SLO attainment and burn rates.
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sloReport())
+}
+
+// handleContention serves the rolling contention-profiling view.
+func (s *Server) handleContention(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.contention.report())
 }
 
 // --- wire helpers ----------------------------------------------------

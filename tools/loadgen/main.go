@@ -16,6 +16,13 @@
 //	                requests (default 6,2,2)
 //	-experiment E   registry experiment submitted by run requests
 //	                (default fig1, the cheapest cell)
+//	-json           emit the run summary as one JSON document on stdout
+//	                instead of the human-readable report
+//	-slo SPEC       repeatable client-side SLO assertion over a request
+//	                kind, e.g. "cached,p=0.99,latency=250ms,errors=0.01"
+//	                (kinds: cached, uncached, status). When any -slo is
+//	                given, loadgen also fetches the daemon's GET /v1/slo
+//	                and requires every daemon objective to hold.
 //
 // The generator first primes one cache key (a POST that simulates once
 // and lands in the artifact cache), then issues the weighted mix:
@@ -30,11 +37,13 @@
 // view to the server-side histograms.
 //
 // Exit status: 0 on success, 1 when no request completed, when any
-// response lacked the X-Request-ID echo, or when the cross-check fails.
+// response lacked the X-Request-ID echo, when the cross-check fails, or
+// when any -slo assertion (client-side or daemon-side) misses.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +55,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lowcontend/internal/obs"
 )
 
 func main() {
@@ -65,6 +76,22 @@ func run() int {
 	concurrency := flag.Int("concurrency", 4, "concurrent client goroutines")
 	mix := flag.String("mix", "6,2,2", "weights for cached:uncached:status requests")
 	experiment := flag.String("experiment", "fig1", "registry experiment submitted by run requests")
+	jsonOut := flag.Bool("json", false, "emit the run summary as one JSON document on stdout")
+	var slos []obs.Objective
+	flag.Func("slo", `client-side SLO assertion over a request kind, repeatable (e.g. "cached,p=0.99,latency=250ms")`,
+		func(v string) error {
+			o, err := obs.ParseObjective(v)
+			if err != nil {
+				return err
+			}
+			switch o.Endpoint {
+			case "cached", "uncached", "status":
+			default:
+				return fmt.Errorf("unknown request kind %q (want cached, uncached, or status)", o.Endpoint)
+			}
+			slos = append(slos, o)
+			return nil
+		})
 	flag.Parse()
 
 	weights, err := parseMix(*mix)
@@ -121,6 +148,7 @@ func run() int {
 	}
 	exit := 0
 	byKind := map[string][]time.Duration{}
+	errsByKind := map[string]int{}
 	var completed int
 	for _, r := range results {
 		if r.status == 0 {
@@ -128,6 +156,9 @@ func run() int {
 		}
 		completed++
 		byKind[r.kind] = append(byKind[r.kind], r.latency)
+		if r.status >= 500 {
+			errsByKind[r.kind]++
+		}
 		if r.noEcho {
 			fmt.Fprintf(os.Stderr, "loadgen: %s response missing X-Request-ID echo\n", r.kind)
 			exit = 1
@@ -137,19 +168,31 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "loadgen: no request completed")
 		return 1
 	}
-
-	fmt.Printf("loadgen: %d requests in %v (%.1f req/s, concurrency %d)\n",
-		completed, duration.Round(time.Millisecond), float64(completed)/duration.Seconds(), *concurrency)
 	kinds := make([]string, 0, len(byKind))
 	for k := range byKind {
 		kinds = append(kinds, k)
+		sort.Slice(byKind[k], func(a, b int) bool { return byKind[k][a] < byKind[k][b] })
 	}
 	sort.Strings(kinds)
+
+	sum := summary{
+		Requests:       completed,
+		DurationSecs:   duration.Seconds(),
+		ThroughputRPS:  float64(completed) / duration.Seconds(),
+		Concurrency:    *concurrency,
+		Kinds:          map[string]kindSummary{},
+		SLOs:           []sloResult{},
+		DaemonSLOHolds: true,
+	}
 	for _, k := range kinds {
 		lat := byKind[k]
-		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
-		fmt.Printf("  %-9s n=%-6d p50=%-10v p99=%-10v max=%v\n",
-			k, len(lat), pct(lat, 50), pct(lat, 99), lat[len(lat)-1])
+		sum.Kinds[k] = kindSummary{
+			Count:      len(lat),
+			Errors:     errsByKind[k],
+			P50Seconds: pct(lat, 50).Seconds(),
+			P99Seconds: pct(lat, 99).Seconds(),
+			MaxSeconds: lat[len(lat)-1].Seconds(),
+		}
 	}
 
 	// Cross-check: the daemon's own histogram must account for at least
@@ -160,12 +203,156 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "loadgen: prometheus cross-check: %v\n", err)
 		return 1
 	}
-	fmt.Printf("  daemon http_request_duration count=%d (client completed %d)\n", seen, completed)
+	sum.DaemonRequests = seen
 	if seen < uint64(completed) {
 		fmt.Fprintf(os.Stderr, "loadgen: daemon histograms recorded %d requests < client's %d\n", seen, completed)
 		exit = 1
 	}
+
+	// Client-side SLO assertions over this run's own observations, plus
+	// the daemon-side cross-check: every objective the daemon itself is
+	// configured with must currently hold.
+	for _, o := range slos {
+		r := evalSLO(o, byKind[o.Endpoint], errsByKind[o.Endpoint])
+		sum.SLOs = append(sum.SLOs, r)
+		if !r.OK {
+			fmt.Fprintf(os.Stderr, "loadgen: SLO miss on %q: observed p%g=%.4fs error_rate=%.4f (objective latency=%gs errors=%g)\n",
+				o.Endpoint, o.Quantile*100, r.ObservedSeconds, r.ErrorRate, o.LatencySeconds, o.MaxErrorRate)
+			exit = 1
+		}
+	}
+	if len(slos) > 0 {
+		ok, err := daemonSLOHolds(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: daemon SLO cross-check: %v\n", err)
+			return 1
+		}
+		sum.DaemonSLOHolds = ok
+		if !ok {
+			fmt.Fprintln(os.Stderr, "loadgen: daemon /v1/slo reports a broken objective")
+			exit = 1
+		}
+	}
+	sum.OK = exit == 0
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(sum)
+		return exit
+	}
+	fmt.Printf("loadgen: %d requests in %v (%.1f req/s, concurrency %d)\n",
+		completed, duration.Round(time.Millisecond), sum.ThroughputRPS, *concurrency)
+	for _, k := range kinds {
+		lat := byKind[k]
+		fmt.Printf("  %-9s n=%-6d errs=%-4d p50=%-10v p99=%-10v max=%v\n",
+			k, len(lat), errsByKind[k], pct(lat, 50), pct(lat, 99), lat[len(lat)-1])
+	}
+	fmt.Printf("  daemon http_request_duration count=%d (client completed %d)\n", seen, completed)
+	for _, r := range sum.SLOs {
+		verdict := "ok"
+		if !r.OK {
+			verdict = "MISS"
+		}
+		fmt.Printf("  slo %-9s p%g observed=%.4fs error_rate=%.4f — %s\n",
+			r.Kind, r.Quantile*100, r.ObservedSeconds, r.ErrorRate, verdict)
+	}
+	if len(slos) > 0 {
+		fmt.Printf("  daemon /v1/slo holds: %v\n", sum.DaemonSLOHolds)
+	}
 	return exit
+}
+
+// summary is the -json document.
+type summary struct {
+	Requests       int                    `json:"requests"`
+	DurationSecs   float64                `json:"duration_seconds"`
+	ThroughputRPS  float64                `json:"throughput_rps"`
+	Concurrency    int                    `json:"concurrency"`
+	Kinds          map[string]kindSummary `json:"kinds"`
+	DaemonRequests uint64                 `json:"daemon_request_count"`
+	SLOs           []sloResult            `json:"slos"`
+	DaemonSLOHolds bool                   `json:"daemon_slo_holds"`
+	OK             bool                   `json:"ok"`
+}
+
+type kindSummary struct {
+	Count      int     `json:"count"`
+	Errors     int     `json:"errors"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	MaxSeconds float64 `json:"max_seconds"`
+}
+
+// sloResult is one client-side assertion's outcome.
+type sloResult struct {
+	Kind            string  `json:"kind"`
+	Quantile        float64 `json:"quantile"`
+	LatencySeconds  float64 `json:"latency_seconds,omitempty"`
+	MaxErrorRate    float64 `json:"max_error_rate,omitempty"`
+	ObservedSeconds float64 `json:"observed_seconds"`
+	ErrorRate       float64 `json:"error_rate"`
+	Count           int     `json:"count"`
+	OK              bool    `json:"ok"`
+}
+
+// evalSLO checks one objective against the run's latency observations
+// for its request kind. A kind with no traffic passes vacuously.
+func evalSLO(o obs.Objective, lat []time.Duration, errs int) sloResult {
+	r := sloResult{
+		Kind:           o.Endpoint,
+		Quantile:       o.Quantile,
+		LatencySeconds: o.LatencySeconds,
+		MaxErrorRate:   o.MaxErrorRate,
+		Count:          len(lat),
+		OK:             true,
+	}
+	if len(lat) == 0 {
+		return r
+	}
+	idx := int(float64(len(lat))*o.Quantile+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(lat) {
+		idx = len(lat) - 1
+	}
+	r.ObservedSeconds = lat[idx].Seconds()
+	r.ErrorRate = float64(errs) / float64(len(lat))
+	if o.LatencySeconds > 0 && r.ObservedSeconds > o.LatencySeconds {
+		r.OK = false
+	}
+	if o.MaxErrorRate > 0 && r.ErrorRate > o.MaxErrorRate {
+		r.OK = false
+	}
+	return r
+}
+
+// daemonSLOHolds fetches GET /v1/slo and reports whether every
+// objective the daemon is configured with currently holds.
+func daemonSLOHolds(client *http.Client, base string) (bool, error) {
+	resp, err := client.Get(base + "/v1/slo")
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("GET /v1/slo: HTTP %d", resp.StatusCode)
+	}
+	var rep obs.SLOReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return false, fmt.Errorf("GET /v1/slo: %v", err)
+	}
+	for _, o := range rep.Objectives {
+		if !o.OK {
+			return false, nil
+		}
+	}
+	return true, nil
 }
 
 // issue performs one request of the given kind and times it.
