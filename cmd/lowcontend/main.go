@@ -6,6 +6,7 @@
 //
 //	lowcontend [flags] list
 //	lowcontend [flags] run <experiment> [run <experiment> ...]
+//	lowcontend [flags] define <definition.json> [define <file> ...]
 //	lowcontend [flags] profile <experiment> [profile <experiment> ...]
 //	lowcontend [flags] sweep <experiment> [sweep flags]
 //	lowcontend [flags] table1|table2|fig1|lowerbound|compaction|selftest|all
@@ -50,6 +51,11 @@
 // Experiments are declared in the internal/exp registry and executed by
 // a concurrent runner over a pool of reusable sessions; charged stats
 // and rendered artifacts are bit-identical at any -parallel value.
+// define validates a declarative JSON experiment definition (the same
+// document POST /v1/experiments accepts) with the exact same strict
+// rules as the daemon, compiles it against the phase kernels, and runs
+// it locally — its rendered artifact is byte-identical to the daemon's
+// artifact for the same definition, sizes, and seed.
 // profile runs an experiment with per-step tracing and renders each
 // cell's contention profile — per-phase cost attribution, a kappa
 // histogram, and hot cells — instead of the artifact (with -json, the
@@ -77,6 +83,7 @@ import (
 
 	"lowcontend/internal/core"
 	"lowcontend/internal/exp"
+	"lowcontend/internal/exp/dynamic"
 	"lowcontend/internal/exp/spec"
 	"lowcontend/internal/machine"
 	"lowcontend/internal/perm"
@@ -162,8 +169,9 @@ func run() int {
 		cmds = []string{"all"}
 	}
 	type action struct {
-		name     string // registry name, or the pseudo-action "list"/"selftest"
-		profiled bool   // render the contention profile instead of the artifact
+		name     string           // registry name, or the pseudo-action "list"/"selftest"
+		profiled bool             // render the contention profile instead of the artifact
+		dyn      *spec.Experiment // non-nil: compiled from a definition file, not the registry
 	}
 	var actions []action
 	var sweepInv *sweepInvocation // non-nil once a sweep subcommand consumed the tail
@@ -182,6 +190,28 @@ func run() int {
 				return 2
 			}
 			actions = append(actions, action{name: cmds[i], profiled: cmd == "profile"})
+		case "define":
+			// A definition file goes through the exact validation and
+			// compilation pipeline the daemon uses, during planning, so a
+			// malformed document aborts with the same message POST
+			// /v1/experiments would have returned in its error envelope.
+			if i+1 >= len(cmds) {
+				fmt.Fprintf(os.Stderr, "lowcontend: define requires a definition file (JSON; see README)\n")
+				return 2
+			}
+			i++
+			raw, err := os.ReadFile(cmds[i])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lowcontend: %v\n", err)
+				return 2
+			}
+			def, derr := dynamic.Parse(raw, dynamic.DefaultLimits())
+			if derr != nil {
+				fmt.Fprintf(os.Stderr, "lowcontend: %s: %v\n", cmds[i], derr)
+				return 2
+			}
+			e := dynamic.Compile(def)
+			actions = append(actions, action{name: def.Name, dyn: &e})
 		case "sweep":
 			// Sweep owns the remainder of the command line: its own flags
 			// (-models, -seeds, ...) follow the experiment name, so it is
@@ -209,18 +239,23 @@ func run() int {
 	exit := 0
 	var results []spec.Result
 	for _, a := range actions {
-		switch a.name {
-		case "list":
-			printList()
-			continue
-		case "selftest":
-			if err := selftest(*n, *seed); err != nil {
-				fmt.Fprintf(os.Stderr, "lowcontend: %v\n", err)
-				exit = 1
+		if a.dyn == nil {
+			switch a.name {
+			case "list":
+				printList(sizes)
+				continue
+			case "selftest":
+				if err := selftest(*n, *seed); err != nil {
+					fmt.Fprintf(os.Stderr, "lowcontend: %v\n", err)
+					exit = 1
+				}
+				continue
 			}
-			continue
 		}
 		e, _ := exp.Find(a.name)
+		if a.dyn != nil {
+			e = *a.dyn
+		}
 		sz := sizes
 		if sz == nil {
 			sz = e.DefaultSizes
@@ -446,21 +481,26 @@ func runSweep(pool *core.SessionPool, inv sweepInvocation) int {
 	return 0
 }
 
-func printList() {
+// printList renders the registry through the same Describe path the
+// daemon's GET /v1/experiments serves, so the cells column reflects a
+// -sizes filter — including a 0 for experiments whose size grid the
+// filter misses entirely, rather than hiding the row.
+func printList(sizes []int) {
 	fmt.Println("Experiments (lowcontend run <name>; profile <name> for contention profiles; sweep <name> for cross-model grids):")
-	for _, e := range exp.Registry() {
-		sizes := ""
-		if e.DefaultSizes != nil {
-			parts := make([]string, len(e.DefaultSizes))
-			for i, n := range e.DefaultSizes {
+	for _, in := range exp.DescribeUnder(exp.Builtins(), sizes) {
+		extra := ""
+		if in.DefaultSizes != nil {
+			parts := make([]string, len(in.DefaultSizes))
+			for i, n := range in.DefaultSizes {
 				parts[i] = strconv.Itoa(n)
 			}
-			sizes = "  [sizes: " + strings.Join(parts, ",") + "]"
+			extra = "  [sizes: " + strings.Join(parts, ",") + "]"
 		}
-		fmt.Printf("  %-12s %s%s\n", e.Name, e.Description, sizes)
+		fmt.Printf("  %-12s cells=%-3d %s%s\n", in.Name, in.Cells, in.Description, extra)
 	}
 	fmt.Println()
-	fmt.Println("Serve these over HTTP: lowcontendd starts a daemon (POST /v1/runs; see README).")
+	fmt.Println("Serve these over HTTP: lowcontendd starts a daemon (POST /v1/runs; see README),")
+	fmt.Println("and define your own: POST /v1/experiments, or lowcontend define <file.json> locally.")
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -38,14 +38,21 @@
 // GET /v1/runs/{id}/timeline (sweeps alike) serves the job's recorded
 // lifecycle timeline.
 //
-// Endpoints: GET /v1/experiments, GET /v1/runs (listing, ?state=
-// filter), POST /v1/runs (with optional "model" override and
-// "profile": true), GET /v1/runs/{id}, GET /v1/runs/{id}/artifact,
+// Endpoints: GET /v1/experiments (full descriptors: id, origin, cell
+// counts, models, phase names), POST /v1/experiments (store a dynamic
+// definition; 201 with its content id, idempotent re-POST 200),
+// GET /v1/experiments/{id} (stored canonical document),
+// DELETE /v1/experiments/{id} (builtins are 403), GET /v1/runs
+// (listing, ?state= filter), POST /v1/runs (builtin name or dynamic
+// content id/name, with optional "model" override and "profile": true),
+// GET /v1/runs/{id}, GET /v1/runs/{id}/artifact,
 // GET /v1/runs/{id}/profile, GET /v1/sweeps (listing),
 // POST /v1/sweeps ({experiment, models?, sizes?, seeds?} cross-model
 // scenario grids), GET /v1/sweeps/{id}, GET /v1/sweeps/{id}/artifact,
-// GET /healthz, GET /metrics. Identical submissions are served from
-// the artifact cache — determinism makes cached artifacts byte-exact —
+// GET /healthz, GET /metrics. Every error is the structured envelope
+// {"error":{"code","message","path"}}. Identical submissions are
+// served from the artifact cache — determinism makes cached artifacts
+// byte-exact (dynamic experiments are cache-keyed by content id) —
 // and SIGINT or SIGTERM drains running jobs before exiting.
 package main
 

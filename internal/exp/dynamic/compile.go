@@ -1,0 +1,213 @@
+package dynamic
+
+import (
+	"fmt"
+	"strings"
+
+	"lowcontend/internal/exp/spec"
+	"lowcontend/internal/machine"
+)
+
+// defMemWords is the session memory every dynamic definition starts
+// with. The simulated machine grows its memory on demand and charged
+// stats are capacity-independent, so one fixed size keeps compiled
+// experiments simple without affecting any measurement.
+const defMemWords = 1 << 20
+
+// Compile turns a canonicalized definition into a runnable
+// spec.Experiment. The compiled experiment honors the whole existing
+// contract: cells derive all randomness from the runner's base seed and
+// their own parameters (the definition's seed entries are mixed in, not
+// substituted), so artifacts are byte-identical at any parallelism; the
+// runner's model override (the daemon's "model" field, the CLI's
+// -model) recharges every session uniformly via spec.Ctx.Session.
+//
+// Cells expand over the intersection of the requested sizes with the
+// definition's own size grid — the grid is part of the content hash, so
+// running outside it would let one id name different workloads. A
+// disjoint filter yields zero cells; listings report that honestly and
+// the daemon refuses such runs up front.
+func Compile(def Definition) spec.Experiment {
+	return spec.Experiment{
+		Name:         def.Name,
+		Description:  dynDescription(def),
+		DefaultSizes: append([]int(nil), def.Sizes...),
+		Cells:        func(sizes []int) []spec.Cell { return cells(def, sizes) },
+		Render:       func(res spec.Result) string { return render(def, res) },
+	}
+}
+
+// dynDescription is the listing description: the author's text, or a
+// synthesized phase summary.
+func dynDescription(def Definition) string {
+	if def.Description != "" {
+		return def.Description
+	}
+	return "dynamic: " + strings.Join(PhaseNames(def), ", ")
+}
+
+// PhaseNames returns the definition's phase names in execution order.
+func PhaseNames(def Definition) []string {
+	names := make([]string, len(def.Phases))
+	for i, ph := range def.Phases {
+		names[i] = ph.Name
+	}
+	return names
+}
+
+// Models returns the models the definition charges under: the
+// comparison-mode list, or the distinct pinned models in first-use
+// order.
+func Models(def Definition) []string {
+	if len(def.Models) > 0 {
+		return append([]string(nil), def.Models...)
+	}
+	var out []string
+	for _, ph := range def.Phases {
+		found := false
+		for _, m := range out {
+			if m == ph.Model {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, ph.Model)
+		}
+	}
+	return out
+}
+
+func cells(def Definition, sizes []int) []spec.Cell {
+	grid := make(map[int]bool, len(def.Sizes))
+	for _, n := range def.Sizes {
+		grid[n] = true
+	}
+	var out []spec.Cell
+	for _, n := range sizes {
+		if !grid[n] {
+			continue
+		}
+		for _, sd := range def.Seeds {
+			out = append(out, spec.Cell{
+				Name: fmt.Sprintf("n=%d/seed=%d", n, sd),
+				Run:  cellRun(def, n, sd),
+			})
+		}
+	}
+	return out
+}
+
+// mixSeed folds one definition seed entry into the runner's base seed
+// (splitmix64 finisher): a pure function of both, so changing either
+// reshuffles every derived stream while staying order-independent.
+func mixSeed(base, entry uint64) uint64 {
+	x := base + entry*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// cellRun builds one cell's body. In comparison mode the whole pipeline
+// runs once per model on identical host inputs; in pinned mode each
+// phase runs in its model's session (one session per distinct model,
+// created in first-use order so session acquisition is deterministic).
+// Every phase's measurement is the session's stats delta across the
+// phase — spec's capture-and-Sub idiom — so composed phases attribute
+// their own cost even while sharing device state.
+func cellRun(def Definition, n int, sd uint64) func(*spec.Ctx) error {
+	return func(c *spec.Ctx) error {
+		seed := mixSeed(c.Seed, sd)
+		hosts := map[string][]machine.Word{}
+		host := func(a *ArrayDecl) func() []machine.Word {
+			return func() []machine.Word {
+				if h, ok := hosts[a.Name]; ok {
+					return h
+				}
+				h := hostArray(*a, n, seed)
+				hosts[a.Name] = h
+				return h
+			}
+		}
+		arrays := map[string]*ArrayDecl{}
+		for i := range def.Arrays {
+			arrays[def.Arrays[i].Name] = &def.Arrays[i]
+		}
+		runPhase := func(st *sessionState, ph Phase, series string) error {
+			rt := &phaseRT{st: st, n: n, seed: seed, params: ph.Params}
+			if ph.Array != "" {
+				rt.arr = arrays[ph.Array]
+				rt.host = host(rt.arr)
+			}
+			before := st.s.Stats()
+			measN, err := kernels[ph.Algorithm].run(rt)
+			if err != nil {
+				return fmt.Errorf("phase %s: %w", ph.Name, err)
+			}
+			c.Record(spec.Measurement{
+				Group:  ph.Name,
+				Series: series,
+				N:      measN,
+				Stats:  st.s.Stats().Sub(before),
+			})
+			return nil
+		}
+		if len(def.Models) > 0 {
+			// Comparison mode: hosts are shared, device state is not —
+			// each model's session uploads its own copies.
+			for _, name := range def.Models {
+				model, _ := machine.ParseModel(name)
+				st := newSessionState(c.Session(model, defMemWords, seed))
+				for _, ph := range def.Phases {
+					if err := runPhase(st, ph, name); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		// Pinned mode: phases sharing a model share one session (and
+		// its device arrays and hash tables).
+		states := map[string]*sessionState{}
+		for _, ph := range def.Phases {
+			st, ok := states[ph.Model]
+			if !ok {
+				model, _ := machine.ParseModel(ph.Model)
+				st = newSessionState(c.Session(model, defMemWords, seed))
+				states[ph.Model] = st
+			}
+			if err := runPhase(st, ph, ph.Model); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// render is the compiled experiment's artifact: a deterministic
+// per-cell table of phase-level charged stats, one row per measurement
+// in execution order.
+func render(def Definition, res spec.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Dynamic experiment %s (%s)\n", def.Name, ID(def))
+	if def.Description != "" {
+		b.WriteString(def.Description)
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-24s %-14s %8s %12s %12s %8s %8s\n",
+		"phase", "model", "n", "time", "ops", "steps", "maxcont")
+	for _, cr := range res.Cells {
+		if cr.Err != nil {
+			continue
+		}
+		fmt.Fprintf(&b, "-- cell %s\n", cr.Cell)
+		for _, m := range cr.Measurements {
+			fmt.Fprintf(&b, "%-24s %-14s %8d %12d %12d %8d %8d\n",
+				m.Group, m.Series, m.N, m.Stats.Time, m.Stats.Ops, m.Stats.Steps, m.Stats.MaxContention)
+		}
+	}
+	return b.String()
+}

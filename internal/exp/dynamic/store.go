@@ -1,0 +1,172 @@
+package dynamic
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"lowcontend/internal/exp"
+	"lowcontend/internal/exp/spec"
+)
+
+// Stored is one definition at rest: the canonical document, its
+// content id, and the compiled experiment.
+type Stored struct {
+	ID         string
+	Definition Definition
+	Canonical  []byte
+	Experiment spec.Experiment
+}
+
+// Store is the bounded in-memory definition store. It implements
+// exp.Resolver, so layering it under the builtin registry makes stored
+// definitions runnable, sweepable, and cacheable everywhere a builtin
+// is — resolution tries the content id first, then the definition's
+// name. Put is idempotent by content: re-POSTing an equivalent document
+// returns the existing entry. At capacity the store refuses new
+// definitions rather than silently evicting ones whose ids clients may
+// still hold.
+type Store struct {
+	mu    sync.Mutex
+	max   int
+	byID  map[string]*Stored
+	names map[string]string // definition name -> content id
+	order []string          // content ids in insertion order
+}
+
+// DefaultMaxDefinitions bounds a store constructed with max <= 0.
+const DefaultMaxDefinitions = 64
+
+// NewStore returns an empty store holding at most max definitions
+// (DefaultMaxDefinitions when max <= 0).
+func NewStore(max int) *Store {
+	if max <= 0 {
+		max = DefaultMaxDefinitions
+	}
+	return &Store{
+		max:   max,
+		byID:  map[string]*Stored{},
+		names: map[string]string{},
+	}
+}
+
+// Put stores a canonicalized definition. It returns the stored entry
+// and whether it was newly created: re-putting content already present
+// is the idempotent success path. A name held by different content is
+// refused with CodeNameConflict (delete the holder first), a full
+// store with CodeStoreFull.
+func (st *Store) Put(def Definition) (Stored, bool, *Error) {
+	id := ID(def)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if cur, ok := st.byID[id]; ok {
+		return *cur, false, nil
+	}
+	if holder, ok := st.names[def.Name]; ok && holder != id {
+		return Stored{}, false, &Error{
+			Code: CodeNameConflict,
+			Message: fmt.Sprintf(
+				"experiment name %q is already defined with different content (id %s); DELETE it first or pick another name",
+				def.Name, holder),
+			Path: "name",
+		}
+	}
+	if len(st.byID) >= st.max {
+		return Stored{}, false, &Error{
+			Code:    CodeStoreFull,
+			Message: "definition store is full; DELETE an experiment first",
+		}
+	}
+	entry := &Stored{
+		ID:         id,
+		Definition: def,
+		Canonical:  Canonical(def),
+		Experiment: Compile(def),
+	}
+	st.byID[id] = entry
+	st.names[def.Name] = id
+	st.order = append(st.order, id)
+	return *entry, true, nil
+}
+
+// Get resolves a content id or definition name to its stored entry.
+func (st *Store) Get(idOrName string) (Stored, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.lookup(idOrName)
+	if !ok {
+		return Stored{}, false
+	}
+	return *e, true
+}
+
+// Delete removes a definition by content id or name, returning the
+// removed entry.
+func (st *Store) Delete(idOrName string) (Stored, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.lookup(idOrName)
+	if !ok {
+		return Stored{}, false
+	}
+	delete(st.byID, e.ID)
+	delete(st.names, e.Definition.Name)
+	if i := slices.Index(st.order, e.ID); i >= 0 {
+		st.order = slices.Delete(st.order, i, i+1)
+	}
+	return *e, true
+}
+
+// Len reports the number of stored definitions.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.byID)
+}
+
+func (st *Store) lookup(idOrName string) (*Stored, bool) {
+	if e, ok := st.byID[idOrName]; ok {
+		return e, true
+	}
+	if id, ok := st.names[idOrName]; ok {
+		return st.byID[id], true
+	}
+	return nil, false
+}
+
+// Resolve implements exp.Resolver: content id first, then name.
+func (st *Store) Resolve(name string) (spec.Experiment, exp.Info, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.lookup(name)
+	if !ok {
+		return spec.Experiment{}, exp.Info{}, false
+	}
+	return e.Experiment, info(e), true
+}
+
+// Describe implements exp.Resolver: stored definitions in insertion
+// order.
+func (st *Store) Describe() []exp.Info {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []exp.Info
+	for _, id := range st.order {
+		out = append(out, info(st.byID[id]))
+	}
+	return out
+}
+
+func info(e *Stored) exp.Info {
+	def := e.Definition
+	return exp.Info{
+		Name:         def.Name,
+		Description:  e.Experiment.Description,
+		DefaultSizes: append([]int(nil), def.Sizes...),
+		Cells:        len(e.Experiment.Cells(def.Sizes)),
+		ID:           e.ID,
+		Origin:       exp.OriginDynamic,
+		Models:       Models(def),
+		Phases:       PhaseNames(def),
+	}
+}

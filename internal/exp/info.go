@@ -14,19 +14,55 @@ type Info struct {
 	// not size-parameterized.
 	DefaultSizes []int `json:"default_sizes,omitempty"`
 	// Cells is the number of measurement cells the experiment expands
-	// to at its default sizes.
+	// to at its default sizes (or under an explicit size filter when
+	// produced by DescribeUnder — zero is a legitimate value there).
 	Cells int `json:"cells"`
+	// ID is the stable identifier the daemon's run and cache layers key
+	// by: the experiment name for builtins, the content hash
+	// ("x-<12 hex>") for dynamic definitions.
+	ID string `json:"id,omitempty"`
+	// Origin says where the experiment comes from: "builtin" for the
+	// compiled-in registry, "dynamic" for definitions stored over the
+	// wire.
+	Origin string `json:"origin,omitempty"`
+	// Models are the contention models the experiment charges by
+	// default (before any per-request model override).
+	Models []string `json:"models,omitempty"`
+	// Phases are the declared phase names, in execution order. Only
+	// dynamic experiments carry them; builtins describe their phases in
+	// prose.
+	Phases []string `json:"phases,omitempty"`
+}
+
+// Origin values for Info.Origin.
+const (
+	OriginBuiltin = "builtin"
+	OriginDynamic = "dynamic"
+)
+
+// builtinModels records which contention models each compiled-in
+// experiment charges its measurements under (the models its cells pin
+// via Ctx.Session). Kept next to Describe rather than derived at run
+// time: expanding cells only to sniff their sessions would run the
+// experiments.
+var builtinModels = map[string][]string{
+	"table1":     {"QRQW", "EREW"},
+	"table2":     {"QRQW"},
+	"fig1":       {"QRQW"},
+	"lowerbound": {"QRQW"},
+	"compaction": {"QRQW", "EREW"},
 }
 
 // Describe returns metadata for every registry experiment in
 // presentation order. The registry is static, so the (cell-count
 // expanding) computation runs once; callers receive a fresh copy each
-// time — DefaultSizes included, so no caller can corrupt the memoized
+// time — slice fields included, so no caller can corrupt the memoized
 // data or the registry's own sizes.
 func Describe() []Info {
 	infos := slices.Clone(describeOnce())
 	for i := range infos {
 		infos[i].DefaultSizes = slices.Clone(infos[i].DefaultSizes)
+		infos[i].Models = slices.Clone(infos[i].Models)
 	}
 	return infos
 }
@@ -39,7 +75,35 @@ var describeOnce = sync.OnceValue(func() []Info {
 			Description:  e.Description,
 			DefaultSizes: e.DefaultSizes,
 			Cells:        len(e.Cells(e.DefaultSizes)),
+			ID:           e.Name,
+			Origin:       OriginBuiltin,
+			Models:       builtinModels[e.Name],
 		})
 	}
 	return out
 })
+
+// DescribeUnder evaluates a resolver's listing under an explicit size
+// filter: each size-parameterized experiment's cell count is recomputed
+// at the filtered sizes. Experiments whose spec yields zero cells under
+// the filter are listed with Cells 0 rather than omitted, so a dynamic
+// definition whose size grid misses the filter is visible rather than
+// silently absent. A nil filter returns the resolver's stock listing
+// (default-size cell counts). Size-free experiments ignore the filter.
+func DescribeUnder(r Resolver, sizes []int) []Info {
+	infos := r.Describe()
+	if len(sizes) == 0 {
+		return infos
+	}
+	for i, in := range infos {
+		if in.DefaultSizes == nil {
+			continue
+		}
+		e, _, ok := r.Resolve(in.Name)
+		if !ok {
+			continue
+		}
+		infos[i].Cells = len(e.Cells(sizes))
+	}
+	return infos
+}

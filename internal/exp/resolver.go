@@ -1,0 +1,66 @@
+package exp
+
+import "lowcontend/internal/exp/spec"
+
+// Resolver resolves experiment names (or ids) to runnable specs. The
+// compiled-in registry is one Resolver; the daemon layers a dynamic
+// definition store on top of it with Layered, and everything downstream
+// of validation — runners, sweeps, caches — consumes the interface so
+// it cannot tell a stored definition from a builtin.
+type Resolver interface {
+	// Resolve returns the experiment known under name — a registry
+	// name, a dynamic definition's name, or its content id — together
+	// with its listing metadata. Info.ID is the stable identity cache
+	// keys must use: two names resolving to the same content share it.
+	Resolve(name string) (spec.Experiment, Info, bool)
+	// Describe lists every experiment the resolver knows, in
+	// presentation order.
+	Describe() []Info
+}
+
+// Builtins returns the resolver over the compiled-in registry.
+func Builtins() Resolver { return builtinResolver{} }
+
+type builtinResolver struct{}
+
+func (builtinResolver) Resolve(name string) (spec.Experiment, Info, bool) {
+	e, ok := Find(name)
+	if !ok {
+		return spec.Experiment{}, Info{}, false
+	}
+	for _, in := range Describe() {
+		if in.Name == name {
+			return e, in, true
+		}
+	}
+	// Unreachable: Find and Describe walk the same registry.
+	return spec.Experiment{}, Info{}, false
+}
+
+func (builtinResolver) Describe() []Info { return Describe() }
+
+// Layered returns a resolver that consults each resolver in order;
+// the first match wins, so names listed earlier shadow later ones
+// (builtins before the dynamic store keeps "table1" meaning the paper's
+// table1 no matter what gets POSTed). Describe concatenates the layers
+// in the same order.
+func Layered(rs ...Resolver) Resolver { return layered(rs) }
+
+type layered []Resolver
+
+func (l layered) Resolve(name string) (spec.Experiment, Info, bool) {
+	for _, r := range l {
+		if e, in, ok := r.Resolve(name); ok {
+			return e, in, true
+		}
+	}
+	return spec.Experiment{}, Info{}, false
+}
+
+func (l layered) Describe() []Info {
+	var out []Info
+	for _, r := range l {
+		out = append(out, r.Describe()...)
+	}
+	return out
+}

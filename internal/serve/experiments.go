@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"net/http"
+
+	"lowcontend/internal/exp"
+	"lowcontend/internal/exp/dynamic"
+)
+
+// dynLimits projects the server's request limits onto definition
+// validation, so a stored definition can never declare a grid a direct
+// request would have been refused for.
+func (s *Server) dynLimits() dynamic.Limits {
+	return dynamic.Limits{MaxSizes: s.limits.MaxSizes, MaxSize: s.limits.MaxSize}
+}
+
+// fromDynamic maps a definition error onto the HTTP envelope. The
+// dynamic codes are kept verbatim — they are the machine-readable
+// contract — and only the status is chosen here.
+func fromDynamic(derr *dynamic.Error) *httpError {
+	status := http.StatusBadRequest
+	switch derr.Code {
+	case dynamic.CodeNameConflict:
+		status = http.StatusConflict
+	case dynamic.CodeStoreFull:
+		// The store refusing capacity is backpressure, like a full job
+		// queue: retry after a DELETE, not with a different document.
+		status = http.StatusServiceUnavailable
+	}
+	return &httpError{status: status, code: derr.Code, msg: derr.Message, path: derr.Path}
+}
+
+// handleDefine stores one POSTed definition: strict parse, canonical-
+// ization, content hashing, bounded store. 201 with the content id on
+// first sight; an equivalent re-POST (same canonical bytes, hence same
+// id) is the idempotent 200 path. Names are refused when a builtin
+// holds them or when stored content different from this document does.
+func (s *Server) handleDefine(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.limits.MaxBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, errf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, errf(http.StatusBadRequest, "reading request body: %v", err).withCode("invalid_body"))
+		return
+	}
+	def, derr := dynamic.Parse(raw, s.dynLimits())
+	if derr != nil {
+		writeError(w, fromDynamic(derr))
+		return
+	}
+	if _, ok := exp.Find(def.Name); ok {
+		writeError(w, errf(http.StatusConflict,
+			"experiment name %q is reserved by a builtin experiment", def.Name).
+			withCode(dynamic.CodeNameConflict).withPath("name"))
+		return
+	}
+	stored, created, derr := s.store.Put(def)
+	if derr != nil {
+		writeError(w, fromDynamic(derr))
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+		s.met.defsCreated.Add(1)
+		s.flight.Record("definition_stored")
+		s.log.Info("definition stored", "id", stored.ID, "name", def.Name,
+			"request_id", RequestIDFrom(r.Context()))
+	}
+	_, info, _ := s.store.Resolve(stored.ID)
+	w.Header().Set("Location", "/v1/experiments/"+stored.ID)
+	writeJSON(w, status, map[string]any{
+		"id":      stored.ID,
+		"name":    def.Name,
+		"origin":  exp.OriginDynamic,
+		"cells":   info.Cells,
+		"created": created,
+	})
+}
+
+// handleDefinition serves a stored definition's canonical bytes back —
+// exactly the bytes its content id hashes, newline-terminated like
+// every other text artifact.
+func (s *Server) handleDefinition(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	stored, ok := s.store.Get(id)
+	if !ok {
+		if _, builtin := exp.Find(id); builtin {
+			writeError(w, errf(http.StatusNotFound,
+				"experiment %q is builtin; it has no stored definition", id))
+			return
+		}
+		writeError(w, errf(http.StatusNotFound, "unknown experiment %q (see GET /v1/experiments)", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(stored.Canonical)
+	w.Write([]byte("\n"))
+}
+
+// handleDeleteDefinition removes a stored definition by content id or
+// name. Builtins are 403-protected: the compiled-in registry is the
+// service's contract, not tenant state. Cached artifacts of the
+// deleted definition stay keyed by its content id, which no different
+// content can ever reuse.
+func (s *Server) handleDeleteDefinition(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, builtin := exp.Find(id); builtin {
+		writeError(w, errf(http.StatusForbidden, "experiment %q is builtin and cannot be deleted", id))
+		return
+	}
+	stored, ok := s.store.Delete(id)
+	if !ok {
+		writeError(w, errf(http.StatusNotFound, "unknown experiment %q (see GET /v1/experiments)", id))
+		return
+	}
+	s.met.defsDeleted.Add(1)
+	s.flight.Record("definition_deleted")
+	s.log.Info("definition deleted", "id", stored.ID, "name", stored.Definition.Name,
+		"request_id", RequestIDFrom(r.Context()))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"deleted": stored.ID,
+		"name":    stored.Definition.Name,
+	})
+}

@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lowcontend/internal/exp/dynamic"
+	"lowcontend/internal/exp/spec"
+	"lowcontend/internal/sweep"
+)
+
+var updateGoldens = flag.Bool("update-goldens", false,
+	"rewrite the malformed-definition 400 bodies in testdata/definitions/malformed")
+
+func definitionsDir() string { return filepath.Join("..", "..", "testdata", "definitions") }
+
+func readDefinition(t *testing.T) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(definitionsDir(), "table1-dynamic.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// defineResponse is the body POST /v1/experiments answers with.
+type defineResponse struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	Origin  string `json:"origin"`
+	Cells   int    `json:"cells"`
+	Created bool   `json:"created"`
+}
+
+func postDefinition(t *testing.T, s *Server, raw []byte) (defineResponse, int) {
+	t.Helper()
+	w := do(t, s, http.MethodPost, "/v1/experiments", string(raw))
+	var dr defineResponse
+	if w.Code == http.StatusCreated || w.Code == http.StatusOK {
+		if err := json.Unmarshal(w.Body.Bytes(), &dr); err != nil {
+			t.Fatalf("define response: %v\n%s", err, w.Body)
+		}
+	}
+	return dr, w.Code
+}
+
+// TestDynamicDefinitionLifecycle walks the whole dynamic-registry
+// contract through the HTTP surface: store, idempotent re-store, list,
+// fetch canonical bytes, run (artifact byte-identical to a local
+// compile of the same document), sweep, delete, and the terminal 404.
+func TestDynamicDefinitionLifecycle(t *testing.T) {
+	s := newTestServer(t)
+	raw := readDefinition(t)
+	def, derr := dynamic.Parse(raw, dynamic.DefaultLimits())
+	if derr != nil {
+		t.Fatal(derr)
+	}
+
+	dr, code := postDefinition(t, s, raw)
+	if code != http.StatusCreated || !dr.Created {
+		t.Fatalf("first POST: code %d, created %v", code, dr.Created)
+	}
+	if dr.ID != dynamic.ID(def) || dr.Origin != "dynamic" || dr.Cells != 1 {
+		t.Fatalf("define response %+v, want id %s", dr, dynamic.ID(def))
+	}
+
+	again, code := postDefinition(t, s, raw)
+	if code != http.StatusOK || again.Created || again.ID != dr.ID {
+		t.Fatalf("idempotent re-POST: code %d, %+v", code, again)
+	}
+
+	// The listing carries the dynamic entry with its full descriptor.
+	w := do(t, s, http.MethodGet, "/v1/experiments", "")
+	for _, want := range []string{dr.ID, `"origin": "dynamic"`, `"origin": "builtin"`, `"table1-dynamic"`, `"phases"`} {
+		if !strings.Contains(w.Body.String(), want) {
+			t.Errorf("listing missing %q:\n%s", want, w.Body)
+		}
+	}
+
+	// The stored document reads back as exactly the canonical bytes the
+	// id hashes, newline-terminated.
+	w = do(t, s, http.MethodGet, "/v1/experiments/"+dr.ID, "")
+	if w.Code != http.StatusOK || w.Body.String() != string(dynamic.Canonical(def))+"\n" {
+		t.Fatalf("GET definition: code %d\n%s", w.Code, w.Body)
+	}
+
+	// Running by content id produces the exact artifact a local compile
+	// of the same document renders — the CLI `define` path.
+	e := dynamic.Compile(def)
+	res := (&spec.Runner{Parallel: 1}).Run(e, def.Sizes, 7)
+	if err := res.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	wantArtifact := e.Render(res) + "\n"
+	st := submit(t, s, `{"experiment":"`+dr.ID+`","seed":7}`)
+	if got := waitDone(t, s, st.ID); got.State != JobDone {
+		t.Fatalf("run failed: %+v", got)
+	}
+	w = do(t, s, http.MethodGet, "/v1/runs/"+st.ID+"/artifact", "")
+	if w.Code != http.StatusOK || w.Body.String() != wantArtifact {
+		t.Fatalf("artifact differs from local compile:\n--- daemon ---\n%s--- local ---\n%s", w.Body, wantArtifact)
+	}
+
+	// Running by name resolves to the same definition, hence the same
+	// cache key and bytes.
+	st = submit(t, s, `{"experiment":"table1-dynamic","seed":7}`)
+	if got := waitDone(t, s, st.ID); got.State != JobDone {
+		t.Fatalf("run by name failed: %+v", got)
+	}
+	w = do(t, s, http.MethodGet, "/v1/runs/"+st.ID+"/artifact", "")
+	if w.Body.String() != wantArtifact {
+		t.Fatalf("run-by-name artifact differs:\n%s", w.Body)
+	}
+
+	// Sizes outside the declared grid are refused up front, not run to
+	// an empty artifact.
+	w = do(t, s, http.MethodPost, "/v1/runs", `{"experiment":"`+dr.ID+`","sizes":[512]}`)
+	if w.Code != http.StatusBadRequest || !strings.Contains(w.Body.String(), "no cells at sizes") {
+		t.Fatalf("zero-cell run: code %d\n%s", w.Code, w.Body)
+	}
+
+	// Dynamic definitions sweep like builtins.
+	plan, err := sweep.Normalize(e, sweep.Plan{
+		Experiment: e.Name, Models: []string{"qrqw", "crcw"}, Sizes: def.Sizes, Seeds: []uint64{7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSweep := sweep.RenderText((&sweep.Runner{}).Run(e, plan)) + "\n"
+	w = do(t, s, http.MethodPost, "/v1/sweeps", `{"experiment":"`+dr.ID+`","models":["qrqw","crcw"],"seeds":[7]}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("sweep submit: code %d\n%s", w.Code, w.Body)
+	}
+	var sst JobStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &sst); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		w = do(t, s, http.MethodGet, "/v1/sweeps/"+sst.ID, "")
+		if err := json.Unmarshal(w.Body.Bytes(), &sst); err != nil {
+			t.Fatal(err)
+		}
+		if sst.State == JobDone {
+			break
+		}
+		if sst.State == JobFailed {
+			t.Fatalf("sweep failed: %s", w.Body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	w = do(t, s, http.MethodGet, "/v1/sweeps/"+sst.ID+"/artifact", "")
+	if w.Code != http.StatusOK || w.Body.String() != wantSweep {
+		t.Fatalf("sweep artifact differs from local sweep:\n--- daemon ---\n%s--- local ---\n%s", w.Body, wantSweep)
+	}
+
+	// A different document under the held name conflicts.
+	other := strings.Replace(string(raw), `"sizes": [1024]`, `"sizes": [256]`, 1)
+	if other == string(raw) {
+		t.Fatal("test fixture edit failed")
+	}
+	w = do(t, s, http.MethodPost, "/v1/experiments", other)
+	if w.Code != http.StatusConflict || !strings.Contains(w.Body.String(), "name_conflict") {
+		t.Fatalf("name conflict: code %d\n%s", w.Code, w.Body)
+	}
+
+	// Builtin names are reserved at store time; builtins cannot be
+	// deleted or fetched as stored documents.
+	builtinClone := strings.Replace(string(raw), `"table1-dynamic"`, `"table1"`, 1)
+	w = do(t, s, http.MethodPost, "/v1/experiments", builtinClone)
+	if w.Code != http.StatusConflict || !strings.Contains(w.Body.String(), "reserved by a builtin") {
+		t.Fatalf("builtin name: code %d\n%s", w.Code, w.Body)
+	}
+	w = do(t, s, http.MethodDelete, "/v1/experiments/table1", "")
+	if w.Code != http.StatusForbidden {
+		t.Fatalf("DELETE builtin: code %d\n%s", w.Code, w.Body)
+	}
+	w = do(t, s, http.MethodGet, "/v1/experiments/table1", "")
+	if w.Code != http.StatusNotFound || !strings.Contains(w.Body.String(), "has no stored definition") {
+		t.Fatalf("GET builtin definition: code %d\n%s", w.Code, w.Body)
+	}
+
+	// Delete, then the id and name are gone — from the definition
+	// endpoint and from run validation alike.
+	w = do(t, s, http.MethodDelete, "/v1/experiments/"+dr.ID, "")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), dr.ID) {
+		t.Fatalf("DELETE: code %d\n%s", w.Code, w.Body)
+	}
+	w = do(t, s, http.MethodGet, "/v1/experiments/"+dr.ID, "")
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("GET after DELETE: code %d", w.Code)
+	}
+	w = do(t, s, http.MethodPost, "/v1/runs", `{"experiment":"table1-dynamic"}`)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("run after DELETE: code %d\n%s", w.Code, w.Body)
+	}
+}
+
+// TestErrorEnvelopeShape pins the structured error contract across
+// every /v1 endpoint: each failure renders exactly one top-level
+// "error" object carrying the expected machine-readable code and, for
+// field-level failures, the offending field's JSON path.
+func TestErrorEnvelopeShape(t *testing.T) {
+	s := newTestServer(t)
+	cases := []struct {
+		name     string
+		method   string
+		path     string
+		body     string
+		wantCode int
+		wantErr  string // envelope code
+		wantPath string // envelope path ("" = must be absent)
+	}{
+		{"run unknown experiment", "POST", "/v1/runs", `{"experiment":"table9"}`, 404, "not_found", "experiment"},
+		{"run malformed body", "POST", "/v1/runs", `{"experiment":`, 400, "invalid_body", ""},
+		{"run unknown model", "POST", "/v1/runs", `{"experiment":"table2","model":"PRAM-9000"}`, 400, "invalid_field", "model"},
+		{"run bad sizes", "POST", "/v1/runs", `{"experiment":"table2","sizes":[0]}`, 400, "invalid_field", "sizes"},
+		{"run bad parallel", "POST", "/v1/runs", `{"experiment":"table2","parallel":-1}`, 400, "invalid_field", "parallel"},
+		{"run status unknown", "GET", "/v1/runs/run-999", "", 404, "not_found", ""},
+		{"run list bad state", "GET", "/v1/runs?state=bogus", "", 400, "invalid_field", "state"},
+		{"sweep seed and seeds", "POST", "/v1/sweeps", `{"experiment":"table2","seed":1,"seeds":[2]}`, 400, "invalid_field", "seed"},
+		{"sweep unknown experiment", "POST", "/v1/sweeps", `{"experiment":"table9"}`, 404, "not_found", "experiment"},
+		{"define malformed body", "POST", "/v1/experiments", `{"name":`, 400, "invalid_body", ""},
+		{"define unknown field", "POST", "/v1/experiments", `{"name":"a","sizes":[64],"bogus":1}`, 400, "invalid_body", ""},
+		{"define missing sizes", "POST", "/v1/experiments", `{"name":"a","phases":[{"algorithm":"loadbalance"}]}`, 400, "invalid_field", "sizes"},
+		{"define builtin name", "POST", "/v1/experiments", `{"name":"fig1","sizes":[64],"phases":[{"algorithm":"loadbalance"}]}`, 409, "name_conflict", "name"},
+		{"definition unknown", "GET", "/v1/experiments/x-000000000000", "", 404, "not_found", ""},
+		{"delete unknown", "DELETE", "/v1/experiments/x-000000000000", "", 404, "not_found", ""},
+		{"delete builtin", "DELETE", "/v1/experiments/table1", "", 403, "forbidden", ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := do(t, s, c.method, c.path, c.body)
+			if w.Code != c.wantCode {
+				t.Fatalf("code %d, want %d (body %s)", w.Code, c.wantCode, w.Body)
+			}
+			var top map[string]json.RawMessage
+			if err := json.Unmarshal(w.Body.Bytes(), &top); err != nil {
+				t.Fatalf("body is not JSON: %v\n%s", err, w.Body)
+			}
+			if len(top) != 1 || top["error"] == nil {
+				t.Fatalf("body must carry exactly the error envelope:\n%s", w.Body)
+			}
+			var eb errorBody
+			if err := json.Unmarshal(top["error"], &eb); err != nil {
+				t.Fatal(err)
+			}
+			if eb.Code != c.wantErr || eb.Path != c.wantPath || eb.Message == "" {
+				t.Errorf("envelope {code:%q path:%q message:%q}, want code %q path %q",
+					eb.Code, eb.Path, eb.Message, c.wantErr, c.wantPath)
+			}
+		})
+	}
+}
+
+// TestMalformedDefinitionGoldens pins the exact 400 bodies of the
+// documented malformed-definition cases byte-for-byte. CI replays the
+// same documents against a live daemon and diffs against these files.
+// Regenerate after an intentional message change with:
+//
+//	go test ./internal/serve -run TestMalformedDefinitionGoldens -update-goldens
+func TestMalformedDefinitionGoldens(t *testing.T) {
+	dir := filepath.Join(definitionsDir(), "malformed")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t)
+	seen := 0
+	for _, ent := range entries {
+		if !strings.HasSuffix(ent.Name(), ".json") {
+			continue
+		}
+		seen++
+		name := strings.TrimSuffix(ent.Name(), ".json")
+		t.Run(name, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := do(t, s, http.MethodPost, "/v1/experiments", string(raw))
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("code %d, want 400:\n%s", w.Code, w.Body)
+			}
+			goldenPath := filepath.Join(dir, name+".golden")
+			if *updateGoldens {
+				if err := os.WriteFile(goldenPath, w.Body.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden body (run with -update-goldens): %v", err)
+			}
+			if w.Body.String() != string(want) {
+				t.Errorf("400 body differs from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, w.Body, want)
+			}
+		})
+	}
+	if seen == 0 {
+		t.Fatal("no malformed definition documents found")
+	}
+}

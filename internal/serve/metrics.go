@@ -45,6 +45,9 @@ type metrics struct {
 	cacheMisses   atomic.Int64 // submissions that had to simulate
 	cellsInflight atomic.Int64 // gauge: experiment cells executing now
 	cellsRun      atomic.Int64 // cells started since boot
+
+	defsCreated atomic.Int64 // definitions newly stored via POST /v1/experiments
+	defsDeleted atomic.Int64 // definitions removed via DELETE
 }
 
 // snapshot renders the counters, the artifact-cache occupancy, and the

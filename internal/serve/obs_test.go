@@ -58,6 +58,7 @@ func TestMetricsJSONKeySet(t *testing.T) {
 	want := []string{
 		"bulk_descriptors", "cache_entries", "cache_hits", "cache_misses",
 		"cells_inflight", "cells_run", "contention_jobs_sampled",
+		"definitions_created", "definitions_deleted", "definitions_stored",
 		"expanded_descriptors", "flight_events",
 		"gang_dispatches", "gang_fused_settles",
 		"incidents_captured", "incidents_retained",

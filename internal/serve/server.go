@@ -2,7 +2,15 @@
 // HTTP service — the daemon behind cmd/lowcontendd. It turns one-shot
 // artifact regeneration into a multi-tenant workload:
 //
-//	GET  /v1/experiments          registry listing with cell counts
+//	GET  /v1/experiments          registry listing: full descriptors (id, origin,
+//	                              models, size grid, phase names, cell counts)
+//	                              for builtins and stored definitions alike
+//	POST /v1/experiments          store a declarative experiment definition;
+//	                              201 + content id ("x-<12 hex>"), idempotent by
+//	                              content (an equivalent re-POST returns 200 and
+//	                              the same id)
+//	GET  /v1/experiments/{id}     canonical definition bytes (dynamic only)
+//	DELETE /v1/experiments/{id}   remove a stored definition (builtins are 403)
 //	GET  /v1/runs                 list retained runs (?state=queued|running|done|failed)
 //	POST /v1/runs                 submit {experiment, sizes, seed, model?, parallel?, profile?};
 //	                              202 + job id (model charges every cell under
@@ -31,6 +39,12 @@
 // bit-for-bit exact. Request validation bounds sizes so a hostile
 // value cannot OOM the daemon, and Shutdown drains running cells
 // instead of interrupting them.
+//
+// Every error response shares one structured envelope,
+// {"error": {"code", "message", "path"}}: code is machine-readable
+// (invalid_field, invalid_body, not_found, conflict, forbidden,
+// payload_too_large, backpressure), path names the offending JSON
+// field when one is to blame.
 package serve
 
 import (
@@ -46,6 +60,7 @@ import (
 
 	"lowcontend/internal/core"
 	"lowcontend/internal/exp"
+	"lowcontend/internal/exp/dynamic"
 	"lowcontend/internal/machine"
 	"lowcontend/internal/obs"
 )
@@ -118,6 +133,10 @@ type Config struct {
 	ContentionSample int
 	// ContentionWindow bounds the retained samples (default 64).
 	ContentionWindow int
+	// MaxDefinitions bounds the dynamic definition store; POSTs beyond
+	// it are refused until something is DELETEd (default
+	// dynamic.DefaultMaxDefinitions).
+	MaxDefinitions int
 }
 
 // Server is the HTTP simulation service. Construct with New, mount
@@ -134,6 +153,12 @@ type Server struct {
 	mux     *http.ServeMux
 	limits  Limits
 	started time.Time
+
+	// store holds POSTed definitions; resolver layers the builtin
+	// registry over it (builtins shadow dynamic names), and is what
+	// validation and listings consult.
+	store    *dynamic.Store
+	resolver exp.Resolver
 
 	flight     *obs.Flight
 	incidents  *incidentStore
@@ -194,7 +219,9 @@ func New(cfg Config) *Server {
 		started: time.Now().UTC(),
 		flight:  obs.NewFlight(cfg.FlightEvents),
 		sloStop: make(chan struct{}),
+		store:   dynamic.NewStore(cfg.MaxDefinitions),
 	}
+	s.resolver = exp.Layered(exp.Builtins(), s.store)
 	// An objective's latency threshold arms the latency-breach trigger
 	// for its endpoint; with several objectives per endpoint the
 	// strictest one fires first.
@@ -256,6 +283,9 @@ func (s *Server) sloTicker() {
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("POST /v1/experiments", s.handleDefine)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleDefinition)
+	s.mux.HandleFunc("DELETE /v1/experiments/{id}", s.handleDeleteDefinition)
 	s.mux.HandleFunc("GET /v1/runs", s.handleList(s.jobs))
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus(s.jobs))
@@ -300,7 +330,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // --- handlers --------------------------------------------------------
 
 func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"experiments": exp.Describe()})
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": s.resolver.Describe()})
 }
 
 // decodeBody decodes one JSON request body into req, bounded by the
@@ -316,10 +346,10 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, req any) *ht
 		if errors.As(err, &tooBig) {
 			return errf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
 		}
-		return errf(http.StatusBadRequest, "bad request body: %v", err)
+		return errf(http.StatusBadRequest, "bad request body: %v", err).withCode("invalid_body")
 	}
 	if dec.More() {
-		return errf(http.StatusBadRequest, "bad request body: trailing data after the request")
+		return errf(http.StatusBadRequest, "bad request body: trailing data after the request").withCode("invalid_body")
 	}
 	return nil
 }
@@ -330,7 +360,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr)
 		return
 	}
-	p, herr := validate(req, s.limits)
+	p, herr := validate(req, s.limits, s.resolver)
 	if herr != nil {
 		writeError(w, herr)
 		return
@@ -351,7 +381,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr)
 		return
 	}
-	p, herr := validateSweep(req, s.limits)
+	p, herr := validateSweep(req, s.limits, s.resolver)
 	if herr != nil {
 		writeError(w, herr)
 		return
@@ -406,7 +436,7 @@ func (s *Server) handleList(m *manager) http.HandlerFunc {
 		case "", JobQueued, JobRunning, JobDone, JobFailed:
 		default:
 			writeError(w, errf(http.StatusBadRequest,
-				"unknown state %q (want %s, %s, %s, or %s)", state, JobQueued, JobRunning, JobDone, JobFailed))
+				"unknown state %q (want %s, %s, %s, or %s)", state, JobQueued, JobRunning, JobDone, JobFailed).withPath("state"))
 			return
 		}
 		jobs := m.list(state)
@@ -505,6 +535,9 @@ func (s *Server) metricsSnapshot() map[string]int64 {
 	out["incidents_retained"] = retained
 	out["contention_jobs_sampled"] = s.contention.sampledTotal()
 	out["flight_events"] = int64(s.flight.Recorded())
+	out["definitions_created"] = s.met.defsCreated.Load()
+	out["definitions_deleted"] = s.met.defsDeleted.Load()
+	out["definitions_stored"] = int64(s.store.Len())
 	procGauges(out)
 	return out
 }
@@ -552,6 +585,15 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
+// errorBody is the structured error envelope every /v1 endpoint
+// renders: a machine-readable code, the human-readable message, and —
+// for field-level failures — the JSON path of the offending field.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Path    string `json:"path,omitempty"`
+}
+
 func writeError(w http.ResponseWriter, e *httpError) {
-	writeJSON(w, e.code, map[string]string{"error": e.msg})
+	writeJSON(w, e.status, map[string]errorBody{"error": {Code: e.code, Message: e.msg, Path: e.path}})
 }

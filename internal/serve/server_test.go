@@ -477,7 +477,7 @@ func TestValidateNormalization(t *testing.T) {
 	e, _ := exp.Find("table2")
 
 	for _, sizes := range [][]int{nil, {}} {
-		p, herr := validate(RunRequest{Experiment: "table2", Sizes: sizes}, lim)
+		p, herr := validate(RunRequest{Experiment: "table2", Sizes: sizes}, lim, exp.Builtins())
 		if herr != nil {
 			t.Fatalf("validate(sizes=%v): %v", sizes, herr)
 		}
@@ -491,16 +491,16 @@ func TestValidateNormalization(t *testing.T) {
 
 	// Model names normalize case-insensitively to their canonical form,
 	// so "crcw" and "CRCW" share one cache key; unknown names are 400.
-	p1, herr := validate(RunRequest{Experiment: "fig1", Model: "crcw"}, lim)
+	p1, herr := validate(RunRequest{Experiment: "fig1", Model: "crcw"}, lim, exp.Builtins())
 	if herr != nil || p1.model != "CRCW" {
 		t.Errorf("validate(model=crcw) = (%+v, %v), want canonical CRCW", p1, herr)
 	}
-	p2, _ := validate(RunRequest{Experiment: "fig1", Model: "CRCW"}, lim)
+	p2, _ := validate(RunRequest{Experiment: "fig1", Model: "CRCW"}, lim, exp.Builtins())
 	if p1.key != p2.key {
 		t.Errorf("case variants keyed differently: %q vs %q", p1.key, p2.key)
 	}
-	if _, herr := validate(RunRequest{Experiment: "fig1", Model: "PRAM-9000"}, lim); herr == nil ||
-		herr.code != http.StatusBadRequest {
+	if _, herr := validate(RunRequest{Experiment: "fig1", Model: "PRAM-9000"}, lim, exp.Builtins()); herr == nil ||
+		herr.status != http.StatusBadRequest {
 		t.Errorf("unknown model accepted: %v", herr)
 	}
 
@@ -508,7 +508,7 @@ func TestValidateNormalization(t *testing.T) {
 	// rejecting a sizes-omitted request with a 400 naming sizes the
 	// client never sent; it errors only when nothing remains runnable.
 	small := Limits{MaxSize: 5000}.withDefaults()
-	p3, herr := validate(RunRequest{Experiment: "table1"}, small) // defaults 4096,16384,65536
+	p3, herr := validate(RunRequest{Experiment: "table1"}, small, exp.Builtins()) // defaults 4096,16384,65536
 	if herr != nil {
 		t.Fatalf("defaults under lowered cap: %v", herr)
 	}
@@ -516,10 +516,10 @@ func TestValidateNormalization(t *testing.T) {
 		t.Errorf("filtered defaults = %v, want [4096]", p3.sizes)
 	}
 	tiny := Limits{MaxSize: 2}.withDefaults()
-	if _, herr := validate(RunRequest{Experiment: "table1"}, tiny); herr == nil || herr.code != http.StatusBadRequest {
+	if _, herr := validate(RunRequest{Experiment: "table1"}, tiny, exp.Builtins()); herr == nil || herr.status != http.StatusBadRequest {
 		t.Errorf("all-defaults-over-cap should 400, got %v", herr)
 	}
-	if _, herr := validate(RunRequest{Experiment: "fig1"}, tiny); herr != nil {
+	if _, herr := validate(RunRequest{Experiment: "fig1"}, tiny, exp.Builtins()); herr != nil {
 		t.Errorf("size-free experiment rejected under tiny cap: %v", herr)
 	}
 }

@@ -90,17 +90,57 @@ type SweepRequest struct {
 	Parallel   int      `json:"parallel,omitempty"`
 }
 
-// httpError is a handler-layer error: an HTTP status code plus a
-// message rendered as {"error": msg}.
+// httpError is a handler-layer error: an HTTP status, a
+// machine-readable code, a human-readable message, and — when one
+// request field is to blame — the JSON path of that field. writeError
+// renders it as the structured envelope every /v1 endpoint shares:
+//
+//	{"error": {"code": "...", "message": "...", "path": "..."}}
 type httpError struct {
-	code int
-	msg  string
+	status int
+	code   string
+	msg    string
+	path   string
 }
 
 func (e *httpError) Error() string { return e.msg }
 
-func errf(code int, format string, args ...any) *httpError {
-	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+// errf builds an error carrying the status's default code; chain
+// withCode or withPath to refine it.
+func errf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, code: defaultErrCode(status), msg: fmt.Sprintf(format, args...)}
+}
+
+func (e *httpError) withCode(code string) *httpError {
+	e.code = code
+	return e
+}
+
+func (e *httpError) withPath(path string) *httpError {
+	e.path = path
+	return e
+}
+
+// defaultErrCode maps an HTTP status to the envelope code it almost
+// always means in this API; handlers override the exceptional cases
+// (e.g. body-decode failures report invalid_body).
+func defaultErrCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid_field"
+	case http.StatusForbidden:
+		return "forbidden"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusServiceUnavailable:
+		return "backpressure"
+	default:
+		return "internal"
+	}
 }
 
 // jobKind separates the two submission shapes one manager can execute.
@@ -115,8 +155,14 @@ const (
 // run (runJob) or a cross-model sweep (sweepJob), plus the artifact
 // cache key both kinds are cached and coalesced by.
 type jobParams struct {
-	kind     jobKind
-	exp      spec.Experiment
+	kind jobKind
+	exp  spec.Experiment
+	// expKey is the experiment's stable identity for cache keys: the
+	// registry name for builtins, the content id for dynamic
+	// definitions. Keying by id rather than name keeps a deleted name,
+	// re-POSTed with different content, from ever serving the old
+	// content's cached artifact.
+	expKey   string
 	sizes    []int
 	seed     uint64
 	model    string // canonical model-override name, or ""
@@ -130,25 +176,34 @@ type jobParams struct {
 	requestID string
 }
 
-// validate checks a run request against the registry and the limits and
-// normalizes it. Unknown experiments are 404; everything else invalid
-// is 400.
-func validate(req RunRequest, lim Limits) (jobParams, *httpError) {
+// validate checks a run request against the resolver (builtins layered
+// over the dynamic store) and the limits and normalizes it. Unknown
+// experiments are 404; everything else invalid is 400.
+func validate(req RunRequest, lim Limits, r exp.Resolver) (jobParams, *httpError) {
 	p := jobParams{kind: runJob}
-	e, ok := exp.Find(req.Experiment)
+	e, info, ok := r.Resolve(req.Experiment)
 	if !ok {
-		return p, errf(http.StatusNotFound, "unknown experiment %q (see GET /v1/experiments)", req.Experiment)
+		return p, errf(http.StatusNotFound,
+			"unknown experiment %q (see GET /v1/experiments)", req.Experiment).withPath("experiment")
 	}
 	p.exp = e
+	p.expKey = info.ID
 	if len(req.Sizes) > 0 && e.DefaultSizes == nil {
 		// Size-free experiments (fig1) ignore sizes entirely; accepting
 		// them would echo parameters that had no effect and fragment
 		// the cache key across identical runs — refuse honestly.
-		return p, errf(http.StatusBadRequest, "experiment %q is not size-parameterized; omit sizes", e.Name)
+		return p, errf(http.StatusBadRequest, "experiment %q is not size-parameterized; omit sizes", e.Name).withPath("sizes")
 	}
 	var herr *httpError
 	if p.sizes, herr = normalizeSizes(e, req.Sizes, lim); herr != nil {
 		return p, herr
+	}
+	if len(p.sizes) > 0 && len(e.Cells(p.sizes)) == 0 {
+		// A dynamic definition's cells intersect the requested sizes
+		// with its declared grid; a disjoint filter would complete
+		// "done" with a header-only artifact and poison the cache.
+		return p, errf(http.StatusBadRequest,
+			"no cells at sizes %v: the size grid of %q is %v", p.sizes, e.Name, e.DefaultSizes).withPath("sizes")
 	}
 	p.seed = 1
 	if req.Seed != nil {
@@ -157,14 +212,15 @@ func validate(req RunRequest, lim Limits) (jobParams, *httpError) {
 	if req.Model != "" {
 		m, ok := machine.ParseModel(req.Model)
 		if !ok {
-			return p, errf(http.StatusBadRequest, "unknown model %q", req.Model)
+			return p, errf(http.StatusBadRequest, "unknown model %q", req.Model).withPath("model")
 		}
 		// Canonicalize so that "crcw" and "CRCW" share one cache key
 		// and the status echo matches machine.Model.String.
 		p.model = m.String()
 	}
 	if req.Parallel < 0 || req.Parallel > lim.MaxParallel {
-		return p, errf(http.StatusBadRequest, "parallel %d out of range [0, %d]", req.Parallel, lim.MaxParallel)
+		return p, errf(http.StatusBadRequest,
+			"parallel %d out of range [0, %d]", req.Parallel, lim.MaxParallel).withPath("parallel")
 	}
 	p.parallel = req.Parallel
 	p.profile = req.Profile
@@ -176,28 +232,35 @@ func validate(req RunRequest, lim Limits) (jobParams, *httpError) {
 // sweepJob. Plan-shape validation (model names, size axis, defaults)
 // is shared with the CLI via sweep.Normalize, so daemon and CLI refuse
 // exactly the same plans; the daemon adds its resource limits on top.
-func validateSweep(req SweepRequest, lim Limits) (jobParams, *httpError) {
+func validateSweep(req SweepRequest, lim Limits, r exp.Resolver) (jobParams, *httpError) {
 	p := jobParams{kind: sweepJob}
-	e, ok := exp.Find(req.Experiment)
+	e, info, ok := r.Resolve(req.Experiment)
 	if !ok {
-		return p, errf(http.StatusNotFound, "unknown experiment %q (see GET /v1/experiments)", req.Experiment)
+		return p, errf(http.StatusNotFound,
+			"unknown experiment %q (see GET /v1/experiments)", req.Experiment).withPath("experiment")
 	}
 	p.exp = e
+	p.expKey = info.ID
 	if req.Parallel < 0 || req.Parallel > lim.MaxParallel {
-		return p, errf(http.StatusBadRequest, "parallel %d out of range [0, %d]", req.Parallel, lim.MaxParallel)
+		return p, errf(http.StatusBadRequest,
+			"parallel %d out of range [0, %d]", req.Parallel, lim.MaxParallel).withPath("parallel")
 	}
 	seeds := req.Seeds
 	if len(seeds) == 0 && req.Seed != nil {
 		seeds = []uint64{*req.Seed}
 	} else if len(seeds) > 0 && req.Seed != nil {
-		return p, errf(http.StatusBadRequest, "pass seed or seeds, not both")
+		return p, errf(http.StatusBadRequest, "pass seed or seeds, not both").withPath("seed")
 	}
 	if len(seeds) > lim.MaxSizes {
-		return p, errf(http.StatusBadRequest, "too many seeds: %d (limit %d)", len(seeds), lim.MaxSizes)
+		return p, errf(http.StatusBadRequest, "too many seeds: %d (limit %d)", len(seeds), lim.MaxSizes).withPath("seeds")
 	}
 	sizes, herr := normalizeSizes(e, req.Sizes, lim)
 	if herr != nil {
 		return p, herr
+	}
+	if len(sizes) > 0 && len(e.Cells(sizes)) == 0 {
+		return p, errf(http.StatusBadRequest,
+			"no cells at sizes %v: the size grid of %q is %v", sizes, e.Name, e.DefaultSizes).withPath("sizes")
 	}
 	plan, err := sweep.Normalize(e, sweep.Plan{
 		Experiment: e.Name,
@@ -212,7 +275,7 @@ func validateSweep(req SweepRequest, lim Limits) (jobParams, *httpError) {
 	p.plan = plan
 	p.sizes = plan.Sizes
 	p.parallel = plan.Parallel
-	p.key = sweepCacheKey(plan)
+	p.key = sweepCacheKey(p.expKey, plan)
 	return p, nil
 }
 
@@ -233,16 +296,16 @@ func normalizeSizes(e spec.Experiment, sizes []int, lim Limits) ([]int, *httpErr
 		}
 		if len(out) == 0 && len(e.DefaultSizes) > 0 {
 			return nil, errf(http.StatusBadRequest,
-				"every default size of %q exceeds this server's size limit %d; pass explicit sizes", e.Name, lim.MaxSize)
+				"every default size of %q exceeds this server's size limit %d; pass explicit sizes", e.Name, lim.MaxSize).withPath("sizes")
 		}
 		return out, nil
 	}
 	if len(sizes) > lim.MaxSizes {
-		return nil, errf(http.StatusBadRequest, "too many sizes: %d (limit %d)", len(sizes), lim.MaxSizes)
+		return nil, errf(http.StatusBadRequest, "too many sizes: %d (limit %d)", len(sizes), lim.MaxSizes).withPath("sizes")
 	}
 	for _, n := range sizes {
 		if n < 1 || n > lim.MaxSize {
-			return nil, errf(http.StatusBadRequest, "size %d out of range [1, %d]", n, lim.MaxSize)
+			return nil, errf(http.StatusBadRequest, "size %d out of range [1, %d]", n, lim.MaxSize).withPath("sizes")
 		}
 	}
 	return sizes, nil
@@ -252,14 +315,17 @@ func normalizeSizes(e spec.Experiment, sizes []int, lim Limits) ([]int, *httpErr
 // charged stats and rendered artifacts are a pure function of
 // (experiment, sizes, seed, model) — parallelism never changes them —
 // so jobs sharing a key produce byte-identical artifacts and the cache
-// may serve any of them from the first completed run. Profiled runs are
-// keyed separately: their artifact bytes are identical to the
-// unprofiled run's, but only they carry profiles, so serving one for
-// the other would either drop a requested profile or hand out one that
-// was never asked for.
+// may serve any of them from the first completed run. The experiment
+// is identified by its expKey (content id for dynamic definitions), so
+// a dynamic experiment's cache entries follow its content: deleting a
+// name and re-POSTing different content under it can never serve the
+// old content's artifact. Profiled runs are keyed separately: their
+// artifact bytes are identical to the unprofiled run's, but only they
+// carry profiles, so serving one for the other would either drop a
+// requested profile or hand out one that was never asked for.
 func cacheKey(p jobParams) string {
 	var b strings.Builder
-	b.WriteString(p.exp.Name)
+	b.WriteString(p.expKey)
 	b.WriteByte('|')
 	for i, n := range p.sizes {
 		if i > 0 {
@@ -278,13 +344,14 @@ func cacheKey(p jobParams) string {
 }
 
 // sweepCacheKey canonicalizes a normalized plan's determinism-relevant
-// parameters (everything but Parallel). The "sweep|" prefix keeps the
-// namespace disjoint from run keys, which start with a registry
-// experiment name.
-func sweepCacheKey(p sweep.Plan) string {
+// parameters (everything but Parallel), identifying the experiment by
+// its expKey like cacheKey does. The "sweep|" prefix keeps the
+// namespace disjoint from run keys, which start with an experiment
+// name or content id.
+func sweepCacheKey(expKey string, p sweep.Plan) string {
 	var b strings.Builder
 	b.WriteString("sweep|")
-	b.WriteString(p.Experiment)
+	b.WriteString(expKey)
 	b.WriteByte('|')
 	b.WriteString(strings.Join(p.Models, ","))
 	b.WriteByte('|')

@@ -1,6 +1,7 @@
-// Package sweep turns one registry experiment into a family of
-// scenarios: a declarative Plan names the experiment, the contention
-// models to charge it under, the problem sizes, and the seeds, and the
+// Package sweep turns one experiment — builtin registry entry or
+// dynamically defined — into a family of scenarios: a declarative Plan
+// names the experiment, the contention models to charge it under, the
+// problem sizes, and the seeds, and the
 // Runner executes the full cross-product of grid points over the
 // existing spec.Runner/core.SessionPool machinery, reducing the runs
 // into comparative artifacts — a model×size charged-time matrix with
